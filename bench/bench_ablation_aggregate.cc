@@ -1,0 +1,77 @@
+// Ablation: aggregate join views vs plain join views (the framework's
+// extension beyond the paper).
+//
+// An aggregate view stores one row per group instead of one per join tuple:
+// far less storage and far fewer rows to route, but each maintenance
+// contribution is a read-modify-write of its group row rather than an
+// append. This bench quantifies both sides of that trade under the same
+// update stream, for all three maintenance methods.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pjvm {
+namespace {
+
+struct Outcome {
+  double tw = 0.0;
+  size_t view_rows = 0;
+  size_t view_bytes = 0;
+};
+
+Outcome Run(MaintenanceMethod method, bool aggregate) {
+  SystemConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.rows_per_page = 8;
+  ParallelSystem sys(cfg);
+  TwoTableConfig data;
+  data.b_join_keys = 64;
+  data.fanout = 8;
+  LoadTwoTable(&sys, data).Check();
+  ViewManager manager(&sys);
+  JoinViewDef def = MakeModelView();
+  if (aggregate) {
+    def.partition_on.reset();
+    def.group_by = {{"A", "c"}};
+    def.aggregates = {{AggFn::kCount, {}}, {AggFn::kSum, {"B", "f"}}};
+  }
+  manager.RegisterView(def, method).Check();
+  std::vector<Row> batch;
+  for (int64_t i = 0; i < 256; ++i) batch.push_back(MakeDeltaA(data, i));
+  sys.cost().Reset();
+  manager.ApplyDelta(DeltaBatch::Inserts("A", batch)).status().Check();
+  Outcome out;
+  out.tw = sys.cost().TotalWorkload();
+  out.view_rows = manager.view("JV")->RowCount();
+  out.view_bytes = sys.TableBytes("JV");
+  manager.CheckAllConsistent().Check();
+  return out;
+}
+
+}  // namespace
+}  // namespace pjvm
+
+int main() {
+  using namespace pjvm;
+  bench::PrintHeader(
+      "Plain join view vs aggregate join view: 256-tuple delta, N=8");
+  std::printf("%-14s %-10s %12s %12s %12s\n", "method", "view", "TW (I/Os)",
+              "view rows", "view bytes");
+  for (MaintenanceMethod method :
+       {MaintenanceMethod::kNaive, MaintenanceMethod::kAuxRelation,
+        MaintenanceMethod::kGlobalIndex}) {
+    Outcome plain = Run(method, false);
+    Outcome agg = Run(method, true);
+    std::printf("%-14s %-10s %12.0f %12zu %12zu\n",
+                MaintenanceMethodToString(method), "plain", plain.tw,
+                plain.view_rows, plain.view_bytes);
+    std::printf("%-14s %-10s %12.0f %12zu %12zu\n", "", "aggregate", agg.tw,
+                agg.view_rows, agg.view_bytes);
+  }
+  std::printf(
+      "\nAggregate views trade per-contribution read-modify-writes for a\n"
+      "group-sized footprint; the delta-join (method-dependent) cost is\n"
+      "identical, so the method ranking is unchanged.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: immediate maintenance (the paper's setting) vs deferred batch
+// refresh (the traditional warehouse baseline the paper's introduction
+// contrasts it with).
+//
+// Immediate maintenance pays per update transaction but the view is always
+// current; deferred maintenance pays one scan-dominated recomputation per
+// refresh and the view lags in between. Sweeping the number of update
+// transactions between refreshes shows the crossover — and why "use the
+// warehouse operationally" (real-time reads) forces the immediate methods
+// whose costs the paper compares.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pjvm {
+namespace {
+
+struct Outcome {
+  double io = 0.0;
+  size_t txns = 0;
+};
+
+Outcome Run(MaintenanceTiming timing, MaintenanceMethod method, int txns) {
+  SystemConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.rows_per_page = 8;
+  ParallelSystem sys(cfg);
+  TwoTableConfig data;
+  data.b_join_keys = 2048;
+  data.fanout = 2;
+  LoadTwoTable(&sys, data).Check();
+  ViewManager manager(&sys);
+  manager.RegisterView(MakeModelView(), method, timing).Check();
+  sys.cost().Reset();
+  for (int i = 0; i < txns; ++i) {
+    manager.InsertRow("A", MakeDeltaA(data, i)).status().Check();
+  }
+  if (timing == MaintenanceTiming::kDeferred) {
+    manager.RefreshView("JV").Check();
+  }
+  manager.CheckAllConsistent().Check();
+  return Outcome{sys.cost().TotalWorkload(), static_cast<size_t>(txns)};
+}
+
+}  // namespace
+}  // namespace pjvm
+
+int main() {
+  using namespace pjvm;
+  bench::PrintHeader(
+      "Immediate vs deferred refresh: total I/O for N single-tuple txns "
+      "+ (deferred) one refresh");
+  std::printf("%8s %16s %16s %16s %16s\n", "txns", "imm_naive", "imm_aux",
+              "deferred", "io_per_txn_aux");
+  for (int txns : {1, 4, 16, 64, 256}) {
+    Outcome naive = Run(MaintenanceTiming::kImmediate,
+                        MaintenanceMethod::kNaive, txns);
+    Outcome aux = Run(MaintenanceTiming::kImmediate,
+                      MaintenanceMethod::kAuxRelation, txns);
+    Outcome deferred = Run(MaintenanceTiming::kDeferred,
+                           MaintenanceMethod::kAuxRelation, txns);
+    std::printf("%8d %16.0f %16.0f %16.0f %16.1f\n", txns, naive.io, aux.io,
+                deferred.io, aux.io / txns);
+  }
+  std::printf(
+      "\nDeferred amortizes its scans over the interval (winning for long\n"
+      "intervals) but the view is stale the whole time; the paper's\n"
+      "operational scenario requires current views, i.e. the immediate\n"
+      "columns — which is where the AR-vs-naive comparison matters.\n");
+  return 0;
+}

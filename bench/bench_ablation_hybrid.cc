@@ -1,0 +1,79 @@
+// Ablation: the hybrid cost-based method chooser the paper's conclusion
+// sketches ("our analytical model could form the basis for a cost model
+// that would enable a system to choose the best approach automatically").
+//
+// Sweeps transaction size and storage budget, prints the advisor's choice
+// and the model's per-method total workload, and spot-checks the advice
+// against the measured engine at three representative points.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "view/hybrid_advisor.h"
+
+namespace pjvm {
+namespace {
+
+double MeasuredTw(MaintenanceMethod method, int txn_tuples) {
+  SystemConfig sys_cfg;
+  sys_cfg.num_nodes = 8;
+  sys_cfg.rows_per_page = 4;
+  ParallelSystem sys(sys_cfg);
+  TwoTableConfig cfg;
+  cfg.b_join_keys = 800;
+  cfg.fanout = 4;
+  LoadTwoTable(&sys, cfg).Check();
+  ViewManager manager(&sys);
+  manager.RegisterView(MakeModelView(), method).Check();
+  std::vector<Row> batch;
+  for (int64_t i = 0; i < txn_tuples; ++i) batch.push_back(MakeDeltaA(cfg, i));
+  sys.cost().Reset();
+  manager.ApplyDelta(DeltaBatch::Inserts("A", batch)).status().Check();
+  return sys.cost().TotalWorkload();
+}
+
+}  // namespace
+}  // namespace pjvm
+
+int main() {
+  using namespace pjvm;
+  WorkloadProfile base;
+  base.num_nodes = 8;
+  base.fanout = 4;
+  base.other_relation_pages = 800;
+  base.memory_pages = 100;
+  base.base_clustered_on_join = true;
+  base.ar_bytes = 80000;
+  base.gi_bytes = 20000;
+
+  bench::PrintHeader("Advisor sweep: txn size x storage budget (L=8, N=4)");
+  std::printf("%10s %12s | %10s %10s %10s | %s\n", "txn_tuples", "budget",
+              "naive_tw", "aux_tw", "gi_tw", "choice");
+  for (double tuples : {1.0, 16.0, 128.0, 1024.0, 8192.0}) {
+    for (double budget : {0.0, 40000.0, 200000.0}) {
+      WorkloadProfile p = base;
+      p.tuples_per_txn = tuples;
+      p.storage_budget_bytes = budget;
+      Advice advice = ChooseMethod(p);
+      std::printf("%10.0f %12.0f | %10.1f %10.1f %10.1f | %s\n", tuples,
+                  budget, advice.naive_io, advice.aux_io, advice.gi_io,
+                  MaintenanceMethodToString(advice.method));
+    }
+  }
+
+  bench::PrintHeader("Advice vs measured engine TW (budget unconstrained)");
+  std::printf("%10s %14s %14s %14s | advice\n", "txn_tuples", "naive_meas",
+              "aux_meas", "gi_meas");
+  for (int tuples : {1, 64, 2048}) {
+    WorkloadProfile p = base;
+    p.tuples_per_txn = tuples;
+    p.storage_budget_bytes = 1e12;
+    Advice advice = ChooseMethod(p);
+    std::printf("%10d %14.1f %14.1f %14.1f | %s\n", tuples,
+                MeasuredTw(MaintenanceMethod::kNaive, tuples),
+                MeasuredTw(MaintenanceMethod::kAuxRelation, tuples),
+                MeasuredTw(MaintenanceMethod::kGlobalIndex, tuples),
+                MaintenanceMethodToString(advice.method));
+  }
+  return 0;
+}

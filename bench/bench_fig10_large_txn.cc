@@ -1,0 +1,13 @@
+// Reproduces Figure 10: per-node response time of one transaction inserting
+// 6,500 tuples — approximately |B| pages — where sort-merge wins and the
+// naive method with clustered base relations beats the AR and GI methods
+// (the paper's Section 3.1.2 crossover result).
+
+#include <iostream>
+
+#include "model/figures.h"
+
+int main() {
+  pjvm::model::PrintFigure(pjvm::model::MakeFigure10(), std::cout);
+  return 0;
+}

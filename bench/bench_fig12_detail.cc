@@ -1,0 +1,12 @@
+// Reproduces Figure 12: the 1..300-tuple detail of Figure 11, showing the
+// step-wise behaviour of the AR method — its response time depends on
+// ceil(|A|/L), the most-loaded node's share of the delta.
+
+#include <iostream>
+
+#include "model/figures.h"
+
+int main() {
+  pjvm::model::PrintFigure(pjvm::model::MakeFigure12(), std::cout);
+  return 0;
+}

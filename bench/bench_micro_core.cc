@@ -1,0 +1,131 @@
+// google-benchmark micro-benchmarks for the substrate the maintenance
+// methods are built on: B+-tree operations, hash partitioning, index
+// probes, the local join executors, and end-to-end single-tuple maintenance
+// under each method.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "engine/system.h"
+#include "exec/local_join.h"
+#include "storage/btree.h"
+#include "view/view_manager.h"
+#include "workload/twotable.h"
+
+namespace pjvm {
+namespace {
+
+void BM_BTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BPlusTree<uint64_t> tree;
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.Insert(Value{i * 2654435761 % 100003}, static_cast<uint64_t>(i));
+    }
+    benchmark::DoNotOptimize(tree.num_items());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  BPlusTree<uint64_t> tree;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    tree.Insert(Value{i}, static_cast<uint64_t>(i));
+  }
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(Value{key}));
+    key = (key + 7919) % state.range(0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup)->Arg(10000)->Arg(100000);
+
+void BM_HashPartitioning(benchmark::State& state) {
+  int64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NodeForKey(Value{k++}, 64));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashPartitioning);
+
+std::unique_ptr<ParallelSystem> MakeLoadedSystem(int64_t fanout) {
+  SystemConfig cfg;
+  cfg.num_nodes = 1;
+  auto sys = std::make_unique<ParallelSystem>(cfg);
+  TwoTableConfig two;
+  two.b_join_keys = 1000;
+  two.fanout = fanout;
+  LoadTwoTable(sys.get(), two).Check();
+  return sys;
+}
+
+void BM_IndexNestedLoopJoin(benchmark::State& state) {
+  auto sys = MakeLoadedSystem(4);
+  std::vector<Row> outer;
+  for (int64_t i = 0; i < 100; ++i) {
+    outer.push_back({Value{i}, Value{i % 1000}, Value{i}});
+  }
+  for (auto _ : state) {
+    auto result = IndexNestedLoopJoin(sys->node(0), "B", 1, outer, 1);
+    benchmark::DoNotOptimize(result->size());
+  }
+  state.SetItemsProcessed(state.iterations() * outer.size());
+}
+BENCHMARK(BM_IndexNestedLoopJoin);
+
+void BM_SortMergeJoin(benchmark::State& state) {
+  auto sys = MakeLoadedSystem(4);
+  std::vector<Row> outer;
+  for (int64_t i = 0; i < 100; ++i) {
+    outer.push_back({Value{i}, Value{i % 1000}, Value{i}});
+  }
+  for (auto _ : state) {
+    auto result = SortMergeJoinFragment(sys->node(0), "B", 1, outer, 1, 100,
+                                        &sys->cost());
+    benchmark::DoNotOptimize(result->size());
+  }
+  state.SetItemsProcessed(state.iterations() * outer.size());
+}
+BENCHMARK(BM_SortMergeJoin);
+
+void MaintenanceBench(benchmark::State& state, MaintenanceMethod method) {
+  SystemConfig cfg;
+  cfg.num_nodes = static_cast<int>(state.range(0));
+  auto sys = std::make_unique<ParallelSystem>(cfg);
+  TwoTableConfig two;
+  two.b_join_keys = 500;
+  two.fanout = 4;
+  LoadTwoTable(sys.get(), two).Check();
+  ViewManager manager(sys.get());
+  manager.RegisterView(MakeModelView(), method).Check();
+  int64_t i = 0;
+  for (auto _ : state) {
+    manager.InsertRow("A", MakeDeltaA(two, i++)).status().Check();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["io_per_insert"] =
+      sys->cost().TotalWorkload() / static_cast<double>(i);
+}
+
+void BM_MaintainNaive(benchmark::State& state) {
+  MaintenanceBench(state, MaintenanceMethod::kNaive);
+}
+void BM_MaintainAux(benchmark::State& state) {
+  MaintenanceBench(state, MaintenanceMethod::kAuxRelation);
+}
+void BM_MaintainGi(benchmark::State& state) {
+  MaintenanceBench(state, MaintenanceMethod::kGlobalIndex);
+}
+BENCHMARK(BM_MaintainNaive)->Arg(4)->Arg(16);
+BENCHMARK(BM_MaintainAux)->Arg(4)->Arg(16);
+BENCHMARK(BM_MaintainGi)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace pjvm
+
+BENCHMARK_MAIN();

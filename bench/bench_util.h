@@ -1,0 +1,87 @@
+#ifndef PJVM_BENCH_BENCH_UTIL_H_
+#define PJVM_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/system.h"
+#include "view/maintainer.h"
+#include "view/view_manager.h"
+#include "workload/tpcr.h"
+#include "workload/twotable.h"
+
+namespace pjvm::bench {
+
+/// Cost and wall-time of one measured maintenance run.
+struct RunResult {
+  double total_workload_io = 0.0;
+  double response_time_io = 0.0;
+  uint64_t sends = 0;
+  int nodes_touched = 0;
+  double wall_ms = 0.0;
+  size_t view_rows_written = 0;
+};
+
+/// Applies `delta` through `manager`, metering the maintenance transaction
+/// (cost counters are reset first, so setup/backfill is excluded).
+inline RunResult MeterDelta(ViewManager* manager, DeltaBatch delta) {
+  ParallelSystem* sys = manager->system();
+  sys->cost().Reset();
+  auto start = std::chrono::steady_clock::now();
+  auto report = manager->ApplyDelta(std::move(delta));
+  auto end = std::chrono::steady_clock::now();
+  report.status().Check();
+  RunResult r;
+  r.total_workload_io = sys->cost().TotalWorkload();
+  r.response_time_io = sys->cost().ResponseTime();
+  r.sends = sys->cost().TotalSends();
+  r.nodes_touched = sys->cost().NodesTouched();
+  r.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          end - start)
+          .count();
+  r.view_rows_written = report->view_rows_inserted + report->view_rows_deleted;
+  return r;
+}
+
+/// A TPC-R system with JV1 and JV2 registered under `method` — the setup of
+/// the paper's Section 3.3 experiment.
+struct TpcrBench {
+  std::unique_ptr<ParallelSystem> sys;
+  std::unique_ptr<ViewManager> manager;
+  TpcrConfig tpcr;
+
+  TpcrBench(int num_nodes, MaintenanceMethod method, int64_t customers = 1500) {
+    SystemConfig cfg;
+    cfg.num_nodes = num_nodes;
+    cfg.rows_per_page = 16;
+    sys = std::make_unique<ParallelSystem>(cfg);
+    tpcr.customers = customers;
+    tpcr.extra_customer_keys = 256;
+    LoadTpcr(sys.get(), GenerateTpcr(tpcr)).Check();
+    manager = std::make_unique<ViewManager>(sys.get());
+    manager->RegisterView(MakeJv1(), method).Check();
+    manager->RegisterView(MakeJv2(), method).Check();
+  }
+
+  /// The paper's delta: `n` new customers, each matching existing orders.
+  DeltaBatch DeltaCustomers(int n) {
+    std::vector<Row> rows;
+    rows.reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      rows.push_back(MakeDeltaCustomer(tpcr, i));
+    }
+    return DeltaBatch::Inserts("customer", rows);
+  }
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n";
+}
+
+}  // namespace pjvm::bench
+
+#endif  // PJVM_BENCH_BENCH_UTIL_H_

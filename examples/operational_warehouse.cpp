@@ -1,0 +1,88 @@
+// The paper's motivating scenario: an *operational* data warehouse — a
+// TPC-R-style schema with materialized join views, fed by a continuous
+// stream of small OLTP-style update transactions. Shows how the choice of
+// maintenance method decides whether the update stream scales: the naive
+// method turns each single-node base update into an all-node operation,
+// while the auxiliary relation method keeps it a few-node one.
+
+#include <cstdio>
+
+#include "engine/system.h"
+#include "view/view_manager.h"
+#include "workload/tpcr.h"
+#include "workload/update_stream.h"
+
+using namespace pjvm;
+
+namespace {
+
+struct StreamStats {
+  double total_io = 0;
+  double response_io = 0;
+  uint64_t messages = 0;
+  size_t txns = 0;
+};
+
+StreamStats RunStream(MaintenanceMethod method, int num_nodes, int batches,
+                      int ops_per_batch) {
+  SystemConfig cfg;
+  cfg.num_nodes = num_nodes;
+  cfg.rows_per_page = 16;
+  ParallelSystem sys(cfg);
+  TpcrConfig tpcr;
+  tpcr.customers = 2000;
+  tpcr.extra_customer_keys = 4096;
+  LoadTpcr(&sys, GenerateTpcr(tpcr)).Check();
+  ViewManager manager(&sys);
+  manager.RegisterView(MakeJv1(), method).Check();
+  manager.RegisterView(MakeJv2(), method).Check();
+
+  // A stream of small insert/delete/update transactions against customer.
+  TpcrConfig capture = tpcr;
+  UpdateStreamGenerator stream(
+      "customer", UpdateMix{0.6, 0.2, 0.2}, /*seed=*/99,
+      [capture](int64_t i) { return MakeDeltaCustomer(capture, i); },
+      [](const Row& row, Rng& rng) {
+        Row out = row;
+        out[1] = Value{rng.UniformDouble() * 9999.0};  // acctbal changes.
+        return out;
+      });
+
+  sys.cost().Reset();
+  StreamStats stats;
+  for (int b = 0; b < batches; ++b) {
+    manager.ApplyDelta(stream.NextBatch(ops_per_batch)).status().Check();
+    ++stats.txns;
+  }
+  stats.total_io = sys.cost().TotalWorkload();
+  stats.response_io = sys.cost().ResponseTime();
+  stats.messages = sys.network().TotalMessages();
+  manager.CheckAllConsistent().Check();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kNodes = 8;
+  constexpr int kBatches = 20;
+  constexpr int kOps = 4;
+  std::printf(
+      "Operational warehouse: %d nodes, JV1 + JV2 materialized, %d update\n"
+      "transactions of %d operations each against `customer`.\n\n",
+      kNodes, kBatches, kOps);
+  std::printf("%-14s %14s %16s %12s\n", "method", "total I/Os",
+              "busiest-node I/Os", "messages");
+  for (MaintenanceMethod method :
+       {MaintenanceMethod::kNaive, MaintenanceMethod::kGlobalIndex,
+        MaintenanceMethod::kAuxRelation}) {
+    StreamStats s = RunStream(method, kNodes, kBatches, kOps);
+    std::printf("%-14s %14.0f %16.0f %12llu\n",
+                MaintenanceMethodToString(method), s.total_io, s.response_io,
+                static_cast<unsigned long long>(s.messages));
+  }
+  std::printf(
+      "\nEvery run ends with the views verified against a from-scratch\n"
+      "recomputation — the methods differ only in cost, never in content.\n");
+  return 0;
+}

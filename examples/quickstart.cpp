@@ -1,0 +1,98 @@
+// Quickstart: stand up a 4-node parallel system, create two partitioned
+// base tables, declare a materialized join view in SQL, pick a maintenance
+// method, and watch the view stay correct under inserts/deletes/updates.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "engine/system.h"
+#include "sql/parser.h"
+#include "view/view_manager.h"
+
+using namespace pjvm;
+
+int main() {
+  // 1. A shared-nothing parallel RDBMS with 4 data server nodes.
+  SystemConfig config;
+  config.num_nodes = 4;
+  ParallelSystem sys(config);
+
+  // 2. Two base relations, hash-partitioned on their keys — note that
+  //    neither is partitioned on the join attribute, which is exactly the
+  //    situation where view maintenance gets expensive.
+  TableDef customers;
+  customers.name = "customers";
+  customers.schema = Schema({{"id", ValueType::kInt64},
+                             {"region", ValueType::kInt64},
+                             {"name", ValueType::kString}});
+  customers.partition = PartitionSpec::Hash("id");
+  sys.CreateTable(customers).Check();
+
+  TableDef orders;
+  orders.name = "orders";
+  orders.schema = Schema({{"order_id", ValueType::kInt64},
+                          {"customer_id", ValueType::kInt64},
+                          {"amount", ValueType::kDouble}});
+  orders.partition = PartitionSpec::Hash("order_id");
+  sys.CreateTable(orders).Check();
+
+  // 3. Some initial data.
+  for (int64_t i = 0; i < 8; ++i) {
+    sys.Insert("customers",
+               {Value{i}, Value{i % 3}, Value{"Customer#" + std::to_string(i)}})
+        .Check();
+    sys.Insert("orders", {Value{100 + i}, Value{i % 8}, Value{42.5 * (i + 1)}})
+        .Check();
+  }
+
+  // 4. Declare a materialized join view in SQL and register it under the
+  //    auxiliary relation method — the paper's cheap single-node scheme.
+  ViewManager manager(&sys);
+  auto view_def = sql::ParseCreateView(
+      "CREATE JOIN VIEW customer_orders AS "
+      "SELECT c.name, c.region, o.order_id, o.amount "
+      "FROM customers c, orders o "
+      "WHERE c.id = o.customer_id AND o.amount > 50.0 "
+      "PARTITIONED ON c.region;");
+  view_def.status().Check();
+  manager.RegisterView(*view_def, MaintenanceMethod::kAuxRelation).Check();
+  std::printf("view registered: %s\n", view_def->ToString().c_str());
+  std::printf("backfilled rows: %zu\n\n",
+              manager.view("customer_orders")->RowCount());
+
+  // 5. Updates maintain the view incrementally, inside one distributed
+  //    transaction per call. Costs are metered as the paper's SEARCH /
+  //    FETCH / INSERT / SEND primitives.
+  sys.cost().Reset();
+  manager.InsertRow("orders", {Value{200}, Value{3}, Value{99.0}})
+      .status()
+      .Check();
+  std::printf("after insert: %zu view rows, cost: %s\n",
+              manager.view("customer_orders")->RowCount(),
+              sys.cost().ToString().c_str());
+
+  manager.DeleteRow("orders", {Value{103}, Value{3}, Value{42.5 * 4}})
+      .status()
+      .Check();
+  manager
+      .UpdateRow("customers", {Value{3}, Value{0}, Value{"Customer#3"}},
+                 {Value{3}, Value{2}, Value{"Customer#3-moved"}})
+      .status()
+      .Check();
+  std::printf("after delete+update: %zu view rows\n",
+              manager.view("customer_orders")->RowCount());
+
+  // 6. Query the view (routed by its partitioning attribute) and verify it
+  //    against a from-scratch recomputation.
+  auto rows = sys.SelectEq("customer_orders", "c.region", Value{2});
+  rows.status().Check();
+  std::printf("\nview rows in region 2:\n");
+  for (const Row& row : *rows) {
+    std::printf("  %s\n", RowToString(row).c_str());
+  }
+  manager.CheckAllConsistent().Check();
+  std::printf("\nconsistency check passed: view == from-scratch join\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pjvm {
+
+double CostTracker::TotalWorkload() const {
+  double total = 0.0;
+  for (const NodeCounters& n : nodes_) total += n.IO(weights_);
+  return total;
+}
+
+double CostTracker::ResponseTime() const {
+  double rt = 0.0;
+  for (const NodeCounters& n : nodes_) rt = std::max(rt, n.IO(weights_));
+  return rt;
+}
+
+double CostTracker::ComputeResponseTime() const {
+  double rt = 0.0;
+  for (const NodeCounters& n : nodes_) rt = std::max(rt, n.ComputeIO(weights_));
+  return rt;
+}
+
+uint64_t CostTracker::TotalSends() const {
+  uint64_t total = 0;
+  for (const NodeCounters& n : nodes_) total += n.sends;
+  return total;
+}
+
+int CostTracker::NodesTouched() const {
+  int count = 0;
+  for (const NodeCounters& n : nodes_) {
+    if (n.searches + n.fetches + n.inserts + n.sends > 0) ++count;
+  }
+  return count;
+}
+
+void CostTracker::Reset() {
+  for (NodeCounters& n : nodes_) n = NodeCounters{};
+}
+
+std::string CostTracker::ToString() const {
+  std::ostringstream os;
+  os << "CostTracker{TW=" << TotalWorkload() << " RT=" << ResponseTime()
+     << " sends=" << TotalSends() << " nodes=[";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) os << " ";
+    os << nodes_[i].IO(weights_);
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace pjvm

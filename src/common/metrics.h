@@ -1,0 +1,148 @@
+#ifndef PJVM_COMMON_METRICS_H_
+#define PJVM_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pjvm {
+
+/// \brief Unit costs for the four primitive operations of the paper's model
+/// (Section 3.1): SEARCH, FETCH, INSERT (in I/Os) and SEND (network).
+///
+/// Defaults follow the paper: "SEARCH takes one I/O, FETCH takes one I/O, and
+/// INSERT takes two I/Os", and "the time spent on SEND is much smaller than
+/// the time spent on SEARCH, FETCH, and INSERT", so SEND contributes zero to
+/// the I/O metric but is still counted as messages.
+struct CostWeights {
+  double search = 1.0;
+  double fetch = 1.0;
+  double insert = 2.0;
+  double send = 0.0;
+};
+
+/// \brief Per-node activity counters for one node of the parallel system.
+struct NodeCounters {
+  uint64_t searches = 0;
+  uint64_t fetches = 0;
+  uint64_t inserts = 0;
+  uint64_t sends = 0;
+  uint64_t bytes_sent = 0;
+  /// Breakdown of `inserts` (write I/Os) by what was written — base
+  /// relations, auxiliary structures (ARs/GIs), and views. Lets experiments
+  /// isolate the delta-join compute cost the way the paper's Section 3.3
+  /// measurement does ("we only measured the time spent on the second
+  /// step"), by subtracting the write categories all methods share.
+  uint64_t base_writes = 0;
+  uint64_t structure_writes = 0;
+  uint64_t view_writes = 0;
+
+  /// Weighted I/O total for this node (the paper's per-node work, which
+  /// drives response time as the max over nodes).
+  double IO(const CostWeights& w) const {
+    return w.search * searches + w.fetch * fetches + w.insert * inserts +
+           w.send * sends;
+  }
+
+  /// Weighted I/O excluding every write (the join-compute portion).
+  double ComputeIO(const CostWeights& w) const {
+    return w.search * searches + w.fetch * fetches;
+  }
+
+  NodeCounters& operator+=(const NodeCounters& o) {
+    searches += o.searches;
+    fetches += o.fetches;
+    inserts += o.inserts;
+    sends += o.sends;
+    bytes_sent += o.bytes_sent;
+    base_writes += o.base_writes;
+    structure_writes += o.structure_writes;
+    view_writes += o.view_writes;
+    return *this;
+  }
+  friend NodeCounters operator-(NodeCounters a, const NodeCounters& b) {
+    a.searches -= b.searches;
+    a.fetches -= b.fetches;
+    a.inserts -= b.inserts;
+    a.sends -= b.sends;
+    a.bytes_sent -= b.bytes_sent;
+    a.base_writes -= b.base_writes;
+    a.structure_writes -= b.structure_writes;
+    a.view_writes -= b.view_writes;
+    return a;
+  }
+};
+
+/// \brief Metering for the whole parallel system: one NodeCounters per data
+/// server node.
+///
+/// The two summary metrics mirror the paper's Section 3.1:
+///  - TotalWorkload() — "the sum of the work done over all the nodes" (TW);
+///  - ResponseTime()  — the max per-node work, i.e. the makespan when all
+///    nodes proceed in parallel.
+class CostTracker {
+ public:
+  explicit CostTracker(int num_nodes, CostWeights weights = CostWeights{})
+      : weights_(weights), nodes_(num_nodes) {}
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const CostWeights& weights() const { return weights_; }
+
+  /// Category of a write charge, for the per-category breakdown.
+  enum class WriteKind { kBase, kStructure, kView };
+
+  void ChargeSearch(int node, uint64_t n = 1) { nodes_[node].searches += n; }
+  void ChargeFetch(int node, uint64_t n = 1) { nodes_[node].fetches += n; }
+  void ChargeInsert(int node, uint64_t n = 1) { nodes_[node].inserts += n; }
+  void ChargeWrite(int node, WriteKind kind) {
+    nodes_[node].inserts += 1;
+    switch (kind) {
+      case WriteKind::kBase:
+        nodes_[node].base_writes += 1;
+        break;
+      case WriteKind::kStructure:
+        nodes_[node].structure_writes += 1;
+        break;
+      case WriteKind::kView:
+        nodes_[node].view_writes += 1;
+        break;
+    }
+  }
+  /// Max over nodes of the join-compute I/O (searches + fetches only) — the
+  /// paper's Figure 14 measurement.
+  double ComputeResponseTime() const;
+  void ChargeSend(int node, uint64_t bytes) {
+    nodes_[node].sends += 1;
+    nodes_[node].bytes_sent += bytes;
+  }
+  /// Charges extra I/Os that are not one of the three primitives (e.g. the
+  /// page reads/writes of an external sort); counted as fetches.
+  void ChargeIOPages(int node, uint64_t pages) { nodes_[node].fetches += pages; }
+
+  const NodeCounters& node(int i) const { return nodes_[i]; }
+
+  /// Sum over nodes of weighted I/O (the paper's TW).
+  double TotalWorkload() const;
+  /// Max over nodes of weighted I/O (response time in I/Os).
+  double ResponseTime() const;
+  /// Total message count across nodes.
+  uint64_t TotalSends() const;
+  /// Number of nodes that performed any work (I/O or sends) — used to verify
+  /// the single-node / few-node / all-node locality claims.
+  int NodesTouched() const;
+
+  void Reset();
+
+  /// Copies the current counters (for before/after diffs around a phase).
+  std::vector<NodeCounters> Snapshot() const { return nodes_; }
+
+  std::string ToString() const;
+
+ private:
+  CostWeights weights_;
+  std::vector<NodeCounters> nodes_;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_COMMON_METRICS_H_

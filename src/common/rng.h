@@ -1,0 +1,34 @@
+#ifndef PJVM_COMMON_RNG_H_
+#define PJVM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace pjvm {
+
+/// \brief Deterministic pseudo-random generator (xoshiro256**).
+///
+/// All data generation and randomized property tests use this generator so
+/// that every run of every workload is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_COMMON_RNG_H_

@@ -1,0 +1,47 @@
+#include "common/row.h"
+
+namespace pjvm {
+
+uint64_t HashRow(const Row& row) {
+  // Combine per-value hashes with a boost::hash_combine-style mixer so that
+  // permutations of the same values hash differently.
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ (row.size() * 0x100000001b3ULL);
+  for (const Value& v : row) {
+    uint64_t x = v.Hash();
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+  }
+  return h;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Row ProjectRow(const Row& row, const std::vector<int>& indices) {
+  Row out;
+  out.reserve(indices.size());
+  for (int i : indices) out.push_back(row[i]);
+  return out;
+}
+
+Row ConcatRows(const Row& a, const Row& b) {
+  Row out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+size_t RowByteSize(const Row& row) {
+  size_t n = 0;
+  for (const Value& v : row) n += v.ByteSize();
+  return n;
+}
+
+}  // namespace pjvm

@@ -1,0 +1,47 @@
+#ifndef PJVM_COMMON_ROW_H_
+#define PJVM_COMMON_ROW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace pjvm {
+
+/// \brief A tuple: a fixed-width sequence of Values described by a Schema.
+using Row = std::vector<Value>;
+
+/// Stable 64-bit hash of a whole row (order-sensitive).
+uint64_t HashRow(const Row& row);
+
+/// "(v0, v1, ...)" rendering for logs and test failure messages.
+std::string RowToString(const Row& row);
+
+/// Returns the row restricted to `indices`, in that order.
+Row ProjectRow(const Row& row, const std::vector<int>& indices);
+
+/// Concatenates two rows (used to form join output tuples).
+Row ConcatRows(const Row& a, const Row& b);
+
+/// Approximate byte footprint of a row (sum of value footprints).
+size_t RowByteSize(const Row& row);
+
+/// std::hash-compatible functor for Row.
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    return static_cast<size_t>(HashRow(row));
+  }
+};
+
+/// Lexicographic comparison helpers for sorting rows by one key column.
+struct RowKeyLess {
+  int key_col;
+  bool operator()(const Row& a, const Row& b) const {
+    return a[key_col] < b[key_col];
+  }
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_COMMON_ROW_H_

@@ -1,0 +1,65 @@
+#include "common/schema.h"
+
+namespace pjvm {
+
+Result<int> Schema::ColumnIndex(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "' in " + ToString());
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  return ColumnIndex(name).ok();
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (static_cast<int>(row.size()) != num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        ToString());
+  }
+  for (int i = 0; i < num_columns(); ++i) {
+    if (row[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          "column '" + columns_[i].name + "' expects " +
+          ValueTypeToString(columns_[i].type) + " but row has " +
+          ValueTypeToString(row[i].type()) + " in " + RowToString(row));
+    }
+  }
+  return Status::OK();
+}
+
+Schema Schema::Concat(const Schema& a, const std::string& a_prefix,
+                      const Schema& b, const std::string& b_prefix) {
+  std::vector<Column> cols;
+  cols.reserve(a.num_columns() + b.num_columns());
+  for (const Column& c : a.columns()) {
+    cols.push_back(Column{a_prefix + "." + c.name, c.type});
+  }
+  for (const Column& c : b.columns()) {
+    cols.push_back(Column{b_prefix + "." + c.name, c.type});
+  }
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Project(const std::vector<int>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (int i : indices) cols.push_back(columns_[i]);
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "[";
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace pjvm

@@ -1,0 +1,61 @@
+#ifndef PJVM_COMMON_SCHEMA_H_
+#define PJVM_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace pjvm {
+
+/// \brief A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type;
+
+  friend bool operator==(const Column& a, const Column& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// \brief An ordered list of columns describing a relation's tuples.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<int> ColumnIndex(const std::string& name) const;
+
+  bool HasColumn(const std::string& name) const;
+
+  /// OK iff the row has the right arity and per-column types.
+  Status ValidateRow(const Row& row) const;
+
+  /// Schema of the concatenation of two relations' tuples, prefixing column
+  /// names with `a_prefix`/`b_prefix` + "." (used for join outputs).
+  static Schema Concat(const Schema& a, const std::string& a_prefix,
+                       const Schema& b, const std::string& b_prefix);
+
+  /// Schema restricted to `indices`, in that order.
+  Schema Project(const std::vector<int>& indices) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.columns_ == b.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_COMMON_SCHEMA_H_

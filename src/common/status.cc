@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pjvm {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+void Status::Check() const {
+  if (ok()) return;
+  std::fprintf(stderr, "PJVM fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace pjvm

@@ -1,0 +1,170 @@
+#ifndef PJVM_COMMON_STATUS_H_
+#define PJVM_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pjvm {
+
+/// \brief Error category for a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kAborted,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a status code ("Invalid argument"
+/// etc.).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: either OK or an error code plus message.
+///
+/// This is the Arrow/RocksDB-style error-handling idiom: no exceptions cross
+/// library boundaries; fallible functions return Status (or Result<T>) and
+/// callers propagate with PJVM_RETURN_NOT_OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process if the status is not OK. Use only in tests, examples,
+  /// and benchmark drivers where an error is a bug.
+  void Check() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Result models the common "return a value or fail" shape. Accessing the
+/// value of an errored Result aborts, so call ok() (or use
+/// PJVM_ASSIGN_OR_RETURN) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value, so `return value;` works.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status; must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (this->status().ok()) {
+      *this = Result(Status::Internal("Result constructed from OK status"));
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    CheckHasValue();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CheckHasValue();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `alt` if this Result holds an error.
+  T ValueOr(T alt) const {
+    if (ok()) return std::get<T>(repr_);
+    return alt;
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (!ok()) {
+      status().Check();  // Aborts with a useful message.
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace pjvm
+
+/// Propagates a non-OK Status to the caller.
+#define PJVM_RETURN_NOT_OK(expr)              \
+  do {                                        \
+    ::pjvm::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#define PJVM_CONCAT_IMPL(x, y) x##y
+#define PJVM_CONCAT(x, y) PJVM_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define PJVM_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  PJVM_ASSIGN_OR_RETURN_IMPL(PJVM_CONCAT(_pjvm_result_, __LINE__), lhs, rexpr)
+
+#define PJVM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // PJVM_COMMON_STATUS_H_

@@ -1,0 +1,205 @@
+#include "engine/node.h"
+
+namespace pjvm {
+
+Status Node::CreateFragment(const TableDef& def, int rows_per_page) {
+  if (fragments_.count(def.name) > 0) {
+    return Status::AlreadyExists("node " + std::to_string(id_) +
+                                 " already has fragment '" + def.name + "'");
+  }
+  auto frag = std::make_unique<TableFragment>(def.schema, rows_per_page);
+  frag->EnableRowLookup();
+  for (const IndexSpec& idx : def.indexes) {
+    PJVM_ASSIGN_OR_RETURN(int col, def.schema.ColumnIndex(idx.column));
+    PJVM_RETURN_NOT_OK(frag->CreateIndex(col, idx.clustered));
+  }
+  fragments_.emplace(def.name, std::move(frag));
+  kinds_[def.name] = def.kind;
+  return Status::OK();
+}
+
+CostTracker::WriteKind Node::WriteKindOf(const std::string& table) const {
+  auto it = kinds_.find(table);
+  if (it == kinds_.end()) return CostTracker::WriteKind::kBase;
+  switch (it->second) {
+    case TableKind::kBase:
+      return CostTracker::WriteKind::kBase;
+    case TableKind::kAuxiliary:
+    case TableKind::kGlobalIndex:
+      return CostTracker::WriteKind::kStructure;
+    case TableKind::kView:
+      return CostTracker::WriteKind::kView;
+  }
+  return CostTracker::WriteKind::kBase;
+}
+
+Status Node::DropFragment(const std::string& table) {
+  kinds_.erase(table);
+  if (fragments_.erase(table) == 0) {
+    return Status::NotFound("node " + std::to_string(id_) +
+                            " has no fragment '" + table + "'");
+  }
+  return Status::OK();
+}
+
+TableFragment* Node::fragment(const std::string& table) {
+  auto it = fragments_.find(table);
+  return it == fragments_.end() ? nullptr : it->second.get();
+}
+
+const TableFragment* Node::fragment(const std::string& table) const {
+  auto it = fragments_.find(table);
+  return it == fragments_.end() ? nullptr : it->second.get();
+}
+
+Status Node::LockForWrite(uint64_t txn_id, const std::string& table,
+                          const TableFragment& frag, const Row& row) {
+  if (locks_ == nullptr || txn_id == kAutoCommitTxnId) return Status::OK();
+  PJVM_RETURN_NOT_OK(locks_->Acquire(
+      txn_id, LockId{id_, table, HashRow(row), false}, LockMode::kExclusive));
+  for (const LocalIndex* index : frag.Indexes()) {
+    PJVM_RETURN_NOT_OK(locks_->Acquire(
+        txn_id, LockId::IndexKey(id_, table, index->column, row[index->column]),
+        LockMode::kExclusive));
+  }
+  return Status::OK();
+}
+
+Result<LocalRowId> Node::Insert(uint64_t txn_id, const std::string& table,
+                                Row row) {
+  TableFragment* frag = fragment(table);
+  if (frag == nullptr) {
+    return Status::NotFound("node " + std::to_string(id_) +
+                            " has no fragment '" + table + "'");
+  }
+  PJVM_RETURN_NOT_OK(LockForWrite(txn_id, table, *frag, row));
+  wal_.Append(LogRecord{0, txn_id, LogRecordType::kInsert, table, row});
+  if (txn_id != kAutoCommitTxnId) {
+    txns_->AddParticipant(txn_id, id_);
+    txns_->PushUndo(txn_id,
+                    UndoOp{UndoOp::Kind::kDeleteInserted, id_, table, row});
+  }
+  PJVM_ASSIGN_OR_RETURN(LocalRowId lrid, frag->Insert(std::move(row)));
+  tracker_->ChargeWrite(id_, WriteKindOf(table));
+  return lrid;
+}
+
+Status Node::DeleteExact(uint64_t txn_id, const std::string& table,
+                         const Row& row) {
+  TableFragment* frag = fragment(table);
+  if (frag == nullptr) {
+    return Status::NotFound("node " + std::to_string(id_) +
+                            " has no fragment '" + table + "'");
+  }
+  // Locating the victim costs a search, charged whether or not it is found.
+  tracker_->ChargeSearch(id_);
+  // Confirm existence before logging so the WAL only records deletes that
+  // actually happened (replay must never fail).
+  if (!frag->FindExact(row).ok()) {
+    return Status::NotFound("no row " + RowToString(row) + " in '" + table +
+                            "' at node " + std::to_string(id_));
+  }
+  PJVM_RETURN_NOT_OK(LockForWrite(txn_id, table, *frag, row));
+  wal_.Append(LogRecord{0, txn_id, LogRecordType::kDelete, table, row});
+  if (txn_id != kAutoCommitTxnId) {
+    txns_->AddParticipant(txn_id, id_);
+    txns_->PushUndo(txn_id,
+                    UndoOp{UndoOp::Kind::kReinsertDeleted, id_, table, row});
+  }
+  PJVM_RETURN_NOT_OK(frag->DeleteExact(row).status());
+  // The write itself is INSERT-weighted (one page read-modify-write).
+  tracker_->ChargeWrite(id_, WriteKindOf(table));
+  return Status::OK();
+}
+
+Result<ProbeResult> Node::IndexProbe(const std::string& table, int column,
+                                     const Value& key, uint64_t txn_id) {
+  TableFragment* frag = fragment(table);
+  if (frag == nullptr) {
+    return Status::NotFound("node " + std::to_string(id_) +
+                            " has no fragment '" + table + "'");
+  }
+  const LocalIndex* index = frag->FindIndex(column);
+  if (index == nullptr) {
+    return Status::InvalidArgument("no index on column " +
+                                   std::to_string(column) + " of '" + table +
+                                   "' at node " + std::to_string(id_));
+  }
+  if (locks_ != nullptr && txn_id != kAutoCommitTxnId) {
+    PJVM_RETURN_NOT_OK(locks_->Acquire(
+        txn_id, LockId::IndexKey(id_, table, column, key), LockMode::kShared));
+  }
+  tracker_->ChargeSearch(id_);
+  PJVM_ASSIGN_OR_RETURN(ProbeResult result, frag->Probe(column, key));
+  if (!index->clustered) {
+    tracker_->ChargeFetch(id_, result.rows.size());
+  }
+  return result;
+}
+
+Status Node::AcquireTableShared(uint64_t txn_id, const std::string& table) {
+  if (locks_ == nullptr || txn_id == kAutoCommitTxnId) return Status::OK();
+  return locks_->Acquire(txn_id, LockId::Table(id_, table), LockMode::kShared);
+}
+
+Status Node::ApplyLogRecord(const LogRecord& record) {
+  TableFragment* frag = fragment(record.table);
+  if (frag == nullptr) {
+    return Status::NotFound("recovery: node " + std::to_string(id_) +
+                            " has no fragment '" + record.table + "'");
+  }
+  switch (record.type) {
+    case LogRecordType::kInsert:
+      return frag->Insert(record.row).status();
+    case LogRecordType::kDelete:
+      return frag->DeleteExact(record.row).status();
+    default:
+      return Status::InvalidArgument("recovery: non-data record");
+  }
+}
+
+Status Node::RecreateFragments(const Catalog& catalog, int rows_per_page) {
+  fragments_.clear();
+  for (const std::string& name : catalog.ListNames()) {
+    PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog.Get(name));
+    PJVM_RETURN_NOT_OK(CreateFragment(*def, rows_per_page));
+  }
+  return Status::OK();
+}
+
+void Node::Checkpoint() {
+  checkpoint_.clear();
+  for (const auto& [name, frag] : fragments_) {
+    checkpoint_[name] = frag->AllRows();
+  }
+  has_checkpoint_ = true;
+  wal_.Clear();
+}
+
+Status Node::RestoreCheckpoint() {
+  if (!has_checkpoint_) return Status::OK();
+  for (const auto& [name, rows] : checkpoint_) {
+    TableFragment* frag = fragment(name);
+    if (frag == nullptr) {
+      // The table was dropped after the checkpoint; its rows are obsolete.
+      continue;
+    }
+    for (const Row& row : rows) {
+      PJVM_RETURN_NOT_OK(frag->Insert(row).status());
+    }
+  }
+  return Status::OK();
+}
+
+Status Node::CheckInvariants() const {
+  for (const auto& [name, frag] : fragments_) {
+    Status st = frag->CheckInvariants();
+    if (!st.ok()) {
+      return Status::Internal("node " + std::to_string(id_) + " fragment '" +
+                              name + "': " + st.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pjvm

@@ -1,0 +1,109 @@
+#ifndef PJVM_ENGINE_NODE_H_
+#define PJVM_ENGINE_NODE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/row.h"
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "storage/table_fragment.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+#include "txn/wal.h"
+
+namespace pjvm {
+
+/// \brief One data server node: its table fragments, its write-ahead log,
+/// and the cost-charged local operations the rest of the engine composes.
+///
+/// Every mutation is WAL-logged (by row content) and, for explicit
+/// transactions, paired with a compensating undo action in the TxnManager.
+/// Every operation charges the paper's primitive costs (SEARCH, FETCH,
+/// INSERT) to this node in the shared CostTracker.
+class Node {
+ public:
+  Node(int id, CostTracker* tracker, TxnManager* txns,
+       LockManager* locks = nullptr)
+      : id_(id), tracker_(tracker), txns_(txns), locks_(locks) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+  Wal& wal() { return wal_; }
+  const Wal& wal() const { return wal_; }
+
+  /// Creates this node's fragment of `def`, including its local indexes.
+  /// Row-content lookup is always enabled so content deletes are O(1).
+  Status CreateFragment(const TableDef& def, int rows_per_page);
+  Status DropFragment(const std::string& table);
+
+  /// The fragment, or nullptr if this node has none for `table`.
+  TableFragment* fragment(const std::string& table);
+  const TableFragment* fragment(const std::string& table) const;
+
+  /// Inserts a row: charges INSERT, logs, records undo for explicit txns.
+  Result<LocalRowId> Insert(uint64_t txn_id, const std::string& table, Row row);
+
+  /// Deletes one row equal to `row`: charges a SEARCH (to locate it) plus
+  /// INSERT-weighted write I/O, logs, records undo for explicit txns.
+  Status DeleteExact(uint64_t txn_id, const std::string& table, const Row& row);
+
+  /// Index probe on `column` = `key`. Charges one SEARCH; a non-clustered
+  /// index additionally charges one FETCH per matching row, while a
+  /// clustered index charges none (the paper's assumption 5/7: all matches
+  /// sit on the reached leaf page). Under locking, an explicit transaction
+  /// takes an S lock on the probed index key.
+  Result<ProbeResult> IndexProbe(const std::string& table, int column,
+                                 const Value& key,
+                                 uint64_t txn_id = kAutoCommitTxnId);
+
+  /// S-locks this node's whole fragment of `table` for a scanning read
+  /// (sort-merge joins). No-op without locking or for autocommit.
+  Status AcquireTableShared(uint64_t txn_id, const std::string& table);
+
+  /// Applies a WAL record during recovery: no logging, no cost charging.
+  Status ApplyLogRecord(const LogRecord& record);
+
+  /// Drops all fragment contents (simulated crash losing volatile state).
+  /// Fragment definitions (schemas/indexes) are re-created by the caller.
+  void WipeFragments() { fragments_.clear(); }
+
+  /// Re-creates an empty fragment set from catalog definitions (recovery).
+  Status RecreateFragments(const Catalog& catalog, int rows_per_page);
+
+  /// Takes a durable snapshot of every fragment's rows and truncates the
+  /// WAL: recovery then restores the snapshot and replays only the log
+  /// suffix. The caller guarantees no transaction is in flight.
+  void Checkpoint();
+  /// Loads the last checkpoint's rows into the (recreated) fragments.
+  Status RestoreCheckpoint();
+  bool HasCheckpoint() const { return has_checkpoint_; }
+
+  Status CheckInvariants() const;
+
+ private:
+  CostTracker::WriteKind WriteKindOf(const std::string& table) const;
+
+  /// X-locks the row's content identity and every indexed key it carries.
+  Status LockForWrite(uint64_t txn_id, const std::string& table,
+                      const TableFragment& frag, const Row& row);
+
+  int id_;
+  CostTracker* tracker_;
+  TxnManager* txns_;
+  LockManager* locks_;
+  Wal wal_;
+  std::map<std::string, std::unique_ptr<TableFragment>> fragments_;
+  std::map<std::string, TableKind> kinds_;
+  // Simulated durable checkpoint: survives Crash() like the WAL does.
+  bool has_checkpoint_ = false;
+  std::map<std::string, std::vector<Row>> checkpoint_;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_ENGINE_NODE_H_

@@ -1,0 +1,20 @@
+#ifndef PJVM_ENGINE_PARTITIONER_H_
+#define PJVM_ENGINE_PARTITIONER_H_
+
+#include "common/value.h"
+
+namespace pjvm {
+
+/// \brief Hash-routes a key value to one of `num_nodes` data server nodes.
+///
+/// Everything that is "partitioned on attribute c" in the paper — base
+/// relations, auxiliary relations, global indexes, and views — uses this one
+/// function, so co-partitioned structures land matching keys on the same
+/// node (the property the AR method relies on).
+inline int NodeForKey(const Value& key, int num_nodes) {
+  return static_cast<int>(key.Hash() % static_cast<uint64_t>(num_nodes));
+}
+
+}  // namespace pjvm
+
+#endif  // PJVM_ENGINE_PARTITIONER_H_

@@ -1,0 +1,326 @@
+#include "engine/system.h"
+
+namespace pjvm {
+
+ParallelSystem::ParallelSystem(SystemConfig config)
+    : config_(config),
+      cost_(config.num_nodes, config.weights),
+      network_(config.num_nodes, &cost_) {
+  nodes_.reserve(config_.num_nodes);
+  LockManager* locks = config_.enable_locking ? &locks_ : nullptr;
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(i, &cost_, &txns_, locks));
+  }
+}
+
+Status ParallelSystem::CreateTable(TableDef def) {
+  PJVM_RETURN_NOT_OK(catalog_.AddTable(def));
+  for (auto& node : nodes_) {
+    Status st = node->CreateFragment(def, config_.rows_per_page);
+    if (!st.ok()) {
+      catalog_.DropTable(def.name).Check();
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+Status ParallelSystem::DropTable(const std::string& name) {
+  PJVM_RETURN_NOT_OK(catalog_.DropTable(name));
+  for (auto& node : nodes_) {
+    PJVM_RETURN_NOT_OK(node->DropFragment(name));
+  }
+  round_robin_.erase(name);
+  return Status::OK();
+}
+
+int ParallelSystem::HomeNodeForRow(const TableDef& def, const Row& row) {
+  if (def.partition.is_hash()) {
+    int col = def.PartitionColumn();
+    return HomeNodeForKey(row[col]);
+  }
+  uint64_t& counter = round_robin_[def.name];
+  return static_cast<int>(counter++ % config_.num_nodes);
+}
+
+Status ParallelSystem::Insert(const std::string& table, Row row,
+                              uint64_t txn_id) {
+  return InsertReturningId(table, std::move(row), txn_id).status();
+}
+
+Result<GlobalRowId> ParallelSystem::InsertReturningId(const std::string& table,
+                                                      Row row,
+                                                      uint64_t txn_id) {
+  PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
+  PJVM_RETURN_NOT_OK(def->schema.ValidateRow(row));
+  int target = HomeNodeForRow(*def, row);
+  PJVM_ASSIGN_OR_RETURN(LocalRowId lrid,
+                        nodes_[target]->Insert(txn_id, table, std::move(row)));
+  return GlobalRowId{target, lrid};
+}
+
+Result<GlobalRowId> ParallelSystem::LocateExact(const std::string& table,
+                                                const Row& row) {
+  PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
+  auto try_node = [&](int i) -> Result<GlobalRowId> {
+    const TableFragment* frag = nodes_[i]->fragment(table);
+    cost_.ChargeSearch(i);
+    PJVM_ASSIGN_OR_RETURN(LocalRowId lrid, frag->FindExact(row));
+    return GlobalRowId{i, lrid};
+  };
+  if (def->partition.is_hash()) {
+    return try_node(HomeNodeForKey(row[def->PartitionColumn()]));
+  }
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    Result<GlobalRowId> found = try_node(i);
+    if (found.ok()) return found;
+    if (!found.status().IsNotFound()) return found;
+  }
+  return Status::NotFound("row not found in '" + table +
+                          "' on any node: " + RowToString(row));
+}
+
+Status ParallelSystem::CreateIndexOn(const std::string& table,
+                                     const std::string& column,
+                                     bool clustered) {
+  PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
+  if (def->HasIndexOn(column)) return Status::OK();
+  PJVM_RETURN_NOT_OK(
+      catalog_.AddIndexToTable(table, IndexSpec{column, clustered}));
+  PJVM_ASSIGN_OR_RETURN(int col, def->schema.ColumnIndex(column));
+  for (auto& node : nodes_) {
+    PJVM_RETURN_NOT_OK(node->fragment(table)->CreateIndex(col, clustered));
+  }
+  return Status::OK();
+}
+
+Status ParallelSystem::InsertMany(const std::string& table,
+                                  const std::vector<Row>& rows,
+                                  uint64_t txn_id) {
+  for (const Row& row : rows) {
+    PJVM_RETURN_NOT_OK(Insert(table, row, txn_id));
+  }
+  return Status::OK();
+}
+
+Status ParallelSystem::DeleteExact(const std::string& table, const Row& row,
+                                   uint64_t txn_id) {
+  PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
+  if (def->partition.is_hash()) {
+    int target = HomeNodeForRow(*def, row);
+    return nodes_[target]->DeleteExact(txn_id, table, row);
+  }
+  // Round-robin table: the row can be anywhere; try each node.
+  for (auto& node : nodes_) {
+    Status st = node->DeleteExact(txn_id, table, row);
+    if (st.ok()) return st;
+    if (!st.IsNotFound()) return st;
+  }
+  return Status::NotFound("row not found in '" + table +
+                          "' on any node: " + RowToString(row));
+}
+
+std::vector<Row> ParallelSystem::ScanAll(const std::string& table) const {
+  std::vector<Row> rows;
+  for (const auto& node : nodes_) {
+    const TableFragment* frag = node->fragment(table);
+    if (frag == nullptr) continue;
+    std::vector<Row> part = frag->AllRows();
+    rows.insert(rows.end(), std::make_move_iterator(part.begin()),
+                std::make_move_iterator(part.end()));
+  }
+  return rows;
+}
+
+size_t ParallelSystem::RowCount(const std::string& table) const {
+  size_t count = 0;
+  for (const auto& node : nodes_) {
+    const TableFragment* frag = node->fragment(table);
+    if (frag != nullptr) count += frag->num_rows();
+  }
+  return count;
+}
+
+size_t ParallelSystem::TableBytes(const std::string& table) const {
+  size_t bytes = 0;
+  for (const auto& node : nodes_) {
+    const TableFragment* frag = node->fragment(table);
+    if (frag != nullptr) bytes += frag->byte_size();
+  }
+  return bytes;
+}
+
+size_t ParallelSystem::TablePages(const std::string& table) const {
+  size_t pages = 0;
+  for (const auto& node : nodes_) {
+    const TableFragment* frag = node->fragment(table);
+    if (frag != nullptr) pages += frag->num_pages();
+  }
+  return pages;
+}
+
+Result<std::vector<Row>> ParallelSystem::SelectEq(const std::string& table,
+                                                  const std::string& column,
+                                                  const Value& key) {
+  PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
+  PJVM_ASSIGN_OR_RETURN(int col, def->schema.ColumnIndex(column));
+  std::vector<Row> out;
+  auto probe_node = [&](int i) -> Status {
+    TableFragment* frag = nodes_[i]->fragment(table);
+    if (frag->HasIndexOn(col)) {
+      PJVM_ASSIGN_OR_RETURN(ProbeResult r, nodes_[i]->IndexProbe(table, col, key));
+      out.insert(out.end(), std::make_move_iterator(r.rows.begin()),
+                 std::make_move_iterator(r.rows.end()));
+    } else {
+      // Full scan: charge one fetch per page read.
+      cost_.ChargeIOPages(i, frag->num_pages());
+      ProbeResult r = frag->ScanEq(col, key);
+      out.insert(out.end(), std::make_move_iterator(r.rows.begin()),
+                 std::make_move_iterator(r.rows.end()));
+    }
+    return Status::OK();
+  };
+  if (def->partition.is_hash() && def->partition.column == column) {
+    PJVM_RETURN_NOT_OK(probe_node(HomeNodeForKey(key)));
+    return out;
+  }
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    PJVM_RETURN_NOT_OK(probe_node(i));
+  }
+  return out;
+}
+
+Result<std::vector<Row>> ParallelSystem::SelectRange(const std::string& table,
+                                                     const std::string& column,
+                                                     const Value& lo,
+                                                     const Value& hi) {
+  PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
+  PJVM_ASSIGN_OR_RETURN(int col, def->schema.ColumnIndex(column));
+  std::vector<Row> out;
+  if (hi < lo) return out;
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    TableFragment* frag = nodes_[i]->fragment(table);
+    const LocalIndex* index = frag->FindIndex(col);
+    if (index != nullptr) {
+      cost_.ChargeSearch(i);  // One seek to the range's start.
+      size_t delivered = 0;
+      index->tree.ScanRange(lo, hi, [&](const Value&, const LocalRowId& lrid) {
+        out.push_back(*frag->Get(lrid));
+        ++delivered;
+        return true;
+      });
+      cost_.ChargeFetch(i, delivered);
+    } else {
+      cost_.ChargeIOPages(i, frag->num_pages());
+      frag->ForEach([&](LocalRowId, const Row& row) {
+        if (lo <= row[col] && row[col] <= hi) out.push_back(row);
+        return true;
+      });
+    }
+  }
+  return out;
+}
+
+Status ParallelSystem::Commit(uint64_t txn_id) {
+  if (txn_id == kAutoCommitTxnId) return Status::OK();
+  if (txns_.ShouldFailAt(FailurePoint::kBeforePrepare)) {
+    Crash();
+    return Status::Aborted("injected crash before prepare");
+  }
+  PJVM_RETURN_NOT_OK(txns_.MarkPreparing(txn_id));
+  // Phase 1: every participant durably prepares.
+  for (int node_id : txns_.participants(txn_id)) {
+    nodes_[node_id]->wal().Append(
+        LogRecord{0, txn_id, LogRecordType::kPrepare, "", {}});
+  }
+  if (txns_.ShouldFailAt(FailurePoint::kAfterPrepare)) {
+    Crash();
+    return Status::Aborted("injected crash after prepare (presumed abort)");
+  }
+  // Commit point: the coordinator's durable decision.
+  PJVM_RETURN_NOT_OK(txns_.LogCommitDecision(txn_id));
+  if (txns_.ShouldFailAt(FailurePoint::kAfterDecision)) {
+    Crash();
+    return Status::Aborted("injected crash after commit decision");
+  }
+  // Phase 2: participants learn the outcome.
+  for (int node_id : txns_.participants(txn_id)) {
+    nodes_[node_id]->wal().Append(
+        LogRecord{0, txn_id, LogRecordType::kCommit, "", {}});
+  }
+  txns_.DiscardUndo(txn_id);
+  locks_.ReleaseAll(txn_id);  // Strict 2PL: everything released at commit.
+  return Status::OK();
+}
+
+Status ParallelSystem::Abort(uint64_t txn_id) {
+  if (txn_id == kAutoCommitTxnId) {
+    return Status::InvalidArgument("cannot abort the autocommit pseudo-txn");
+  }
+  PJVM_RETURN_NOT_OK(txns_.MarkAborted(txn_id));
+  for (const UndoOp& op : txns_.TakeUndoReversed(txn_id)) {
+    TableFragment* frag = nodes_[op.node]->fragment(op.table);
+    if (frag == nullptr) {
+      return Status::Internal("abort: missing fragment '" + op.table + "'");
+    }
+    switch (op.kind) {
+      case UndoOp::Kind::kDeleteInserted:
+        PJVM_RETURN_NOT_OK(frag->DeleteExact(op.row).status());
+        break;
+      case UndoOp::Kind::kReinsertDeleted:
+        PJVM_RETURN_NOT_OK(frag->Insert(op.row).status());
+        break;
+    }
+  }
+  for (int node_id : txns_.participants(txn_id)) {
+    nodes_[node_id]->wal().Append(
+        LogRecord{0, txn_id, LogRecordType::kAbort, "", {}});
+  }
+  locks_.ReleaseAll(txn_id);
+  return Status::OK();
+}
+
+Status ParallelSystem::Checkpoint() {
+  if (txns_.HasActive()) {
+    return Status::Aborted(
+        "checkpoint refused: transactions are in flight (quiesce first)");
+  }
+  for (auto& node : nodes_) node->Checkpoint();
+  return Status::OK();
+}
+
+void ParallelSystem::Crash() {
+  for (auto& node : nodes_) node->WipeFragments();
+  txns_.CrashAndRecover();
+  locks_.Clear();
+}
+
+Status ParallelSystem::Recover() {
+  for (auto& node : nodes_) {
+    PJVM_RETURN_NOT_OK(node->RecreateFragments(catalog_, config_.rows_per_page));
+    PJVM_RETURN_NOT_OK(node->RestoreCheckpoint());
+  }
+  Status replay_status = Status::OK();
+  for (auto& node : nodes_) {
+    node->wal().ReplayCommitted(
+        [&](uint64_t txn_id) { return txns_.IsCommitted(txn_id); },
+        [&](const LogRecord& rec) {
+          // Records for tables dropped after the write are obsolete: the
+          // drop discarded their data, so replay skips them.
+          if (!catalog_.Has(rec.table)) return;
+          Status st = node->ApplyLogRecord(rec);
+          if (!st.ok() && replay_status.ok()) replay_status = st;
+        });
+    PJVM_RETURN_NOT_OK(replay_status);
+  }
+  return Status::OK();
+}
+
+Status ParallelSystem::CheckInvariants() const {
+  for (const auto& node : nodes_) {
+    PJVM_RETURN_NOT_OK(node->CheckInvariants());
+  }
+  return Status::OK();
+}
+
+}  // namespace pjvm

@@ -1,0 +1,165 @@
+#ifndef PJVM_ENGINE_SYSTEM_H_
+#define PJVM_ENGINE_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "engine/node.h"
+#include "engine/partitioner.h"
+#include "net/network.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+
+namespace pjvm {
+
+/// \brief Construction parameters for a parallel system.
+struct SystemConfig {
+  /// The paper's L: number of data server nodes.
+  int num_nodes = 4;
+  /// Rows per heap page (drives page counts, hence sort-merge costs).
+  int rows_per_page = 64;
+  /// Unit costs for SEARCH / FETCH / INSERT / SEND.
+  CostWeights weights;
+  /// Memory budget in pages for external sorts (the paper's M).
+  int sort_memory_pages = 100;
+  /// Strict two-phase locking with no-wait conflict handling. Explicit
+  /// transactions then take X locks on the index keys and rows they write
+  /// and S locks on the keys they probe, released at commit/abort.
+  /// Autocommit operations are not locked (they are atomic by themselves).
+  bool enable_locking = false;
+};
+
+/// \brief The shared-nothing parallel RDBMS: L nodes, an interconnect, a
+/// catalog, a transaction coordinator, and a cost meter.
+///
+/// This is the substrate the paper assumes. It executes real partitioned
+/// storage and real index maintenance while charging the cost model's
+/// primitive operations, so experiments read both correct data and the
+/// I/O/message counts the paper's analysis is about.
+class ParallelSystem {
+ public:
+  explicit ParallelSystem(SystemConfig config);
+
+  ParallelSystem(const ParallelSystem&) = delete;
+  ParallelSystem& operator=(const ParallelSystem&) = delete;
+
+  int num_nodes() const { return config_.num_nodes; }
+  const SystemConfig& config() const { return config_; }
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  CostTracker& cost() { return cost_; }
+  Network& network() { return network_; }
+  TxnManager& txns() { return txns_; }
+  LockManager& locks() { return locks_; }
+  Node* node(int i) { return nodes_[i].get(); }
+  const Node* node(int i) const { return nodes_[i].get(); }
+
+  /// Registers a table and creates its (empty) fragment on every node.
+  Status CreateTable(TableDef def);
+  Status DropTable(const std::string& name);
+
+  /// Adds a secondary index to an existing table (catalog + every node's
+  /// fragment, backfilling from current rows). No-op if an index on the
+  /// column already exists.
+  Status CreateIndexOn(const std::string& table, const std::string& column,
+                       bool clustered);
+
+  /// The node that owns `row` of `def` (hash partitioning), or the next
+  /// round-robin node. Deterministic given insertion order.
+  int HomeNodeForRow(const TableDef& def, const Row& row);
+  /// The node owning `key` under hash partitioning on any column.
+  int HomeNodeForKey(const Value& key) const {
+    return NodeForKey(key, config_.num_nodes);
+  }
+
+  /// Inserts a row into its home node. No SEND is charged for the client →
+  /// home-node hop (the paper's flows start with the tuple already at its
+  /// node i).
+  Status Insert(const std::string& table, Row row,
+                uint64_t txn_id = kAutoCommitTxnId);
+  Status InsertMany(const std::string& table, const std::vector<Row>& rows,
+                    uint64_t txn_id = kAutoCommitTxnId);
+  /// Insert that reports where the row landed — the paper's global row id.
+  Result<GlobalRowId> InsertReturningId(const std::string& table, Row row,
+                                        uint64_t txn_id = kAutoCommitTxnId);
+
+  /// Global row id of one row equal to `row`, without modifying anything
+  /// (charges one SEARCH at each probed node).
+  Result<GlobalRowId> LocateExact(const std::string& table, const Row& row);
+
+  /// Deletes one instance of `row` from its home node (hash partitioning)
+  /// or searches all nodes (round-robin).
+  Status DeleteExact(const std::string& table, const Row& row,
+                     uint64_t txn_id = kAutoCommitTxnId);
+
+  /// All rows of `table` across all nodes (no cost charged; test utility).
+  std::vector<Row> ScanAll(const std::string& table) const;
+  size_t RowCount(const std::string& table) const;
+  size_t TableBytes(const std::string& table) const;
+  size_t TablePages(const std::string& table) const;
+
+  /// Rows with `column` = `key`. Routed to the single owning node when
+  /// `column` is the partitioning column, otherwise fanned out to all nodes
+  /// through the interconnect; costs are charged accordingly.
+  Result<std::vector<Row>> SelectEq(const std::string& table,
+                                    const std::string& column,
+                                    const Value& key);
+
+  /// Rows with `column` in [lo, hi] (inclusive). Hash partitioning cannot
+  /// route ranges, so every node is consulted: a B+-tree range scan where an
+  /// index exists (one SEARCH to seek plus one FETCH per row delivered), a
+  /// full scan (one FETCH per page) otherwise.
+  Result<std::vector<Row>> SelectRange(const std::string& table,
+                                       const std::string& column,
+                                       const Value& lo, const Value& hi);
+
+  // --- Transactions (two-phase commit over the touched nodes) ---
+
+  uint64_t Begin() { return txns_.Begin(); }
+  /// Runs 2PC: PREPARE at each participant, durable coordinator decision,
+  /// COMMIT at each participant. Honors injected failure points; on an
+  /// injected crash the transaction's fate is decided by what reached the
+  /// logs, exactly as in recovery.
+  Status Commit(uint64_t txn_id);
+  /// Rolls back by applying compensating actions in reverse order.
+  Status Abort(uint64_t txn_id);
+
+  // --- Crash / recovery ---
+
+  /// Durably snapshots every node's fragments and truncates the WALs, so
+  /// recovery replays only post-checkpoint work. Refused while any
+  /// transaction is in flight.
+  Status Checkpoint();
+
+  /// Simulates losing all volatile state (fragments) on every node; the
+  /// WALs, checkpoints, and the coordinator's decision log survive.
+  /// In-flight transactions become aborted (presumed abort).
+  void Crash();
+  /// Rebuilds every fragment by replaying committed transactions from each
+  /// node's WAL. Derived global-index tables contain row ids that are not
+  /// stable across recovery; callers that maintain GIs rebuild them after
+  /// this (see ViewManager::RebuildGlobalIndexes).
+  Status Recover();
+
+  /// Structural invariants on every node.
+  Status CheckInvariants() const;
+
+ private:
+  SystemConfig config_;
+  Catalog catalog_;
+  CostTracker cost_;
+  TxnManager txns_;
+  LockManager locks_;
+  Network network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::string, uint64_t> round_robin_;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_ENGINE_SYSTEM_H_

@@ -1,0 +1,47 @@
+#ifndef PJVM_EXEC_JOIN_CHOOSER_H_
+#define PJVM_EXEC_JOIN_CHOOSER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pjvm {
+
+/// \brief The two local join algorithms the paper's model compares
+/// (Section 3.1.2); hash join behaves like sort-merge for this analysis and
+/// is subsumed by it.
+enum class JoinAlgorithm {
+  kIndexNestedLoops = 0,
+  kSortMerge,
+};
+
+const char* JoinAlgorithmToString(JoinAlgorithm algorithm);
+
+/// \brief Inputs to the per-node join-method decision.
+struct JoinChoiceInput {
+  /// Outer (delta) tuples this node must process.
+  uint64_t outer_tuples = 0;
+  /// Index I/O per outer tuple: 1 search + per-match fetches as applicable.
+  double per_tuple_index_io = 1.0;
+  /// Pages of the inner fragment at this node (the paper's |B_i|).
+  uint64_t inner_pages = 0;
+  /// Whether the inner fragment is clustered (sorted) on the join attribute.
+  bool inner_clustered = false;
+  /// Sort memory in pages (the paper's M).
+  int memory_pages = 100;
+};
+
+/// \brief Costed outcome of the decision.
+struct JoinChoice {
+  JoinAlgorithm algorithm = JoinAlgorithm::kIndexNestedLoops;
+  double index_io = 0.0;
+  double sort_merge_io = 0.0;
+};
+
+/// Picks min(index nested loops, sort merge) exactly as the paper's response
+/// time model does: INL costs outer_tuples * per_tuple_index_io; sort-merge
+/// costs |B_i| when clustered, |B_i| * ceil(log_M |B_i|) otherwise.
+JoinChoice ChooseLocalJoin(const JoinChoiceInput& input);
+
+}  // namespace pjvm
+
+#endif  // PJVM_EXEC_JOIN_CHOOSER_H_

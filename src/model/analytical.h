@@ -1,0 +1,80 @@
+#ifndef PJVM_MODEL_ANALYTICAL_H_
+#define PJVM_MODEL_ANALYTICAL_H_
+
+#include <cstdint>
+
+namespace pjvm::model {
+
+/// \brief Parameters of the paper's analytical model (Section 3.1).
+struct ModelParams {
+  /// L: number of data server nodes.
+  int num_nodes = 8;
+  /// N: join tuples generated per inserted tuple.
+  double fanout = 10.0;
+  /// |B|: pages of the other base relation.
+  double b_pages = 6400.0;
+  /// M: sort memory in pages.
+  int memory_pages = 100;
+  /// Unit costs in I/Os (the paper's simplification).
+  double search = 1.0;
+  double fetch = 1.0;
+  double insert = 2.0;
+
+  /// K = min(N, L): nodes holding matches for one tuple.
+  double K() const;
+  /// |B_i| = ceil(|B| / L): pages of B at each node.
+  double BPagesPerNode() const;
+};
+
+/// ceil(log_M(pages)), at least 1 — passes of an external sort.
+double SortPasses(double pages, int memory_pages);
+
+// --- Total workload (TW) per inserted tuple, Section 3.1.1. SEND terms are
+// --- excluded from the I/O metric, exactly as the paper does ("we only
+// --- consider the time spent on SEARCH, FETCH, and INSERT").
+
+/// AR method: INSERT + SEARCH (+ 2 SENDs).
+double TwAuxRelation(const ModelParams& p);
+/// Naive: L*SEARCH + (N*FETCH if J_B non-clustered) (+ (L+K) SENDs).
+double TwNaive(const ModelParams& p, bool clustered_index);
+/// GI: INSERT + SEARCH + (K or N)*FETCH (+ (1+2K) SENDs).
+double TwGlobalIndex(const ModelParams& p, bool distributed_clustered);
+
+/// SEND messages per inserted tuple (for completeness / message metrics).
+double SendsAuxRelation(const ModelParams& p);
+double SendsNaive(const ModelParams& p);
+double SendsGlobalIndex(const ModelParams& p);
+
+// --- Response time (max per-node I/Os) for a transaction inserting
+// --- `a_tuples`, Section 3.1.2. Each *Rt function returns the min of the
+// --- index-nested-loops and sort-merge variants; the components are also
+// --- exposed for the crossover analyses.
+
+double RtAuxIndex(const ModelParams& p, double a_tuples);
+double RtAuxSortMerge(const ModelParams& p, double a_tuples);
+double RtAux(const ModelParams& p, double a_tuples);
+
+double RtNaiveIndex(const ModelParams& p, double a_tuples, bool clustered);
+double RtNaiveSortMerge(const ModelParams& p, double a_tuples, bool clustered);
+double RtNaive(const ModelParams& p, double a_tuples, bool clustered);
+
+double RtGiIndex(const ModelParams& p, double a_tuples,
+                 bool distributed_clustered);
+double RtGiSortMerge(const ModelParams& p, double a_tuples,
+                     bool distributed_clustered);
+double RtGi(const ModelParams& p, double a_tuples, bool distributed_clustered);
+
+// --- Total workload for an `a_tuples` transaction (sum over nodes), the
+// --- paper's throughput-oriented metric. For the AR and GI methods the work
+// --- is concentrated on few nodes (TW = per-tuple TW * A under index plans);
+// --- the naive method keeps every node busy (TW = L * Rt). Each takes the
+// --- min with its sort-merge variant.
+
+double TwBatchAux(const ModelParams& p, double a_tuples);
+double TwBatchNaive(const ModelParams& p, double a_tuples, bool clustered);
+double TwBatchGi(const ModelParams& p, double a_tuples,
+                 bool distributed_clustered);
+
+}  // namespace pjvm::model
+
+#endif  // PJVM_MODEL_ANALYTICAL_H_

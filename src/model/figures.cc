@@ -1,0 +1,222 @@
+#include "model/figures.h"
+
+#include <cmath>
+#include <iomanip>
+
+namespace pjvm::model {
+
+namespace {
+
+double Ceil(double x) { return std::ceil(x - 1e-9); }
+
+/// The five method variants every model figure plots.
+struct Variants {
+  Series aux{"aux_relation", {}, {}};
+  Series naive_nc{"naive_nonclustered", {}, {}};
+  Series naive_c{"naive_clustered", {}, {}};
+  Series gi_nc{"gi_dist_nonclustered", {}, {}};
+  Series gi_c{"gi_dist_clustered", {}, {}};
+
+  void Push(double x, double aux_y, double nnc, double nc, double gnc,
+            double gc) {
+    aux.xs.push_back(x);
+    aux.ys.push_back(aux_y);
+    naive_nc.xs.push_back(x);
+    naive_nc.ys.push_back(nnc);
+    naive_c.xs.push_back(x);
+    naive_c.ys.push_back(nc);
+    gi_nc.xs.push_back(x);
+    gi_nc.ys.push_back(gnc);
+    gi_c.xs.push_back(x);
+    gi_c.ys.push_back(gc);
+  }
+
+  std::vector<Series> Take() { return {aux, naive_nc, naive_c, gi_nc, gi_c}; }
+};
+
+}  // namespace
+
+ModelParams PaperParams() {
+  ModelParams p;
+  p.b_pages = 6400;
+  p.memory_pages = 100;
+  p.fanout = 10;
+  return p;
+}
+
+void PrintFigure(const Figure& figure, std::ostream& os) {
+  os << "# " << figure.title << "\n";
+  os << "# x = " << figure.xlabel << ", y = " << figure.ylabel << "\n";
+  os << std::setw(12) << figure.xlabel;
+  for (const Series& s : figure.series) os << std::setw(24) << s.label;
+  os << "\n";
+  if (figure.series.empty()) return;
+  size_t rows = figure.series[0].xs.size();
+  for (size_t i = 0; i < rows; ++i) {
+    os << std::setw(12) << figure.series[0].xs[i];
+    for (const Series& s : figure.series) {
+      os << std::setw(24) << std::fixed << std::setprecision(2) << s.ys[i];
+    }
+    os << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+Figure MakeFigure7(ModelParams base) {
+  Figure fig;
+  fig.title = "Figure 7: TW vs number of data server nodes (single insert)";
+  fig.xlabel = "nodes";
+  fig.ylabel = "TW in I/Os";
+  Variants v;
+  for (int l = 2; l <= 1024; l *= 2) {
+    ModelParams p = base;
+    p.num_nodes = l;
+    v.Push(l, TwAuxRelation(p), TwNaive(p, false), TwNaive(p, true),
+           TwGlobalIndex(p, false), TwGlobalIndex(p, true));
+  }
+  fig.series = v.Take();
+  return fig;
+}
+
+Figure MakeFigure8(ModelParams base) {
+  Figure fig;
+  fig.title = "Figure 8: TW vs join tuples generated N (L = 32)";
+  fig.xlabel = "fanout_N";
+  fig.ylabel = "TW in I/Os";
+  Variants v;
+  base.num_nodes = 32;
+  for (double n : {1, 2, 5, 10, 20, 30, 40, 60, 80, 100}) {
+    ModelParams p = base;
+    p.fanout = n;
+    v.Push(n, TwAuxRelation(p), TwNaive(p, false), TwNaive(p, true),
+           TwGlobalIndex(p, false), TwGlobalIndex(p, true));
+  }
+  fig.series = v.Take();
+  return fig;
+}
+
+namespace {
+
+Figure ResponseFigure(const ModelParams& base, double a_tuples,
+                      const std::string& title) {
+  Figure fig;
+  fig.title = title;
+  fig.xlabel = "nodes";
+  fig.ylabel = "response time in I/Os";
+  Variants v;
+  for (int l = 2; l <= 1024; l *= 2) {
+    ModelParams p = base;
+    p.num_nodes = l;
+    v.Push(l, RtAux(p, a_tuples), RtNaive(p, a_tuples, false),
+           RtNaive(p, a_tuples, true), RtGi(p, a_tuples, false),
+           RtGi(p, a_tuples, true));
+  }
+  fig.series = v.Take();
+  return fig;
+}
+
+}  // namespace
+
+Figure MakeFigure9(ModelParams base, double a_tuples) {
+  return ResponseFigure(
+      base, a_tuples,
+      "Figure 9: execution time of one transaction with 400 tuples (index "
+      "join)");
+}
+
+Figure MakeFigure10(ModelParams base, double a_tuples) {
+  return ResponseFigure(
+      base, a_tuples,
+      "Figure 10: execution time of one transaction with 6,500 tuples "
+      "(sort-merge join)");
+}
+
+namespace {
+
+Figure SweepFigure(ModelParams base, const std::vector<double>& sweep,
+                   const std::string& title) {
+  Figure fig;
+  fig.title = title;
+  fig.xlabel = "inserted";
+  fig.ylabel = "response time in I/Os";
+  base.num_nodes = 128;
+  Variants v;
+  for (double a : sweep) {
+    v.Push(a, RtAux(base, a), RtNaive(base, a, false), RtNaive(base, a, true),
+           RtGi(base, a, false), RtGi(base, a, true));
+  }
+  fig.series = v.Take();
+  return fig;
+}
+
+}  // namespace
+
+Figure MakeFigure11(ModelParams base) {
+  std::vector<double> sweep;
+  for (double a = 1; a <= 7000; a = a < 100 ? a + 24 : a + 250) {
+    sweep.push_back(a);
+  }
+  return SweepFigure(base, sweep,
+                     "Figure 11: execution time vs tuples inserted (L = 128)");
+}
+
+Figure MakeFigure12(ModelParams base) {
+  std::vector<double> sweep;
+  for (double a = 1; a <= 300; a += 7) sweep.push_back(a);
+  return SweepFigure(
+      base, sweep,
+      "Figure 12: execution time vs tuples inserted, detail (L = 128)");
+}
+
+double PredictJv1(int num_nodes, const TpcrExperimentParams& p,
+                  bool aux_method) {
+  double a = p.delta_tuples;
+  if (aux_method) {
+    // customer is partitioned on custkey (the join attribute), so each delta
+    // tuple probes the co-located clustered orders_1 locally: per node,
+    // ceil(A/L) searches and nothing else.
+    return Ceil(a / num_nodes);
+  }
+  // Naive: every node searches its orders fragment for every delta tuple
+  // through the non-clustered custkey index, then fetches its share of the
+  // matches.
+  return a + Ceil(a * p.orders_fanout / num_nodes);
+}
+
+double PredictJv2(int num_nodes, const TpcrExperimentParams& p,
+                  bool aux_method) {
+  double stage1 = PredictJv1(num_nodes, p, aux_method);
+  double partials = p.delta_tuples * p.orders_fanout;
+  if (aux_method) {
+    // Route each (customer x orders) tuple to lineitem_1's orderkey home:
+    // ceil(partials/L) clustered searches per node.
+    return stage1 + Ceil(partials / num_nodes);
+  }
+  return stage1 + partials +
+         Ceil(partials * p.lineitem_fanout / num_nodes);
+}
+
+Figure MakeFigure13(TpcrExperimentParams p) {
+  Figure fig;
+  fig.title =
+      "Figure 13: predicted view maintenance time (TPC-R, 128 inserted "
+      "customers)";
+  fig.xlabel = "nodes";
+  fig.ylabel = "predicted per-node I/Os";
+  Series ar1{"AR_JV1", {}, {}}, nv1{"naive_JV1", {}, {}};
+  Series ar2{"AR_JV2", {}, {}}, nv2{"naive_JV2", {}, {}};
+  for (int l : {2, 4, 8}) {
+    ar1.xs.push_back(l);
+    ar1.ys.push_back(PredictJv1(l, p, true));
+    nv1.xs.push_back(l);
+    nv1.ys.push_back(PredictJv1(l, p, false));
+    ar2.xs.push_back(l);
+    ar2.ys.push_back(PredictJv2(l, p, true));
+    nv2.xs.push_back(l);
+    nv2.ys.push_back(PredictJv2(l, p, false));
+  }
+  fig.series = {ar1, nv1, ar2, nv2};
+  return fig;
+}
+
+}  // namespace pjvm::model

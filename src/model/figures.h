@@ -1,0 +1,67 @@
+#ifndef PJVM_MODEL_FIGURES_H_
+#define PJVM_MODEL_FIGURES_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "model/analytical.h"
+
+namespace pjvm::model {
+
+/// \brief One labeled line of a figure.
+struct Series {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// \brief A reproduced figure: title, axes, and series.
+struct Figure {
+  std::string title;
+  std::string xlabel;
+  std::string ylabel;
+  std::vector<Series> series;
+};
+
+/// Prints a figure as an aligned table (one x column, one column per series).
+void PrintFigure(const Figure& figure, std::ostream& os);
+
+/// \brief Default parameters of Section 3.2: |B| = 6400, M = 100, N = 10,
+/// K = min(N, L).
+ModelParams PaperParams();
+
+/// Figure 7: TW for a single-tuple insert vs the number of nodes L.
+Figure MakeFigure7(ModelParams base = PaperParams());
+/// Figure 8: TW for a single-tuple insert vs join fanout N, at L = 32.
+Figure MakeFigure8(ModelParams base = PaperParams());
+/// Figure 9: response time of one 400-tuple transaction (index joins win).
+Figure MakeFigure9(ModelParams base = PaperParams(), double a_tuples = 400);
+/// Figure 10: response time of one 6,500-tuple transaction (sort-merge wins).
+Figure MakeFigure10(ModelParams base = PaperParams(), double a_tuples = 6500);
+/// Figure 11: response time vs inserted tuples (1..7000) at L = 128.
+Figure MakeFigure11(ModelParams base = PaperParams());
+/// Figure 12: detail of Figure 11 for 1..300 tuples (step-wise ceilings).
+Figure MakeFigure12(ModelParams base = PaperParams());
+
+/// \brief Parameters of the Section 3.3 TPC-R experiment: 128 customers
+/// inserted, each matching 1 orders tuple, each orders matching 4 lineitem
+/// tuples; customer is partitioned on the join attribute custkey.
+struct TpcrExperimentParams {
+  double delta_tuples = 128;
+  double orders_fanout = 1;
+  double lineitem_fanout = 4;
+};
+
+/// Predicted per-node view maintenance I/O for JV1 (customer x orders).
+double PredictJv1(int num_nodes, const TpcrExperimentParams& p, bool aux_method);
+/// Predicted per-node view maintenance I/O for JV2 (3-way, adds lineitem).
+double PredictJv2(int num_nodes, const TpcrExperimentParams& p, bool aux_method);
+
+/// Figure 13: predicted maintenance time for JV1/JV2 under naive vs AR, for
+/// L in {2, 4, 8}.
+Figure MakeFigure13(TpcrExperimentParams p = TpcrExperimentParams{});
+
+}  // namespace pjvm::model
+
+#endif  // PJVM_MODEL_FIGURES_H_

@@ -1,0 +1,39 @@
+#ifndef PJVM_SQL_EXECUTOR_H_
+#define PJVM_SQL_EXECUTOR_H_
+
+#include <ostream>
+#include <string>
+
+#include "sql/statement.h"
+#include "view/view_manager.h"
+
+namespace pjvm::sql {
+
+/// \brief Runs parsed statements against a ParallelSystem + ViewManager,
+/// writing human-readable results to a stream — the engine behind the
+/// interactive shell example and a convenient scripting surface for tests.
+///
+/// DML against base tables goes through ViewManager::ApplyDelta, so every
+/// registered view is maintained (one distributed transaction per
+/// statement).
+class Executor {
+ public:
+  explicit Executor(ViewManager* manager) : manager_(manager) {}
+
+  /// Parses and executes one statement; output (rows, confirmations) goes
+  /// to `os`. Errors are returned, not printed.
+  Status Execute(const std::string& statement, std::ostream& os);
+
+  /// Executes an entire script: statements separated by ';'. Stops at the
+  /// first error.
+  Status ExecuteScript(const std::string& script, std::ostream& os);
+
+ private:
+  Status Run(const ParsedStatement& stmt, std::ostream& os);
+
+  ViewManager* manager_;
+};
+
+}  // namespace pjvm::sql
+
+#endif  // PJVM_SQL_EXECUTOR_H_

@@ -1,0 +1,121 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace pjvm::sql {
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kKeyword:
+      return "keyword";
+    case TokenType::kInt:
+      return "integer";
+    case TokenType::kDouble:
+      return "double";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kSymbol:
+      return "symbol";
+    case TokenType::kOperator:
+      return "operator";
+    case TokenType::kEnd:
+      return "end of input";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      "CREATE", "VIEW",        "AS", "SELECT", "FROM",  "WHERE", "AND",
+      "JOIN",   "PARTITIONED", "ON", "GROUP",  "BY",    "COUNT", "SUM"};
+  return *kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), [](char ch) {
+        return static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      });
+      if (Keywords().count(upper) > 0) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdent, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      ++i;
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        if (input[i] == '.') is_double = true;
+        ++i;
+      }
+      tokens.push_back({is_double ? TokenType::kDouble : TokenType::kInt,
+                        input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < n && input[i] != '\'') text += input[i++];
+      if (i == n) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(start));
+      }
+      ++i;  // Closing quote.
+      tokens.push_back({TokenType::kString, text, start});
+      continue;
+    }
+    // Multi-character operators first.
+    auto two = input.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+      tokens.push_back({TokenType::kOperator, two, start});
+      i += 2;
+      continue;
+    }
+    if (c == '=' || c == '<' || c == '>') {
+      tokens.push_back({TokenType::kOperator, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    if (c == ',' || c == '.' || c == ';' || c == '*' || c == '(' || c == ')') {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace pjvm::sql

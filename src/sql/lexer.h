@@ -1,0 +1,48 @@
+#ifndef PJVM_SQL_LEXER_H_
+#define PJVM_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pjvm::sql {
+
+/// \brief Token categories of the small view-definition SQL dialect.
+enum class TokenType {
+  kIdent = 0,   // table / column / alias names (case preserved)
+  kKeyword,     // CREATE, VIEW, AS, SELECT, FROM, WHERE, AND, PARTITIONED, ON, JOIN
+  kInt,         // 123
+  kDouble,      // 1.5
+  kString,      // 'text'
+  kSymbol,      // , . ; * ( )
+  kOperator,    // = <> != < <= > >=
+  kEnd,
+};
+
+const char* TokenTypeToString(TokenType type);
+
+/// \brief One lexed token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // Keywords uppercased; everything else verbatim.
+  size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+  bool IsOperator(const char* op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+/// Lexes `input` into tokens (a trailing kEnd token is always appended).
+/// Fails on unterminated strings or unexpected characters.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace pjvm::sql
+
+#endif  // PJVM_SQL_LEXER_H_

@@ -1,0 +1,220 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace pjvm::sql {
+
+namespace {
+
+/// Recursive-descent parser over the lexed token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<JoinViewDef> Parse() {
+    JoinViewDef def;
+    PJVM_RETURN_NOT_OK(ExpectKeyword("CREATE"));
+    if (Peek().IsKeyword("JOIN")) Advance();
+    PJVM_RETURN_NOT_OK(ExpectKeyword("VIEW"));
+    PJVM_ASSIGN_OR_RETURN(def.name, ExpectIdent("view name"));
+    PJVM_RETURN_NOT_OK(ExpectKeyword("AS"));
+    PJVM_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    PJVM_RETURN_NOT_OK(ParseSelectList(&def));
+    PJVM_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    PJVM_RETURN_NOT_OK(ParseFromList(&def));
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      PJVM_RETURN_NOT_OK(ParseConditions(&def));
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      PJVM_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        PJVM_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+        def.group_by.push_back(ref);
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+    }
+    if (!def.aggregates.empty()) {
+      // With aggregates, the plain select-list columns must be exactly the
+      // GROUP BY columns (standard SQL), and they become the group key
+      // rather than a projection.
+      if (def.projection != def.group_by) {
+        return Err(
+            "aggregate query: the non-aggregate SELECT columns must match "
+            "the GROUP BY list");
+      }
+      def.projection.clear();
+    } else if (!def.group_by.empty()) {
+      return Err("GROUP BY requires an aggregate in the SELECT list");
+    }
+    if (Peek().IsKeyword("PARTITIONED")) {
+      Advance();
+      PJVM_RETURN_NOT_OK(ExpectKeyword("ON"));
+      PJVM_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+      def.partition_on = ref;
+    }
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return def;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("parse error at offset " +
+                                   std::to_string(Peek().offset) + " ('" +
+                                   Peek().text + "'): " + msg);
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Err("expected " + std::string(kw));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().type != TokenType::kIdent) {
+      return Err("expected " + std::string(what));
+    }
+    return Advance().text;
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    PJVM_ASSIGN_OR_RETURN(std::string alias, ExpectIdent("alias"));
+    if (!Peek().IsSymbol(".")) {
+      return Err("expected '.' after alias '" + alias + "'");
+    }
+    Advance();
+    PJVM_ASSIGN_OR_RETURN(std::string column, ExpectIdent("column name"));
+    return ColumnRef{alias, column};
+  }
+
+  Status ParseSelectList(JoinViewDef* def) {
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      return Status::OK();  // Empty projection = SELECT *.
+    }
+    while (true) {
+      if (Peek().IsKeyword("COUNT")) {
+        Advance();
+        if (!Peek().IsSymbol("(")) return Err("expected '(' after COUNT");
+        Advance();
+        if (!Peek().IsSymbol("*")) return Err("expected COUNT(*)");
+        Advance();
+        if (!Peek().IsSymbol(")")) return Err("expected ')' after COUNT(*");
+        Advance();
+        def->aggregates.push_back(AggregateSpec{AggFn::kCount, {}});
+      } else if (Peek().IsKeyword("SUM")) {
+        Advance();
+        if (!Peek().IsSymbol("(")) return Err("expected '(' after SUM");
+        Advance();
+        PJVM_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+        if (!Peek().IsSymbol(")")) return Err("expected ')' after SUM column");
+        Advance();
+        def->aggregates.push_back(AggregateSpec{AggFn::kSum, ref});
+      } else {
+        PJVM_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+        def->projection.push_back(ref);
+      }
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseFromList(JoinViewDef* def) {
+    while (true) {
+      PJVM_ASSIGN_OR_RETURN(std::string table, ExpectIdent("table name"));
+      std::string alias = table;
+      if (Peek().type == TokenType::kIdent) {
+        alias = Advance().text;
+      }
+      def->bases.push_back(BaseRef{table, alias});
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<PredOp> ParsePredOp() {
+    if (Peek().type != TokenType::kOperator) {
+      return Err("expected comparison operator");
+    }
+    std::string op = Advance().text;
+    if (op == "=") return PredOp::kEq;
+    if (op == "<>" || op == "!=") return PredOp::kNe;
+    if (op == "<") return PredOp::kLt;
+    if (op == "<=") return PredOp::kLe;
+    if (op == ">") return PredOp::kGt;
+    if (op == ">=") return PredOp::kGe;
+    return Err("unknown operator '" + op + "'");
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kInt: {
+        Advance();
+        return Value{static_cast<int64_t>(std::strtoll(tok.text.c_str(),
+                                                       nullptr, 10))};
+      }
+      case TokenType::kDouble: {
+        Advance();
+        return Value{std::strtod(tok.text.c_str(), nullptr)};
+      }
+      case TokenType::kString: {
+        Advance();
+        return Value{tok.text};
+      }
+      default:
+        return Err("expected a literal");
+    }
+  }
+
+  Status ParseConditions(JoinViewDef* def) {
+    while (true) {
+      PJVM_ASSIGN_OR_RETURN(ColumnRef left, ParseColumnRef());
+      PJVM_ASSIGN_OR_RETURN(PredOp op, ParsePredOp());
+      // Column vs column => join edge (must be equality); else selection.
+      if (Peek().type == TokenType::kIdent && Peek(1).IsSymbol(".")) {
+        if (op != PredOp::kEq) {
+          return Err("join predicates must use '='");
+        }
+        PJVM_ASSIGN_OR_RETURN(ColumnRef right, ParseColumnRef());
+        def->edges.push_back(JoinEdge{left, right});
+      } else {
+        PJVM_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+        def->selections.push_back(SelectionPred{left, op, literal});
+      }
+      if (!Peek().IsKeyword("AND")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JoinViewDef> ParseCreateView(const std::string& statement) {
+  PJVM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(statement));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace pjvm::sql

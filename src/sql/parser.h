@@ -1,0 +1,34 @@
+#ifndef PJVM_SQL_PARSER_H_
+#define PJVM_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "view/view_def.h"
+
+namespace pjvm::sql {
+
+/// \brief Parses a CREATE VIEW statement into a JoinViewDef.
+///
+/// Grammar (keywords case-insensitive; JOIN in "CREATE JOIN VIEW" optional):
+///
+///   CREATE [JOIN] VIEW name AS
+///   SELECT ( '*' | alias.col (',' alias.col)* )
+///   FROM table [alias] (',' table [alias])*
+///   WHERE cond (AND cond)*
+///   [PARTITIONED ON alias.col] [';']
+///
+///   cond := alias.col '=' alias.col            -- equi-join edge
+///         | alias.col op literal               -- selection predicate
+///   op   := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+///   literal := integer | double | 'string'
+///
+/// A condition comparing two column references is classified as a join
+/// edge; one comparing a column to a literal as a selection. The result is
+/// *not* validated against a catalog — pass it to ViewManager::RegisterView
+/// (or JoinViewDef::Validate) for that.
+Result<JoinViewDef> ParseCreateView(const std::string& statement);
+
+}  // namespace pjvm::sql
+
+#endif  // PJVM_SQL_PARSER_H_

@@ -1,0 +1,322 @@
+#include "sql/statement.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace pjvm::sql {
+
+namespace {
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](char c) {
+    return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  });
+  return s;
+}
+
+/// Statement-level recursive descent over the lexed tokens. CREATE VIEW is
+/// delegated to ParseCreateView (stripping any trailing USING clause first).
+class StatementParser {
+ public:
+  explicit StatementParser(std::string text) : text_(std::move(text)) {}
+
+  Result<ParsedStatement> Parse() {
+    PJVM_ASSIGN_OR_RETURN(tokens_, Lex(text_));
+    ParsedStatement out;
+    if (Peek().IsKeyword("CREATE")) {
+      if (Peek(1).IsKeyword("VIEW") || Peek(1).IsKeyword("JOIN")) {
+        return ParseCreateViewStatement();
+      }
+      return ParseCreateTable();
+    }
+    if (Peek().type == TokenType::kIdent) {
+      std::string word = Upper(Peek().text);
+      if (word == "INSERT") return ParseInsert();
+      if (word == "DELETE") return ParseDelete();
+      if (word == "SHOW") return ParseShow();
+      if (word == "EXPLAIN") return ParseExplain();
+      if (word == "DROP") return ParseDropView();
+    }
+    if (Peek().IsKeyword("SELECT")) return ParseSelect();
+    return Err("expected CREATE / INSERT / DELETE / SELECT / SHOW / EXPLAIN");
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("parse error at offset " +
+                                   std::to_string(Peek().offset) + " ('" +
+                                   Peek().text + "'): " + msg);
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().type != TokenType::kIdent) {
+      return Err("expected " + std::string(what));
+    }
+    return Advance().text;
+  }
+
+  Status ExpectIdentWord(const char* word) {
+    if (Peek().type != TokenType::kIdent || Upper(Peek().text) != word) {
+      return Err("expected " + std::string(word));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* sym) {
+    if (!Peek().IsSymbol(sym)) return Err("expected '" + std::string(sym) + "'");
+    Advance();
+    return Status::OK();
+  }
+
+  Status EndOfStatement() {
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) return Err("unexpected trailing input");
+    return Status::OK();
+  }
+
+  Result<ValueType> ParseType() {
+    PJVM_ASSIGN_OR_RETURN(std::string name, ExpectIdent("a column type"));
+    std::string upper = Upper(name);
+    if (upper == "INT" || upper == "INT64" || upper == "BIGINT" ||
+        upper == "INTEGER") {
+      return ValueType::kInt64;
+    }
+    if (upper == "DOUBLE" || upper == "FLOAT" || upper == "REAL") {
+      return ValueType::kDouble;
+    }
+    if (upper == "STRING" || upper == "TEXT" || upper == "VARCHAR") {
+      return ValueType::kString;
+    }
+    return Err("unknown column type '" + name + "'");
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kInt:
+        Advance();
+        return Value{
+            static_cast<int64_t>(std::strtoll(tok.text.c_str(), nullptr, 10))};
+      case TokenType::kDouble:
+        Advance();
+        return Value{std::strtod(tok.text.c_str(), nullptr)};
+      case TokenType::kString:
+        Advance();
+        return Value{tok.text};
+      default:
+        return Err("expected a literal");
+    }
+  }
+
+  Result<ParsedStatement> ParseCreateTable() {
+    ParsedStatement out;
+    out.kind = StatementKind::kCreateTable;
+    Advance();  // CREATE
+    PJVM_RETURN_NOT_OK(ExpectIdentWord("TABLE"));
+    PJVM_ASSIGN_OR_RETURN(out.create_table.name, ExpectIdent("table name"));
+    PJVM_RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<Column> cols;
+    while (true) {
+      PJVM_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      PJVM_ASSIGN_OR_RETURN(ValueType type, ParseType());
+      cols.push_back(Column{col, type});
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    PJVM_RETURN_NOT_OK(ExpectSymbol(")"));
+    out.create_table.schema = Schema(std::move(cols));
+    if (Peek().IsKeyword("PARTITIONED")) {
+      Advance();
+      PJVM_RETURN_NOT_OK(Peek().IsKeyword("ON")
+                             ? (Advance(), Status::OK())
+                             : Err("expected ON after PARTITIONED"));
+      PJVM_ASSIGN_OR_RETURN(std::string col, ExpectIdent("partition column"));
+      out.create_table.partition = PartitionSpec::Hash(col);
+    }
+    PJVM_RETURN_NOT_OK(EndOfStatement());
+    return out;
+  }
+
+  Result<ParsedStatement> ParseCreateViewStatement() {
+    // Split off a trailing "USING <method>" (not part of the view grammar).
+    ParsedStatement out;
+    out.kind = StatementKind::kCreateView;
+    std::string view_text = text_;
+    size_t using_pos = Upper(text_).rfind(" USING ");
+    if (using_pos != std::string::npos) {
+      std::string method = Upper(text_.substr(using_pos + 7));
+      // Trim whitespace/semicolons.
+      while (!method.empty() &&
+             (method.back() == ';' || std::isspace(static_cast<unsigned char>(
+                                          method.back())))) {
+        method.pop_back();
+      }
+      if (method == "NAIVE") {
+        out.method = MaintenanceMethod::kNaive;
+      } else if (method == "AR" || method == "AUX" || method == "AUX_RELATION") {
+        out.method = MaintenanceMethod::kAuxRelation;
+      } else if (method == "GI" || method == "GLOBAL_INDEX") {
+        out.method = MaintenanceMethod::kGlobalIndex;
+      } else {
+        return Status::InvalidArgument("unknown maintenance method '" + method +
+                                       "' (try NAIVE, AR, or GI)");
+      }
+      view_text = text_.substr(0, using_pos);
+    }
+    PJVM_ASSIGN_OR_RETURN(out.create_view, ParseCreateView(view_text));
+    return out;
+  }
+
+  Result<std::vector<Row>> ParseValuesLists() {
+    std::vector<Row> rows;
+    PJVM_RETURN_NOT_OK(ExpectIdentWord("VALUES"));
+    while (true) {
+      PJVM_RETURN_NOT_OK(ExpectSymbol("("));
+      Row row;
+      while (true) {
+        PJVM_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        row.push_back(std::move(v));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      PJVM_RETURN_NOT_OK(ExpectSymbol(")"));
+      rows.push_back(std::move(row));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return rows;
+  }
+
+  Result<ParsedStatement> ParseInsert() {
+    ParsedStatement out;
+    out.kind = StatementKind::kInsert;
+    Advance();  // INSERT
+    PJVM_RETURN_NOT_OK(ExpectIdentWord("INTO"));
+    PJVM_ASSIGN_OR_RETURN(out.table, ExpectIdent("table name"));
+    PJVM_ASSIGN_OR_RETURN(out.rows, ParseValuesLists());
+    PJVM_RETURN_NOT_OK(EndOfStatement());
+    return out;
+  }
+
+  Result<ParsedStatement> ParseDelete() {
+    ParsedStatement out;
+    out.kind = StatementKind::kDelete;
+    Advance();  // DELETE
+    PJVM_RETURN_NOT_OK(Peek().IsKeyword("FROM")
+                           ? (Advance(), Status::OK())
+                           : Err("expected FROM after DELETE"));
+    PJVM_ASSIGN_OR_RETURN(out.table, ExpectIdent("table name"));
+    PJVM_ASSIGN_OR_RETURN(out.rows, ParseValuesLists());
+    PJVM_RETURN_NOT_OK(EndOfStatement());
+    return out;
+  }
+
+  Result<ParsedStatement> ParseSelect() {
+    ParsedStatement out;
+    out.kind = StatementKind::kSelect;
+    Advance();  // SELECT
+    PJVM_RETURN_NOT_OK(ExpectSymbol("*"));
+    PJVM_RETURN_NOT_OK(Peek().IsKeyword("FROM")
+                           ? (Advance(), Status::OK())
+                           : Err("expected FROM"));
+    PJVM_ASSIGN_OR_RETURN(out.table, ExpectIdent("table name"));
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      PJVM_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      // Qualified names (t.col) are accepted for view columns.
+      if (Peek().IsSymbol(".")) {
+        Advance();
+        PJVM_ASSIGN_OR_RETURN(std::string rest, ExpectIdent("column name"));
+        col += "." + rest;
+      }
+      if (Peek().type == TokenType::kIdent && Upper(Peek().text) == "BETWEEN") {
+        Advance();
+        PJVM_ASSIGN_OR_RETURN(Value lo, ParseLiteral());
+        if (!Peek().IsKeyword("AND")) return Err("expected AND in BETWEEN");
+        Advance();
+        PJVM_ASSIGN_OR_RETURN(Value hi, ParseLiteral());
+        out.where_range =
+            ParsedStatement::RangePred{col, std::move(lo), std::move(hi)};
+      } else if (Peek().IsOperator("=")) {
+        Advance();
+        PJVM_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        out.where = std::make_pair(col, std::move(v));
+      } else {
+        return Err("expected '=' or BETWEEN in WHERE");
+      }
+    }
+    PJVM_RETURN_NOT_OK(EndOfStatement());
+    return out;
+  }
+
+  Result<ParsedStatement> ParseExplain() {
+    ParsedStatement out;
+    out.kind = StatementKind::kExplain;
+    Advance();  // EXPLAIN
+    PJVM_ASSIGN_OR_RETURN(out.table, ExpectIdent("table name"));
+    PJVM_RETURN_NOT_OK(EndOfStatement());
+    return out;
+  }
+
+  Result<ParsedStatement> ParseDropView() {
+    ParsedStatement out;
+    out.kind = StatementKind::kDropView;
+    Advance();  // DROP
+    if (!Peek().IsKeyword("VIEW")) return Err("only DROP VIEW is supported");
+    Advance();
+    PJVM_ASSIGN_OR_RETURN(out.table, ExpectIdent("view name"));
+    PJVM_RETURN_NOT_OK(EndOfStatement());
+    return out;
+  }
+
+  Result<ParsedStatement> ParseShow() {
+    ParsedStatement out;
+    Advance();  // SHOW
+    if (Peek().type == TokenType::kIdent) {
+      std::string what = Upper(Advance().text);
+      if (what == "TABLES") {
+        out.kind = StatementKind::kShowTables;
+        PJVM_RETURN_NOT_OK(EndOfStatement());
+        return out;
+      }
+      if (what == "COST") {
+        out.kind = StatementKind::kShowCost;
+        PJVM_RETURN_NOT_OK(EndOfStatement());
+        return out;
+      }
+    }
+    return Err("expected SHOW TABLES or SHOW COST");
+  }
+
+  std::string text_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedStatement> ParseStatement(const std::string& text) {
+  return StatementParser(text).Parse();
+}
+
+}  // namespace pjvm::sql

@@ -1,0 +1,69 @@
+#ifndef PJVM_SQL_STATEMENT_H_
+#define PJVM_SQL_STATEMENT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "view/maintainer.h"
+#include "view/view_def.h"
+
+namespace pjvm::sql {
+
+/// \brief Kinds of statement the shell dialect supports.
+enum class StatementKind {
+  /// CREATE TABLE name (col TYPE, ...) [PARTITIONED ON col] — TYPE is one of
+  /// INT/INT64/BIGINT, DOUBLE/FLOAT, STRING/TEXT/VARCHAR.
+  kCreateTable = 0,
+  /// CREATE [JOIN] VIEW ... [USING NAIVE|AR|AUX|GI|GLOBAL_INDEX] — see
+  /// ParseCreateView for the view grammar; USING defaults to AR.
+  kCreateView,
+  /// INSERT INTO t VALUES (lit, ...) [, (lit, ...)]*
+  kInsert,
+  /// DELETE FROM t VALUES (lit, ...) — deletes one row per exact tuple
+  /// (this engine identifies rows by content).
+  kDelete,
+  /// SELECT * FROM t [WHERE col = literal | WHERE col BETWEEN lo AND hi]
+  kSelect,
+  /// SHOW TABLES
+  kShowTables,
+  /// SHOW COST
+  kShowCost,
+  /// EXPLAIN table — for every registered view over `table`, the
+  /// maintenance method, the statistics-driven plan a delta on that table
+  /// would use, and its estimated cost.
+  kExplain,
+  /// DROP VIEW name — unregisters the view and releases its structures.
+  kDropView,
+};
+
+/// \brief A parsed statement; the active members depend on `kind`.
+struct ParsedStatement {
+  StatementKind kind = StatementKind::kShowTables;
+
+  TableDef create_table;                       // kCreateTable
+  JoinViewDef create_view;                     // kCreateView
+  MaintenanceMethod method = MaintenanceMethod::kAuxRelation;  // kCreateView
+
+  std::string table;                           // kInsert/kDelete/kSelect
+  std::vector<Row> rows;                       // kInsert/kDelete
+  /// SELECT ... WHERE col = literal.
+  std::optional<std::pair<std::string, Value>> where;
+  /// SELECT ... WHERE col BETWEEN lo AND hi (inclusive).
+  struct RangePred {
+    std::string column;
+    Value lo;
+    Value hi;
+  };
+  std::optional<RangePred> where_range;
+};
+
+/// Parses one statement of the shell dialect.
+Result<ParsedStatement> ParseStatement(const std::string& text);
+
+}  // namespace pjvm::sql
+
+#endif  // PJVM_SQL_STATEMENT_H_

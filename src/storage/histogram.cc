@@ -1,0 +1,107 @@
+#include "storage/histogram.h"
+
+#include <algorithm>
+
+namespace pjvm {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<Value> values,
+                                             int num_buckets) {
+  EquiDepthHistogram hist;
+  hist.total_rows_ = values.size();
+  if (values.empty() || num_buckets <= 0) return hist;
+  std::sort(values.begin(), values.end());
+  size_t target_depth =
+      std::max<size_t>(1, (values.size() + num_buckets - 1) / num_buckets);
+  size_t i = 0;
+  while (i < values.size()) {
+    Bucket bucket;
+    bucket.lo = values[i];
+    bucket.rows = 0;
+    bucket.distinct = 0;
+    Value prev = values[i];
+    bool first = true;
+    // Fill to the target depth, but never split one value across buckets
+    // (all duplicates of a value stay together so EstimateEq is exact for
+    // hot keys).
+    while (i < values.size()) {
+      if (bucket.rows >= target_depth && values[i] != prev) break;
+      if (first || values[i] != prev) {
+        ++bucket.distinct;
+        prev = values[i];
+        first = false;
+      }
+      ++bucket.rows;
+      bucket.hi = values[i];
+      ++i;
+    }
+    hist.buckets_.push_back(std::move(bucket));
+  }
+  return hist;
+}
+
+double EquiDepthHistogram::EstimateEq(const Value& v) const {
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.lo <= v && v <= bucket.hi) {
+      return static_cast<double>(bucket.rows) /
+             static_cast<double>(bucket.distinct);
+    }
+  }
+  return 0.0;
+}
+
+double EquiDepthHistogram::EstimateRange(const Value& lo,
+                                         const Value& hi) const {
+  if (hi < lo) return 0.0;
+  double rows = 0.0;
+  for (const Bucket& bucket : buckets_) {
+    if (hi < bucket.lo || bucket.hi < lo) continue;
+    bool fully_inside = lo <= bucket.lo && bucket.hi <= hi;
+    if (fully_inside) {
+      rows += static_cast<double>(bucket.rows);
+    } else {
+      // Partial overlap: assume the overlapped fraction of distinct values,
+      // at the bucket's average depth. Only numeric ranges interpolate; a
+      // partially-overlapped non-numeric bucket contributes half.
+      double fraction = 0.5;
+      if (bucket.lo.is_int64() && bucket.hi.is_int64() &&
+          bucket.hi.AsInt64() > bucket.lo.AsInt64()) {
+        double span =
+            static_cast<double>(bucket.hi.AsInt64() - bucket.lo.AsInt64());
+        double olo = std::max(lo.AsInt64(), bucket.lo.AsInt64());
+        double ohi = std::min(hi.AsInt64(), bucket.hi.AsInt64());
+        fraction = (ohi - olo + 1) / (span + 1);
+      } else if (bucket.lo.is_double() && bucket.hi.is_double() &&
+                 bucket.hi.AsDouble() > bucket.lo.AsDouble()) {
+        double span = bucket.hi.AsDouble() - bucket.lo.AsDouble();
+        double olo = std::max(lo.AsDouble(), bucket.lo.AsDouble());
+        double ohi = std::min(hi.AsDouble(), bucket.hi.AsDouble());
+        fraction = (ohi - olo) / span;
+      }
+      rows += fraction * static_cast<double>(bucket.rows);
+    }
+  }
+  return rows;
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::string out = "hist{rows=" + std::to_string(total_rows_);
+  for (const Bucket& bucket : buckets_) {
+    out += " [" + bucket.lo.ToString() + ".." + bucket.hi.ToString() + "]x" +
+           std::to_string(bucket.rows) + "/" + std::to_string(bucket.distinct);
+  }
+  out += "}";
+  return out;
+}
+
+EquiDepthHistogram BuildFragmentHistogram(const TableFragment& fragment,
+                                          int column, int num_buckets) {
+  std::vector<Value> values;
+  values.reserve(fragment.num_rows());
+  fragment.ForEach([&](LocalRowId, const Row& row) {
+    values.push_back(row[column]);
+    return true;
+  });
+  return EquiDepthHistogram::Build(std::move(values), num_buckets);
+}
+
+}  // namespace pjvm

@@ -1,0 +1,52 @@
+#ifndef PJVM_STORAGE_ROW_ID_H_
+#define PJVM_STORAGE_ROW_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <tuple>
+
+namespace pjvm {
+
+/// \brief Identifier of a row within one node's fragment of a table.
+///
+/// Local row ids are stable for the lifetime of the row: they survive other
+/// rows' inserts and deletes, and slots are recycled only after a delete.
+using LocalRowId = uint64_t;
+
+/// \brief Identifier of a row anywhere in the parallel system.
+///
+/// This is the paper's "global row id": the pair (data server node, local
+/// row id at the node). Global index entries are lists of these.
+struct GlobalRowId {
+  int32_t node = -1;
+  LocalRowId lrid = 0;
+
+  friend bool operator==(const GlobalRowId& a, const GlobalRowId& b) {
+    return a.node == b.node && a.lrid == b.lrid;
+  }
+  friend bool operator!=(const GlobalRowId& a, const GlobalRowId& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const GlobalRowId& a, const GlobalRowId& b) {
+    return std::tie(a.node, a.lrid) < std::tie(b.node, b.lrid);
+  }
+
+  std::string ToString() const {
+    return "(" + std::to_string(node) + ", " + std::to_string(lrid) + ")";
+  }
+};
+
+struct GlobalRowIdHash {
+  size_t operator()(const GlobalRowId& g) const {
+    uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(g.node)) << 48) ^
+                 g.lrid;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_STORAGE_ROW_ID_H_

@@ -1,0 +1,37 @@
+#include "storage/stats.h"
+
+#include <unordered_set>
+
+#include "common/value.h"
+
+namespace pjvm {
+
+ColumnStats ComputeColumnStats(const TableFragment& fragment, int column) {
+  ColumnStats stats;
+  // Use the index's distinct-key count when one exists; otherwise scan.
+  const LocalIndex* index = fragment.FindIndex(column);
+  if (index != nullptr) {
+    stats.row_count = index->tree.num_items();
+    stats.distinct_count = index->tree.num_keys();
+    return stats;
+  }
+  std::unordered_set<uint64_t> seen;
+  fragment.ForEach([&](LocalRowId, const Row& row) {
+    ++stats.row_count;
+    seen.insert(row[column].Hash());
+    return true;
+  });
+  stats.distinct_count = seen.size();
+  return stats;
+}
+
+ColumnStats MergeColumnStats(const std::vector<ColumnStats>& parts) {
+  ColumnStats out;
+  for (const ColumnStats& p : parts) {
+    out.row_count += p.row_count;
+    out.distinct_count += p.distinct_count;
+  }
+  return out;
+}
+
+}  // namespace pjvm

@@ -1,0 +1,35 @@
+#ifndef PJVM_STORAGE_STATS_H_
+#define PJVM_STORAGE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table_fragment.h"
+
+namespace pjvm {
+
+/// \brief Cardinality statistics for one column of a fragment or table.
+struct ColumnStats {
+  size_t row_count = 0;
+  size_t distinct_count = 0;
+
+  /// Average number of rows per distinct value (the paper's per-tuple join
+  /// fanout N when this column is a join attribute). 0 when empty.
+  double AvgFanout() const {
+    if (distinct_count == 0) return 0.0;
+    return static_cast<double>(row_count) / static_cast<double>(distinct_count);
+  }
+};
+
+/// Exact column stats computed by scanning one fragment.
+ColumnStats ComputeColumnStats(const TableFragment& fragment, int column);
+
+/// Merges per-fragment stats of the same column into table-level stats.
+/// Distinct counts are summed, which is exact when the table is partitioned
+/// on this column and an upper bound otherwise (good enough for planning).
+ColumnStats MergeColumnStats(const std::vector<ColumnStats>& parts);
+
+}  // namespace pjvm
+
+#endif  // PJVM_STORAGE_STATS_H_

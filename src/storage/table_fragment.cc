@@ -1,0 +1,230 @@
+#include "storage/table_fragment.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pjvm {
+
+TableFragment::TableFragment(Schema schema, int rows_per_page)
+    : schema_(std::move(schema)), heap_(rows_per_page) {}
+
+Status TableFragment::CreateIndex(int column, bool clustered) {
+  if (column < 0 || column >= schema_.num_columns()) {
+    return Status::InvalidArgument("index column out of range");
+  }
+  if (FindIndex(column) != nullptr) {
+    return Status::AlreadyExists("index on column " + std::to_string(column) +
+                                 " already exists");
+  }
+  if (clustered && has_clustered_) {
+    return Status::InvalidArgument(
+        "fragment already has a clustered index; a table can be clustered on "
+        "at most one attribute");
+  }
+  auto index = std::make_unique<LocalIndex>(column, clustered);
+  // Backfill from existing rows.
+  heap_.ForEach([&](LocalRowId lrid, const Row& row) {
+    index->tree.Insert(row[column], lrid);
+    return true;
+  });
+  if (clustered) has_clustered_ = true;
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+const LocalIndex* TableFragment::FindIndex(int column) const {
+  for (const auto& idx : indexes_) {
+    if (idx->column == column) return idx.get();
+  }
+  return nullptr;
+}
+
+std::vector<const LocalIndex*> TableFragment::Indexes() const {
+  std::vector<const LocalIndex*> out;
+  out.reserve(indexes_.size());
+  for (const auto& idx : indexes_) out.push_back(idx.get());
+  return out;
+}
+
+void TableFragment::EnableRowLookup() {
+  if (row_lookup_enabled_) return;
+  row_lookup_enabled_ = true;
+  heap_.ForEach([&](LocalRowId lrid, const Row& row) {
+    row_lookup_[HashRow(row)].push_back(lrid);
+    return true;
+  });
+}
+
+Result<LocalRowId> TableFragment::Insert(Row row) {
+  PJVM_RETURN_NOT_OK(schema_.ValidateRow(row));
+  uint64_t row_hash = row_lookup_enabled_ ? HashRow(row) : 0;
+  LocalRowId lrid = heap_.Insert(std::move(row));
+  const Row& stored = *heap_.Get(lrid);
+  IndexInsert(lrid, stored);
+  if (row_lookup_enabled_) row_lookup_[row_hash].push_back(lrid);
+  return lrid;
+}
+
+Status TableFragment::DeleteByRid(LocalRowId lrid) {
+  const Row* row = heap_.Get(lrid);
+  if (row == nullptr) {
+    return Status::NotFound("fragment: no row at lrid " + std::to_string(lrid));
+  }
+  PJVM_RETURN_NOT_OK(IndexRemove(lrid, *row));
+  if (row_lookup_enabled_) {
+    auto it = row_lookup_.find(HashRow(*row));
+    if (it != row_lookup_.end()) {
+      auto& rids = it->second;
+      rids.erase(std::find(rids.begin(), rids.end(), lrid));
+      if (rids.empty()) row_lookup_.erase(it);
+    }
+  }
+  return heap_.Delete(lrid);
+}
+
+Result<LocalRowId> TableFragment::FindExact(const Row& row) const {
+  if (row_lookup_enabled_) {
+    auto it = row_lookup_.find(HashRow(row));
+    if (it != row_lookup_.end()) {
+      for (LocalRowId lrid : it->second) {
+        const Row* candidate = heap_.Get(lrid);
+        if (candidate != nullptr && *candidate == row) return lrid;
+      }
+    }
+    return Status::NotFound("fragment: row not found: " + RowToString(row));
+  }
+  LocalRowId found = 0;
+  bool ok = false;
+  heap_.ForEach([&](LocalRowId lrid, const Row& candidate) {
+    if (candidate == row) {
+      found = lrid;
+      ok = true;
+      return false;
+    }
+    return true;
+  });
+  if (!ok) {
+    return Status::NotFound("fragment: row not found: " + RowToString(row));
+  }
+  return found;
+}
+
+Result<LocalRowId> TableFragment::DeleteExact(const Row& row) {
+  PJVM_ASSIGN_OR_RETURN(LocalRowId lrid, FindExact(row));
+  PJVM_RETURN_NOT_OK(DeleteByRid(lrid));
+  return lrid;
+}
+
+Result<ProbeResult> TableFragment::Probe(int column, const Value& key) const {
+  const LocalIndex* index = FindIndex(column);
+  if (index == nullptr) {
+    return Status::InvalidArgument("no index on column " +
+                                   std::to_string(column));
+  }
+  ProbeResult out;
+  const auto* list = index->tree.Find(key);
+  if (list != nullptr) {
+    std::set<uint64_t> pages;
+    out.rids = *list;
+    out.rows.reserve(list->size());
+    for (LocalRowId lrid : *list) {
+      out.rows.push_back(*heap_.Get(lrid));
+      pages.insert(heap_.PageOf(lrid));
+    }
+    out.pages_touched = pages.size();
+  }
+  return out;
+}
+
+ProbeResult TableFragment::ScanEq(int column, const Value& key) const {
+  ProbeResult out;
+  std::set<uint64_t> pages;
+  heap_.ForEach([&](LocalRowId lrid, const Row& row) {
+    if (row[column] == key) {
+      out.rows.push_back(row);
+      out.rids.push_back(lrid);
+      pages.insert(heap_.PageOf(lrid));
+    }
+    return true;
+  });
+  out.pages_touched = pages.size();
+  return out;
+}
+
+std::vector<Row> TableFragment::AllRows() const {
+  std::vector<Row> rows;
+  rows.reserve(heap_.num_rows());
+  heap_.ForEach([&](LocalRowId, const Row& row) {
+    rows.push_back(row);
+    return true;
+  });
+  return rows;
+}
+
+void TableFragment::IndexInsert(LocalRowId lrid, const Row& row) {
+  for (auto& idx : indexes_) {
+    idx->tree.Insert(row[idx->column], lrid);
+  }
+}
+
+Status TableFragment::IndexRemove(LocalRowId lrid, const Row& row) {
+  for (auto& idx : indexes_) {
+    PJVM_RETURN_NOT_OK(idx->tree.Remove(row[idx->column], lrid));
+  }
+  return Status::OK();
+}
+
+Status TableFragment::CheckInvariants() const {
+  for (const auto& idx : indexes_) {
+    PJVM_RETURN_NOT_OK(idx->tree.CheckInvariants());
+    if (idx->tree.num_items() != heap_.num_rows()) {
+      return Status::Internal(
+          "index on column " + std::to_string(idx->column) + " has " +
+          std::to_string(idx->tree.num_items()) + " items but heap has " +
+          std::to_string(heap_.num_rows()) + " rows");
+    }
+    // Every index entry must point at a live row with the indexed key.
+    Status st = Status::OK();
+    idx->tree.ForEachEntry(
+        [&](const Value& key, const std::vector<LocalRowId>& rids) {
+          for (LocalRowId lrid : rids) {
+            const Row* row = heap_.Get(lrid);
+            if (row == nullptr) {
+              st = Status::Internal("index entry points at dead rid " +
+                                    std::to_string(lrid));
+              return false;
+            }
+            if ((*row)[idx->column] != key) {
+              st = Status::Internal("index entry key " + key.ToString() +
+                                    " mismatches row " + RowToString(*row));
+              return false;
+            }
+          }
+          return true;
+        });
+    PJVM_RETURN_NOT_OK(st);
+  }
+  if (row_lookup_enabled_) {
+    size_t counted = 0;
+    for (const auto& [hash, rids] : row_lookup_) {
+      counted += rids.size();
+      for (LocalRowId lrid : rids) {
+        const Row* row = heap_.Get(lrid);
+        if (row == nullptr) {
+          return Status::Internal("row-lookup entry points at dead rid");
+        }
+        if (HashRow(*row) != hash) {
+          return Status::Internal("row-lookup hash mismatch");
+        }
+      }
+    }
+    if (counted != heap_.num_rows()) {
+      return Status::Internal("row-lookup covers " + std::to_string(counted) +
+                              " rows, heap has " +
+                              std::to_string(heap_.num_rows()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pjvm

@@ -1,0 +1,124 @@
+#ifndef PJVM_STORAGE_TABLE_FRAGMENT_H_
+#define PJVM_STORAGE_TABLE_FRAGMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "storage/btree.h"
+#include "storage/heap_file.h"
+#include "storage/row_id.h"
+
+namespace pjvm {
+
+/// \brief A secondary access path on one fragment column.
+struct LocalIndex {
+  int column = -1;
+  /// Clustered means the fragment is physically organized so that all rows
+  /// with one key value are co-located (the paper charges zero FETCHes for a
+  /// clustered probe on that assumption; a non-clustered probe pays one FETCH
+  /// per matching row).
+  bool clustered = false;
+  BPlusTree<LocalRowId> tree;
+
+  LocalIndex(int col, bool is_clustered)
+      : column(col), clustered(is_clustered) {}
+};
+
+/// \brief Result of an index probe: the matching rows and their rids.
+struct ProbeResult {
+  std::vector<Row> rows;
+  std::vector<LocalRowId> rids;
+  /// Distinct heap pages the matches live on (what a clustered probe pays).
+  size_t pages_touched = 0;
+};
+
+/// \brief One node's horizontal fragment of a table: a heap file plus any
+/// local indexes, and optionally an exact-row lookup structure.
+///
+/// Fragments are the unit the engine's per-node operations act on; all cost
+/// accounting (SEARCH/FETCH/INSERT) is done by the caller, which knows the
+/// node identity, using the counts this class reports.
+class TableFragment {
+ public:
+  explicit TableFragment(Schema schema, int rows_per_page = 64);
+
+  TableFragment(const TableFragment&) = delete;
+  TableFragment& operator=(const TableFragment&) = delete;
+
+  const Schema& schema() const { return schema_; }
+
+  /// Creates an index on `column`. At most one index per fragment may be
+  /// clustered, and at most one index per column may exist.
+  Status CreateIndex(int column, bool clustered);
+
+  bool HasIndexOn(int column) const { return FindIndex(column) != nullptr; }
+  const LocalIndex* FindIndex(int column) const;
+  /// All indexes, for callers that need to visit every access path (e.g.
+  /// index-key locking).
+  std::vector<const LocalIndex*> Indexes() const;
+
+  /// Enables O(1) lookup of rows by full content (used by view fragments so
+  /// incremental deletes do not scan).
+  void EnableRowLookup();
+
+  /// Inserts a row (validated against the schema), maintaining all indexes.
+  Result<LocalRowId> Insert(Row row);
+
+  /// Deletes the row at `lrid`, maintaining all indexes.
+  Status DeleteByRid(LocalRowId lrid);
+
+  /// Deletes one row equal to `row` (bag semantics: exactly one instance).
+  /// Uses the row-lookup structure when enabled, otherwise scans.
+  Result<LocalRowId> DeleteExact(const Row& row);
+
+  /// Finds the rid of one row equal to `row` without deleting it.
+  Result<LocalRowId> FindExact(const Row& row) const;
+
+  /// All rows whose `column` equals `key`, via the index on that column.
+  /// Returns InvalidArgument if no such index exists.
+  Result<ProbeResult> Probe(int column, const Value& key) const;
+
+  /// All rows whose `column` equals `key`, by scanning (no index needed).
+  ProbeResult ScanEq(int column, const Value& key) const;
+
+  const Row* Get(LocalRowId lrid) const { return heap_.Get(lrid); }
+
+  /// Visits every live row. Returning false stops.
+  void ForEach(const std::function<bool(LocalRowId, const Row&)>& fn) const {
+    heap_.ForEach(fn);
+  }
+
+  /// Copies out all live rows (test/utility convenience).
+  std::vector<Row> AllRows() const;
+
+  size_t num_rows() const { return heap_.num_rows(); }
+  size_t num_pages() const { return heap_.num_pages(); }
+  size_t byte_size() const { return heap_.byte_size(); }
+  const HeapFile& heap() const { return heap_; }
+
+  /// Internal consistency: every index entry points at a live row with the
+  /// indexed key, and every live row appears in every index.
+  Status CheckInvariants() const;
+
+ private:
+  void IndexInsert(LocalRowId lrid, const Row& row);
+  Status IndexRemove(LocalRowId lrid, const Row& row);
+
+  Schema schema_;
+  HeapFile heap_;
+  std::vector<std::unique_ptr<LocalIndex>> indexes_;
+  bool has_clustered_ = false;
+
+  bool row_lookup_enabled_ = false;
+  std::unordered_map<uint64_t, std::vector<LocalRowId>> row_lookup_;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_STORAGE_TABLE_FRAGMENT_H_

@@ -1,0 +1,115 @@
+#include "txn/lock_manager.h"
+
+namespace pjvm {
+
+const char* LockModeToString(LockMode mode) {
+  switch (mode) {
+    case LockMode::kShared:
+      return "S";
+    case LockMode::kExclusive:
+      return "X";
+  }
+  return "?";
+}
+
+std::string LockId::ToString() const {
+  std::string out = "node" + std::to_string(node) + "/" + table;
+  if (whole_table) {
+    out += "/*";
+  } else {
+    out += "/#" + std::to_string(key_hash);
+  }
+  return out;
+}
+
+Status LockManager::CheckConflicts(uint64_t txn_id, const LockId& id,
+                                   LockMode mode) const {
+  auto conflicts_with = [&](const LockId& other_id) -> Status {
+    auto it = locks_.find(other_id);
+    if (it == locks_.end()) return Status::OK();
+    for (const auto& [holder, held_mode] : it->second.holders) {
+      if (holder == txn_id) continue;
+      if (!Compatible(held_mode, mode)) {
+        return Status::Aborted("lock conflict on " + other_id.ToString() +
+                               ": txn " + std::to_string(txn_id) + " wants " +
+                               LockModeToString(mode) + ", txn " +
+                               std::to_string(holder) + " holds " +
+                               LockModeToString(held_mode));
+      }
+    }
+    return Status::OK();
+  };
+
+  // Direct conflicts on the same resource.
+  PJVM_RETURN_NOT_OK(conflicts_with(id));
+  if (id.whole_table) {
+    // A table lock conflicts with any key lock of the fragment held by
+    // someone else (scan the fragment's key entries).
+    LockId lo{id.node, id.table, 0, false};
+    for (auto it = locks_.lower_bound(lo); it != locks_.end(); ++it) {
+      if (it->first.node != id.node || it->first.table != id.table) break;
+      if (it->first.whole_table) continue;
+      PJVM_RETURN_NOT_OK(conflicts_with(it->first));
+    }
+  } else {
+    // A key lock conflicts with a fragment-level lock.
+    PJVM_RETURN_NOT_OK(conflicts_with(LockId::Table(id.node, id.table)));
+  }
+  return Status::OK();
+}
+
+Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
+  // Already held at sufficient strength?
+  auto it = locks_.find(id);
+  if (it != locks_.end()) {
+    auto held = it->second.holders.find(txn_id);
+    if (held != it->second.holders.end()) {
+      if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+        return Status::OK();
+      }
+      // Upgrade request: allowed only if sole holder of anything
+      // conflicting.
+    }
+  }
+  PJVM_RETURN_NOT_OK(CheckConflicts(txn_id, id, mode));
+  Entry& entry = locks_[id];
+  LockMode& held = entry.holders[txn_id];
+  held = (held == LockMode::kExclusive) ? LockMode::kExclusive : mode;
+  if (mode == LockMode::kExclusive) held = LockMode::kExclusive;
+  by_txn_[txn_id].insert(id);
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  auto it = by_txn_.find(txn_id);
+  if (it == by_txn_.end()) return;
+  for (const LockId& id : it->second) {
+    auto entry = locks_.find(id);
+    if (entry == locks_.end()) continue;
+    entry->second.holders.erase(txn_id);
+    if (entry->second.holders.empty()) locks_.erase(entry);
+  }
+  by_txn_.erase(it);
+}
+
+size_t LockManager::HeldCount(uint64_t txn_id) const {
+  auto it = by_txn_.find(txn_id);
+  return it == by_txn_.end() ? 0 : it->second.size();
+}
+
+bool LockManager::Holds(uint64_t txn_id, const LockId& id,
+                        LockMode mode) const {
+  auto it = locks_.find(id);
+  if (it == locks_.end()) return false;
+  auto held = it->second.holders.find(txn_id);
+  if (held == it->second.holders.end()) return false;
+  return held->second == LockMode::kExclusive || mode == LockMode::kShared;
+}
+
+size_t LockManager::TotalLocks() const {
+  size_t count = 0;
+  for (const auto& [id, entry] : locks_) count += entry.holders.size();
+  return count;
+}
+
+}  // namespace pjvm

@@ -1,0 +1,101 @@
+#include "txn/txn_manager.h"
+
+namespace pjvm {
+
+uint64_t TxnManager::Begin() {
+  uint64_t id = next_txn_id_++;
+  states_[id] = TxnState::kActive;
+  return id;
+}
+
+TxnState TxnManager::state(uint64_t txn_id) const {
+  auto it = states_.find(txn_id);
+  if (it == states_.end()) return TxnState::kAborted;
+  return it->second;
+}
+
+bool TxnManager::IsCommitted(uint64_t txn_id) const {
+  if (txn_id == kAutoCommitTxnId) return true;
+  return committed_ids_.count(txn_id) > 0;
+}
+
+bool TxnManager::HasActive() const {
+  for (const auto& [id, state] : states_) {
+    if (state == TxnState::kActive || state == TxnState::kPreparing) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status TxnManager::MarkPreparing(uint64_t txn_id) {
+  auto it = states_.find(txn_id);
+  if (it == states_.end() || it->second != TxnState::kActive) {
+    return Status::Aborted("txn " + std::to_string(txn_id) + " is not active");
+  }
+  it->second = TxnState::kPreparing;
+  return Status::OK();
+}
+
+Status TxnManager::LogCommitDecision(uint64_t txn_id) {
+  auto it = states_.find(txn_id);
+  if (it == states_.end() ||
+      (it->second != TxnState::kActive && it->second != TxnState::kPreparing)) {
+    return Status::Aborted("txn " + std::to_string(txn_id) +
+                           " cannot commit from its current state");
+  }
+  it->second = TxnState::kCommitted;
+  committed_ids_.insert(txn_id);
+  return Status::OK();
+}
+
+Status TxnManager::MarkAborted(uint64_t txn_id) {
+  auto it = states_.find(txn_id);
+  if (it != states_.end() && it->second == TxnState::kCommitted) {
+    return Status::Internal("txn " + std::to_string(txn_id) +
+                            " already committed; cannot abort");
+  }
+  states_[txn_id] = TxnState::kAborted;
+  return Status::OK();
+}
+
+void TxnManager::PushUndo(uint64_t txn_id, UndoOp op) {
+  undo_[txn_id].push_back(std::move(op));
+}
+
+std::vector<UndoOp> TxnManager::TakeUndoReversed(uint64_t txn_id) {
+  std::vector<UndoOp> ops;
+  auto it = undo_.find(txn_id);
+  if (it == undo_.end()) return ops;
+  ops.assign(it->second.rbegin(), it->second.rend());
+  undo_.erase(it);
+  return ops;
+}
+
+void TxnManager::DiscardUndo(uint64_t txn_id) { undo_.erase(txn_id); }
+
+void TxnManager::AddParticipant(uint64_t txn_id, int node) {
+  participants_[txn_id].insert(node);
+}
+
+const std::set<int>& TxnManager::participants(uint64_t txn_id) {
+  return participants_[txn_id];
+}
+
+bool TxnManager::ShouldFailAt(FailurePoint point) {
+  if (failure_ == point && point != FailurePoint::kNone) {
+    failure_ = FailurePoint::kNone;
+    return true;
+  }
+  return false;
+}
+
+void TxnManager::CrashAndRecover() {
+  for (auto& [id, state] : states_) {
+    if (state != TxnState::kCommitted) state = TxnState::kAborted;
+  }
+  undo_.clear();
+  failure_ = FailurePoint::kNone;
+}
+
+}  // namespace pjvm

@@ -1,0 +1,117 @@
+#ifndef PJVM_TXN_TXN_MANAGER_H_
+#define PJVM_TXN_TXN_MANAGER_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "storage/row_id.h"
+
+namespace pjvm {
+
+/// Transaction id 0 denotes autocommit: single operations outside an
+/// explicit transaction, always considered committed.
+inline constexpr uint64_t kAutoCommitTxnId = 0;
+
+/// \brief Lifecycle state of a transaction at the coordinator.
+enum class TxnState {
+  kActive = 0,
+  kPreparing,
+  kCommitted,
+  kAborted,
+};
+
+/// \brief Points where tests may inject a coordinator/system crash during
+/// two-phase commit.
+enum class FailurePoint {
+  kNone = 0,
+  /// Crash before any participant prepared: transaction must roll back.
+  kBeforePrepare,
+  /// Crash after all participants prepared but before the coordinator logged
+  /// its decision: transaction must roll back (presumed abort).
+  kAfterPrepare,
+  /// Crash after the coordinator logged commit but before participants were
+  /// told: transaction must still commit on recovery.
+  kAfterDecision,
+};
+
+/// \brief One compensating action for rolling back an in-flight transaction.
+///
+/// Undo is by row content (delete what was inserted / re-insert what was
+/// deleted), applied in reverse order.
+struct UndoOp {
+  enum class Kind { kDeleteInserted, kReinsertDeleted } kind;
+  int node;
+  std::string table;
+  Row row;
+};
+
+/// \brief Transaction coordinator: ids, states, the durable decision log,
+/// and per-transaction undo lists.
+///
+/// The execution engine (ParallelSystem) drives the 2PC protocol; this class
+/// holds the authoritative state it reads during recovery.
+class TxnManager {
+ public:
+  TxnManager() = default;
+
+  /// Starts a transaction and returns its id (> 0).
+  uint64_t Begin();
+
+  TxnState state(uint64_t txn_id) const;
+  bool IsActive(uint64_t txn_id) const {
+    return state(txn_id) == TxnState::kActive;
+  }
+
+  /// True iff the coordinator durably decided commit (autocommit always is).
+  bool IsCommitted(uint64_t txn_id) const;
+
+  /// True while any transaction is active or preparing.
+  bool HasActive() const;
+
+  /// Transitions used by the engine's 2PC driver.
+  Status MarkPreparing(uint64_t txn_id);
+  /// Durably logs the commit decision (the 2PC "commit point").
+  Status LogCommitDecision(uint64_t txn_id);
+  Status MarkAborted(uint64_t txn_id);
+
+  /// Records a compensating action for an in-flight transaction.
+  void PushUndo(uint64_t txn_id, UndoOp op);
+  /// Takes (and clears) the undo list, most recent first.
+  std::vector<UndoOp> TakeUndoReversed(uint64_t txn_id);
+  /// Drops the undo list (on commit).
+  void DiscardUndo(uint64_t txn_id);
+
+  /// Participants that executed writes for this transaction.
+  void AddParticipant(uint64_t txn_id, int node);
+  const std::set<int>& participants(uint64_t txn_id);
+
+  /// Failure injection for tests; consumed on first trigger.
+  void InjectFailure(FailurePoint point) { failure_ = point; }
+  /// Returns true (and clears the injection) when `point` matches.
+  bool ShouldFailAt(FailurePoint point);
+
+  /// Ids of all transactions whose decision log says commit.
+  const std::set<uint64_t>& committed_ids() const { return committed_ids_; }
+
+  /// Simulated coordinator crash: every non-decided transaction becomes
+  /// aborted (presumed abort); undo lists are dropped (state is rebuilt from
+  /// logs, not undone live).
+  void CrashAndRecover();
+
+ private:
+  uint64_t next_txn_id_ = 1;
+  std::unordered_map<uint64_t, TxnState> states_;
+  std::unordered_map<uint64_t, std::vector<UndoOp>> undo_;
+  std::unordered_map<uint64_t, std::set<int>> participants_;
+  std::set<uint64_t> committed_ids_;
+  FailurePoint failure_ = FailurePoint::kNone;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_TXN_TXN_MANAGER_H_

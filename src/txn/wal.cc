@@ -1,0 +1,49 @@
+#include "txn/wal.h"
+
+namespace pjvm {
+
+const char* LogRecordTypeToString(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kInsert:
+      return "INSERT";
+    case LogRecordType::kDelete:
+      return "DELETE";
+    case LogRecordType::kPrepare:
+      return "PREPARE";
+    case LogRecordType::kCommit:
+      return "COMMIT";
+    case LogRecordType::kAbort:
+      return "ABORT";
+  }
+  return "UNKNOWN";
+}
+
+std::string LogRecord::ToString() const {
+  std::string out = "[" + std::to_string(lsn) + " txn=" + std::to_string(txn_id) +
+                    " " + LogRecordTypeToString(type);
+  if (!table.empty()) out += " " + table;
+  if (!row.empty()) out += " " + RowToString(row);
+  out += "]";
+  return out;
+}
+
+uint64_t Wal::Append(LogRecord record) {
+  record.lsn = next_lsn_++;
+  uint64_t lsn = record.lsn;
+  records_.push_back(std::move(record));
+  return lsn;
+}
+
+void Wal::ReplayCommitted(
+    const std::function<bool(uint64_t)>& is_committed,
+    const std::function<void(const LogRecord&)>& apply) const {
+  for (const LogRecord& rec : records_) {
+    if (rec.type != LogRecordType::kInsert && rec.type != LogRecordType::kDelete) {
+      continue;
+    }
+    if (!is_committed(rec.txn_id)) continue;
+    apply(rec);
+  }
+}
+
+}  // namespace pjvm

@@ -1,0 +1,66 @@
+#ifndef PJVM_TXN_WAL_H_
+#define PJVM_TXN_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+
+namespace pjvm {
+
+/// \brief Kind of a write-ahead-log record.
+enum class LogRecordType {
+  kInsert = 0,
+  kDelete,
+  kPrepare,
+  kCommit,
+  kAbort,
+};
+
+const char* LogRecordTypeToString(LogRecordType type);
+
+/// \brief One durable log record on one node.
+///
+/// Data records identify rows by content rather than by row id so that
+/// replay is insensitive to row-id recycling (aborted transactions consume
+/// ids on the live path but are skipped during replay).
+struct LogRecord {
+  uint64_t lsn = 0;
+  uint64_t txn_id = 0;
+  LogRecordType type = LogRecordType::kInsert;
+  std::string table;
+  Row row;
+
+  std::string ToString() const;
+};
+
+/// \brief A per-node write-ahead log.
+///
+/// Appends are durable immediately (the simulated failure model loses all
+/// in-memory table state but never the log). Recovery replays, in order, the
+/// data records of transactions the coordinator decided to commit.
+class Wal {
+ public:
+  /// Appends a record, assigning its LSN. Returns the LSN.
+  uint64_t Append(LogRecord record);
+
+  const std::vector<LogRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// Visits data records (insert/delete) of transactions for which
+  /// `is_committed(txn_id)` is true, in log order.
+  void ReplayCommitted(const std::function<bool(uint64_t)>& is_committed,
+                       const std::function<void(const LogRecord&)>& apply) const;
+
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<LogRecord> records_;
+  uint64_t next_lsn_ = 1;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_TXN_WAL_H_

@@ -1,0 +1,93 @@
+#ifndef PJVM_VIEW_AR_MINIMIZER_H_
+#define PJVM_VIEW_AR_MINIMIZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/system.h"
+#include "view/maintainer.h"
+#include "view/view_def.h"
+
+namespace pjvm {
+
+/// \brief Registry of auxiliary relations with the paper's storage
+/// minimization (Section 2.1.2).
+///
+/// An auxiliary relation AR_R = rho(pi(sigma(R))) for a (table, join column)
+/// pair stores only the columns any consuming view needs and, when every
+/// consumer agrees on the selection predicates, only the sigma-passing rows.
+/// Views that join the same table on the same attribute share one AR
+/// ("keep only one auxiliary relation AR_A for all the join views that use
+/// the same join attribute A.c"): a new consumer that needs more columns
+/// widens the AR (rebuild), and one with different predicates generalizes it
+/// to unfiltered, pushing the predicates back to probe time.
+class ArRegistry {
+ public:
+  explicit ArRegistry(ParallelSystem* sys) : sys_(sys) {}
+
+  /// Ensures an AR for (table, col) exists covering `needed_cols` and usable
+  /// under `preds` (full-schema columns). Creates, widens, or generalizes as
+  /// needed, backfilling from the base table.
+  Status Require(const std::string& table, int col,
+                 const std::vector<int>& needed_cols,
+                 const std::vector<BoundPred>& preds);
+
+  /// Drops one reference to the AR for (table, col); the AR table is
+  /// removed once no registered view needs it. NotFound if absent.
+  Status Release(const std::string& table, int col);
+
+  /// Access descriptor for a consumer (see StructureResolver::ArFor).
+  Result<ArAccess> Access(const std::string& table, int col,
+                          const std::vector<int>& needed_cols,
+                          const std::vector<BoundPred>& preds) const;
+
+  bool Has(const std::string& table, int col) const {
+    return entries_.count({table, col}) > 0;
+  }
+
+  /// Propagates one base-table delta into every AR of that table: each row
+  /// is shipped from its arrival node to the AR's hash home (one SEND) and
+  /// inserted/deleted there. Rows failing a filtered AR's predicates are
+  /// skipped. Returns the number of AR writes performed.
+  Result<size_t> ApplyDelta(uint64_t txn, const DeltaBatch& delta);
+
+  /// Total bytes across all ARs (the method's storage overhead).
+  size_t StorageBytes() const;
+  /// Bytes the ARs would occupy without minimization (full base copies).
+  size_t UnminimizedBytes() const;
+
+  /// Names of all AR tables.
+  std::vector<std::string> TableNames() const;
+
+  /// Verifies every AR equals pi(sigma(base)) re-partitioned on its column:
+  /// exact multiset equality plus per-node placement.
+  Status CheckConsistent() const;
+
+ private:
+  struct Entry {
+    std::string ar_table;
+    std::string base_table;
+    int col = -1;  // Full-schema column the AR is partitioned/clustered on.
+    std::vector<int> cols;  // Ascending full-schema columns stored.
+    bool filtered = false;
+    std::vector<BoundPred> preds;  // Meaningful when filtered.
+    std::string fingerprint;       // Of preds, for sharing decisions.
+  };
+
+  static std::string Fingerprint(const std::vector<BoundPred>& preds);
+  Status Build(Entry& entry);
+  Status Rebuild(Entry& entry, const std::vector<int>& cols, bool filtered,
+                 const std::vector<BoundPred>& preds);
+  static bool PassesPreds(const Row& full_row,
+                          const std::vector<BoundPred>& preds);
+
+  ParallelSystem* sys_;
+  std::map<std::pair<std::string, int>, Entry> entries_;
+  std::map<std::pair<std::string, int>, int> refs_;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_VIEW_AR_MINIMIZER_H_

@@ -1,0 +1,39 @@
+#ifndef PJVM_VIEW_AUX_RELATION_MAINTAINER_H_
+#define PJVM_VIEW_AUX_RELATION_MAINTAINER_H_
+
+#include "view/maintainer.h"
+
+namespace pjvm {
+
+/// \brief The paper's auxiliary relation method (Section 2.1.2).
+///
+/// Every plan step probes a structure partitioned on the step's join
+/// attribute: the base table itself when it is already partitioned that way,
+/// or its auxiliary relation (a selection/projection of the base,
+/// re-partitioned on the join attribute with a clustered index). Each
+/// partial tuple therefore travels to exactly one node per step — the
+/// single-node operations that make this the cheapest method for small
+/// updates.
+///
+/// The auxiliary relations of the *updated* base are maintained by
+/// ViewManager before this runs (they are shared across views); the seeds
+/// are placed at the node the structure-maintenance ship already delivered
+/// the tuple to, so no second SEND is charged.
+class AuxRelationMaintainer : public Maintainer {
+ public:
+  using Maintainer::Maintainer;
+
+  MaintenanceMethod method() const override {
+    return MaintenanceMethod::kAuxRelation;
+  }
+
+ protected:
+  Status ProcessSign(uint64_t txn, int updated_base,
+                     const MaintenancePlan& plan, const std::vector<Row>& rows,
+                     const std::vector<GlobalRowId>& gids, bool is_delete,
+                     MaintenanceReport* report) override;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_VIEW_AUX_RELATION_MAINTAINER_H_

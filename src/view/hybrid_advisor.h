@@ -1,0 +1,57 @@
+#ifndef PJVM_VIEW_HYBRID_ADVISOR_H_
+#define PJVM_VIEW_HYBRID_ADVISOR_H_
+
+#include <string>
+
+#include "model/analytical.h"
+#include "view/maintainer.h"
+
+namespace pjvm {
+
+/// \brief Description of the expected update workload against one view,
+/// plus the space each method would consume.
+///
+/// The paper's conclusion: "the method of choice depends on the environment,
+/// in particular the update activity on base relations and the amount of
+/// available storage space ... Our analytical model could form the basis
+/// for a cost model that would enable a system to choose the best approach
+/// automatically." This advisor is that cost model.
+struct WorkloadProfile {
+  /// L.
+  int num_nodes = 8;
+  /// N: average join fanout per updated tuple.
+  double fanout = 10.0;
+  /// Average number of tuples changed per maintenance transaction.
+  double tuples_per_txn = 1.0;
+  /// Pages of the relation being probed (the paper's |B|).
+  double other_relation_pages = 6400.0;
+  /// Sort memory in pages (M).
+  int memory_pages = 100;
+  /// Whether the probed base carries a clustered index on the join
+  /// attribute (enables naive-clustered / GI-distributed-clustered).
+  bool base_clustered_on_join = false;
+  /// Extra storage available, and what each method would use, in bytes.
+  double storage_budget_bytes = 0.0;
+  double ar_bytes = 0.0;
+  double gi_bytes = 0.0;
+};
+
+/// \brief Costed recommendation.
+struct Advice {
+  MaintenanceMethod method = MaintenanceMethod::kNaive;
+  /// Estimated per-transaction total workload (I/Os summed over nodes) per
+  /// method; infinity when a method does not fit the storage budget.
+  double naive_io = 0.0;
+  double aux_io = 0.0;
+  double gi_io = 0.0;
+  std::string rationale;
+};
+
+/// Picks the cheapest method whose structures fit in the storage budget,
+/// using the paper's response-time model (index vs sort-merge crossover
+/// included).
+Advice ChooseMethod(const WorkloadProfile& profile);
+
+}  // namespace pjvm
+
+#endif  // PJVM_VIEW_HYBRID_ADVISOR_H_

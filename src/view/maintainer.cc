@@ -1,0 +1,326 @@
+#include "view/maintainer.h"
+
+#include <map>
+
+#include "exec/join_chooser.h"
+#include "exec/local_join.h"
+#include "storage/stats.h"
+
+namespace pjvm {
+
+const char* MaintenanceMethodToString(MaintenanceMethod method) {
+  switch (method) {
+    case MaintenanceMethod::kNaive:
+      return "NAIVE";
+    case MaintenanceMethod::kAuxRelation:
+      return "AUX_RELATION";
+    case MaintenanceMethod::kGlobalIndex:
+      return "GLOBAL_INDEX";
+  }
+  return "UNKNOWN";
+}
+
+Result<MaintenanceReport> Maintainer::ApplyDelta(uint64_t txn, int updated_base,
+                                                 const DeltaBatch& delta) {
+  MaintenanceReport report;
+  if (delta.inserts.empty() && delta.deletes.empty()) return report;
+  // Deletions first: an update normalized to (delete old, insert new) must
+  // remove the old derivations before adding the new ones. Each sign gets a
+  // plan scored by its own key values.
+  if (!delta.deletes.empty()) {
+    PJVM_ASSIGN_OR_RETURN(MaintenancePlan plan,
+                          PlanForRows(updated_base, delta.deletes));
+    PJVM_RETURN_NOT_OK(ProcessSign(txn, updated_base, plan, delta.deletes,
+                                   delta.delete_gids, /*is_delete=*/true,
+                                   &report));
+  }
+  if (!delta.inserts.empty()) {
+    PJVM_ASSIGN_OR_RETURN(MaintenancePlan plan,
+                          PlanForRows(updated_base, delta.inserts));
+    PJVM_RETURN_NOT_OK(ProcessSign(txn, updated_base, plan, delta.inserts,
+                                   delta.insert_gids, /*is_delete=*/false,
+                                   &report));
+  }
+  return report;
+}
+
+Result<MaintenancePlan> Maintainer::Plan(int updated_base) const {
+  return PlanMaintenance(bound(), updated_base, [this](int base, int col) {
+    return EstimateFanout(base, col);
+  });
+}
+
+Result<MaintenancePlan> Maintainer::PlanForRows(
+    int updated_base, const std::vector<Row>& rows) const {
+  return PlanMaintenanceForDelta(
+      bound(), updated_base, rows,
+      [this](int base, int col) { return EstimateFanout(base, col); },
+      [this](int base, int col, const Value& key) {
+        return EstimateKeyFanout(base, col, key);
+      });
+}
+
+double Maintainer::EstimateKeyFanout(int base, int full_col,
+                                     const Value& key) const {
+  const std::string& table = bound().base_def(base).name;
+  double total = 0.0;
+  bool any_index = false;
+  for (int i = 0; i < sys_->num_nodes(); ++i) {
+    const TableFragment* frag = sys_->node(i)->fragment(table);
+    if (frag == nullptr) continue;
+    const LocalIndex* index = frag->FindIndex(full_col);
+    if (index == nullptr) continue;
+    any_index = true;
+    const auto* list = index->tree.Find(key);
+    if (list != nullptr) total += static_cast<double>(list->size());
+  }
+  if (!any_index) return EstimateFanout(base, full_col);
+  return total;
+}
+
+double Maintainer::EstimateFanout(int base, int full_col) const {
+  const std::string& table = bound().base_def(base).name;
+  std::vector<ColumnStats> parts;
+  for (int i = 0; i < sys_->num_nodes(); ++i) {
+    const TableFragment* frag = sys_->node(i)->fragment(table);
+    if (frag != nullptr) parts.push_back(ComputeColumnStats(*frag, full_col));
+  }
+  ColumnStats merged = MergeColumnStats(parts);
+  double fanout = merged.AvgFanout();
+  return fanout > 0.0 ? fanout : 1.0;
+}
+
+Result<std::vector<Maintainer::Partial>> Maintainer::SeedPartials(
+    int updated_base, const std::vector<Row>& rows,
+    const std::vector<GlobalRowId>& gids, int colocate_col) const {
+  const TableDef& base_def = bound().base_def(updated_base);
+  std::vector<Partial> seeds;
+  seeds.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    if (!bound().RowPassesSelections(updated_base, row)) continue;
+    Partial p;
+    p.working.assign(bound().working_width(), Value{});
+    Row part = bound().ProjectNeeded(updated_base, row);
+    for (size_t j = 0; j < part.size(); ++j) {
+      p.working[bound().needed_offset(updated_base) + j] = std::move(part[j]);
+    }
+    if (colocate_col >= 0) {
+      p.node = sys_->HomeNodeForKey(row[colocate_col]);
+    } else if (i < gids.size() && gids[i].node >= 0) {
+      p.node = gids[i].node;
+    } else if (base_def.partition.is_hash()) {
+      p.node = sys_->HomeNodeForKey(row[base_def.PartitionColumn()]);
+    } else {
+      return Status::InvalidArgument(
+          "maintainer: round-robin base '" + base_def.name +
+          "' requires delta gids to locate arrival nodes");
+    }
+    seeds.push_back(std::move(p));
+  }
+  return seeds;
+}
+
+Status Maintainer::Ship(Message msg) {
+  int dest = msg.to;
+  PJVM_RETURN_NOT_OK(sys_->network().Send(std::move(msg)));
+  sys_->network().Poll(dest);
+  return Status::OK();
+}
+
+Result<bool> Maintainer::ResidualOk(const PlanStep& step,
+                                    const Row& working) const {
+  for (const BoundEdge& edge : step.residual) {
+    PJVM_ASSIGN_OR_RETURN(int li,
+                          bound().WorkingIndex(edge.left_base, edge.left_col));
+    PJVM_ASSIGN_OR_RETURN(int ri,
+                          bound().WorkingIndex(edge.right_base, edge.right_col));
+    if (!(working[li] == working[ri])) return false;
+  }
+  return true;
+}
+
+Status Maintainer::Extend(const PlanStep& step, const Partial& partial,
+                          const Row& target_needed, int at_node,
+                          std::vector<Partial>* out) const {
+  Partial extended;
+  extended.working = partial.working;
+  for (size_t j = 0; j < target_needed.size(); ++j) {
+    extended.working[bound().needed_offset(step.target_base) + j] =
+        target_needed[j];
+  }
+  PJVM_ASSIGN_OR_RETURN(bool ok, ResidualOk(step, extended.working));
+  if (!ok) return Status::OK();
+  extended.node = at_node;
+  out->push_back(std::move(extended));
+  return Status::OK();
+}
+
+Maintainer::ProbeTarget Maintainer::BaseProbeTarget(const PlanStep& step) const {
+  ProbeTarget target;
+  target.table = bound().base_def(step.target_base).name;
+  target.probe_col = step.target_col;
+  target.needed_map = bound().needed_cols(step.target_base);
+  target.preds = bound().base_preds(step.target_base);
+  return target;
+}
+
+Status Maintainer::ProbeGroupAtNode(uint64_t txn, const PlanStep& step,
+                                    const ProbeTarget& target, int node,
+                                    std::vector<const Partial*> group,
+                                    int key_idx, double per_tuple_index_io,
+                                    MaintenanceReport* report,
+                                    std::vector<Partial>* out) {
+  if (group.empty()) return Status::OK();
+  Node* n = sys_->node(node);
+  TableFragment* frag = n->fragment(target.table);
+  if (frag == nullptr) {
+    return Status::NotFound("maintenance: node " + std::to_string(node) +
+                            " has no fragment '" + target.table + "'");
+  }
+  const LocalIndex* index = frag->FindIndex(target.probe_col);
+
+  JoinChoiceInput choice_in;
+  choice_in.outer_tuples = group.size();
+  choice_in.per_tuple_index_io = per_tuple_index_io;
+  choice_in.inner_pages = frag->num_pages();
+  choice_in.inner_clustered = index != nullptr && index->clustered;
+  choice_in.memory_pages = sys_->config().sort_memory_pages;
+  JoinChoice choice = ChooseLocalJoin(choice_in);
+  if (index == nullptr) {
+    // No index: a scan-based join is the only option.
+    choice.algorithm = JoinAlgorithm::kSortMerge;
+  }
+
+  auto accept = [&](const Partial& partial, const Row& probed) -> Status {
+    for (const BoundPred& bp : target.preds) {
+      SelectionPred pred;
+      pred.op = bp.op;
+      pred.constant = bp.constant;
+      if (!pred.Eval(probed[bp.col])) return Status::OK();
+    }
+    Row needed = ProjectRow(probed, target.needed_map);
+    return Extend(step, partial, needed, node, out);
+  };
+
+  if (choice.algorithm == JoinAlgorithm::kIndexNestedLoops) {
+    for (const Partial* partial : group) {
+      const Value& key = partial->working[key_idx];
+      PJVM_ASSIGN_OR_RETURN(
+          ProbeResult probe,
+          n->IndexProbe(target.table, target.probe_col, key, txn));
+      ++report->probes;
+      for (const Row& row : probe.rows) {
+        PJVM_RETURN_NOT_OK(accept(*partial, row));
+      }
+    }
+  } else {
+    std::vector<Row> outer;
+    outer.reserve(group.size());
+    for (const Partial* partial : group) outer.push_back(partial->working);
+    PJVM_ASSIGN_OR_RETURN(
+        std::vector<JoinedPair> pairs,
+        SortMergeJoinFragment(n, target.table, target.probe_col, outer, key_idx,
+                              sys_->config().sort_memory_pages, &sys_->cost(),
+                              txn));
+    ++report->probes;
+    Partial scratch;
+    for (JoinedPair& pair : pairs) {
+      scratch.working = std::move(pair.outer);
+      scratch.node = node;
+      PJVM_RETURN_NOT_OK(accept(scratch, pair.inner));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Maintainer::Partial>> Maintainer::BroadcastStep(
+    uint64_t txn, const PlanStep& step, const std::vector<Partial>& in,
+    MaintenanceReport* report) {
+  std::vector<Partial> out;
+  if (in.empty()) return out;
+  PJVM_ASSIGN_OR_RETURN(int key_idx,
+                        bound().WorkingIndex(step.source_base, step.source_col));
+  // Every partial is shipped to every node: the paper's L*SEND per tuple.
+  for (const Partial& p : in) {
+    Message msg;
+    msg.kind = MessageKind::kProbe;
+    msg.table = bound().base_def(step.target_base).name;
+    msg.rows.push_back(p.working);
+    PJVM_RETURN_NOT_OK(sys_->network().Broadcast(p.node, msg));
+    for (int node = 0; node < sys_->num_nodes(); ++node) {
+      sys_->network().Poll(node);
+    }
+  }
+  ProbeTarget target = BaseProbeTarget(step);
+  const TableDef& tdef = bound().base_def(step.target_base);
+  const std::string& col_name = tdef.schema.column(step.target_col).name;
+  bool clustered = tdef.HasClusteredIndexOn(col_name);
+  double fan = EstimateFanout(step.target_base, step.target_col);
+  double per_tuple =
+      1.0 + (clustered ? 0.0 : fan / static_cast<double>(sys_->num_nodes()));
+  std::vector<const Partial*> group;
+  group.reserve(in.size());
+  for (const Partial& p : in) group.push_back(&p);
+  for (int node = 0; node < sys_->num_nodes(); ++node) {
+    PJVM_RETURN_NOT_OK(ProbeGroupAtNode(txn, step, target, node, group, key_idx,
+                                        per_tuple, report, &out));
+  }
+  return out;
+}
+
+Result<std::vector<Maintainer::Partial>> Maintainer::RoutedStep(
+    uint64_t txn, const PlanStep& step, const ProbeTarget& target,
+    const std::vector<Partial>& in, MaintenanceReport* report) {
+  std::vector<Partial> out;
+  if (in.empty()) return out;
+  PJVM_ASSIGN_OR_RETURN(int key_idx,
+                        bound().WorkingIndex(step.source_base, step.source_col));
+  std::map<int, std::vector<const Partial*>> by_dest;
+  for (const Partial& p : in) {
+    int dest = sys_->HomeNodeForKey(p.working[key_idx]);
+    if (dest != p.node) {
+      Message msg;
+      msg.kind = MessageKind::kProbe;
+      msg.from = p.node;
+      msg.to = dest;
+      msg.table = target.table;
+      msg.rows.push_back(p.working);
+      PJVM_RETURN_NOT_OK(Ship(std::move(msg)));
+    }
+    by_dest[dest].push_back(&p);
+  }
+  for (auto& [dest, group] : by_dest) {
+    // The probed structure is partitioned (and clustered) on the join
+    // attribute: one search per tuple, no extra fetches.
+    PJVM_RETURN_NOT_OK(ProbeGroupAtNode(txn, step, target, dest,
+                                        std::move(group), key_idx,
+                                        /*per_tuple_index_io=*/1.0, report,
+                                        &out));
+  }
+  return out;
+}
+
+Status Maintainer::EmitToView(uint64_t txn,
+                              const std::vector<Partial>& completed,
+                              bool is_delete, MaintenanceReport* report) {
+  // Group by producing node: one routing batch per producer, matching the
+  // paper's "the join tuples are sent to node k" per generating node.
+  std::map<int, std::vector<Row>> by_producer;
+  for (const Partial& p : completed) {
+    by_producer[p.node].push_back(bound().OutputRow(p.working));
+  }
+  for (auto& [producer, rows] : by_producer) {
+    size_t applied = 0;
+    PJVM_RETURN_NOT_OK(
+        view_->ApplyOutputs(txn, producer, std::move(rows), is_delete, &applied));
+    if (is_delete) {
+      report->view_rows_deleted += applied;
+    } else {
+      report->view_rows_inserted += applied;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pjvm

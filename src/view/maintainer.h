@@ -1,0 +1,246 @@
+#ifndef PJVM_VIEW_MAINTAINER_H_
+#define PJVM_VIEW_MAINTAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/system.h"
+#include "storage/row_id.h"
+#include "view/materialized_view.h"
+#include "view/planner.h"
+#include "view/view_def.h"
+
+namespace pjvm {
+
+/// \brief The three maintenance methods the paper compares.
+enum class MaintenanceMethod {
+  kNaive = 0,
+  kAuxRelation,
+  kGlobalIndex,
+};
+
+const char* MaintenanceMethodToString(MaintenanceMethod method);
+
+/// \brief A batch of changes to one base table, expressed as full base rows.
+///
+/// `insert_gids` / `delete_gids` parallel the row vectors and carry each
+/// row's (node, local rid) — the node where the row physically arrived or
+/// lived. They are filled by ViewManager when it applies the base update;
+/// they seed the maintenance dataflow (the paper's "node i") and identify
+/// global-index entries. Updates are normalized to delete+insert pairs by
+/// ViewManager before reaching a maintainer.
+struct DeltaBatch {
+  std::string table;
+  std::vector<Row> inserts;
+  std::vector<GlobalRowId> insert_gids;
+  std::vector<Row> deletes;
+  std::vector<GlobalRowId> delete_gids;
+  std::vector<std::pair<Row, Row>> updates;  // (old, new); consumed by ViewManager.
+
+  static DeltaBatch Inserts(std::string table, std::vector<Row> rows) {
+    DeltaBatch d;
+    d.table = std::move(table);
+    d.inserts = std::move(rows);
+    return d;
+  }
+  static DeltaBatch Deletes(std::string table, std::vector<Row> rows) {
+    DeltaBatch d;
+    d.table = std::move(table);
+    d.deletes = std::move(rows);
+    return d;
+  }
+};
+
+/// \brief What one maintenance invocation did (counts only; I/O totals come
+/// from CostTracker snapshots around the call).
+struct MaintenanceReport {
+  size_t view_rows_inserted = 0;
+  size_t view_rows_deleted = 0;
+  /// Writes to auxiliary relations / global indexes for this delta.
+  size_t structure_writes = 0;
+  /// Join-side index probes issued.
+  size_t probes = 0;
+  /// Human-readable notes (chosen join algorithm per step etc.).
+  std::string notes;
+
+  MaintenanceReport& operator+=(const MaintenanceReport& o) {
+    view_rows_inserted += o.view_rows_inserted;
+    view_rows_deleted += o.view_rows_deleted;
+    structure_writes += o.structure_writes;
+    probes += o.probes;
+    if (!o.notes.empty()) {
+      if (!notes.empty()) notes += "; ";
+      notes += o.notes;
+    }
+    return *this;
+  }
+};
+
+/// \brief Access descriptor for probing an auxiliary relation.
+struct ArAccess {
+  /// Name of the AR table ("partitioned on the join attribute, with a
+  /// clustered index on it").
+  std::string table;
+  /// Position of the join attribute inside the AR's schema.
+  int probe_col = -1;
+  /// For each needed column of the underlying base (in needed order), its
+  /// position in the AR's schema. ARs may be wider than one view needs when
+  /// shared across views (Section 2.1.2).
+  std::vector<int> needed_pos;
+  /// Selection predicates the consumer must still apply to probed AR rows
+  /// (column indices are positions in the AR's schema). Empty when the AR
+  /// itself stores exactly the consumer's sigma-filtered rows.
+  std::vector<BoundPred> residual_preds;
+};
+
+/// \brief How maintainers discover the auxiliary structures ViewManager
+/// maintains (implemented by ViewManager).
+class StructureResolver {
+ public:
+  virtual ~StructureResolver() = default;
+
+  /// AR for probing into `table` on full column `col`, shaped for a consumer
+  /// that needs `needed_cols` of the base and applies `preds` (full-schema
+  /// columns) to it. NotFound if no AR exists (e.g. the base is already
+  /// partitioned on `col`).
+  virtual Result<ArAccess> ArFor(const std::string& table, int col,
+                                 const std::vector<int>& needed_cols,
+                                 const std::vector<BoundPred>& preds) const = 0;
+
+  /// Global-index table for `table` on full column `col`; NotFound if none.
+  virtual Result<std::string> GiFor(const std::string& table, int col) const = 0;
+};
+
+/// \brief Base class of the three maintenance strategies. Owns the shared
+/// dataflow machinery: seeding partial tuples at the update's arrival node,
+/// shipping data between nodes through the interconnect, verifying residual
+/// join edges, and emitting finished tuples to the view.
+class Maintainer {
+ public:
+  Maintainer(ParallelSystem* sys, MaterializedView* view,
+             const StructureResolver* resolver)
+      : sys_(sys), view_(view), resolver_(resolver) {}
+  virtual ~Maintainer() = default;
+
+  virtual MaintenanceMethod method() const = 0;
+
+  /// Computes and applies the view change for `delta` (whose base update has
+  /// already been applied, and whose structures — ARs/GIs — have already
+  /// been updated by ViewManager). `updated_base` is the index of the
+  /// delta's table within the view definition.
+  Result<MaintenanceReport> ApplyDelta(uint64_t txn, int updated_base,
+                                       const DeltaBatch& delta);
+
+ protected:
+  /// A partial join result: a working row with the bases joined so far
+  /// filled in, currently materialized at `node`.
+  struct Partial {
+    Row working;
+    int node;
+  };
+
+  /// Computes the plan (join order over the remaining bases) for this delta
+  /// using live statistics.
+  Result<MaintenancePlan> Plan(int updated_base) const;
+
+  /// Delta-aware plan: first-step candidates are scored by the actual key
+  /// values in `rows` (exact per-key match counts where an index exists),
+  /// so skewed batches order their joins by what they will really touch.
+  Result<MaintenancePlan> PlanForRows(int updated_base,
+                                      const std::vector<Row>& rows) const;
+
+  /// Expected matches for one key in (base, full column): exact via the
+  /// index posting lists when available, the average fanout otherwise.
+  double EstimateKeyFanout(int base, int full_col, const Value& key) const;
+
+  /// Builds seed partials from delta rows: applies the updated base's
+  /// selections, projects to needed columns, and places each seed at its
+  /// arrival node (`gids`), or — when `colocate_col` >= 0 — at the hash home
+  /// of that column, reflecting that the structure-maintenance ship already
+  /// moved the tuple there (AR/GI methods).
+  Result<std::vector<Partial>> SeedPartials(int updated_base,
+                                            const std::vector<Row>& rows,
+                                            const std::vector<GlobalRowId>& gids,
+                                            int colocate_col) const;
+
+  /// Sends `msg` and immediately delivers it (synchronous simulated hop).
+  Status Ship(Message msg);
+
+  /// True iff all of the step's residual edges hold on `working`.
+  Result<bool> ResidualOk(const PlanStep& step, const Row& working) const;
+
+  /// Extends `partial` with one probed target tuple (already in needed
+  /// form), runs residual checks, and appends to `out` at node `at_node`.
+  Status Extend(const PlanStep& step, const Partial& partial,
+                const Row& target_needed, int at_node,
+                std::vector<Partial>* out) const;
+
+  /// Routes finished partials to the view (insert or delete).
+  Status EmitToView(uint64_t txn, const std::vector<Partial>& completed,
+                    bool is_delete, MaintenanceReport* report);
+
+  /// Live average fanout of (base, full column) from table statistics.
+  double EstimateFanout(int base, int full_col) const;
+
+  /// Per-sign processing implemented by each method: runs the plan's steps
+  /// over the seeds and emits to the view.
+  virtual Status ProcessSign(uint64_t txn, int updated_base,
+                             const MaintenancePlan& plan,
+                             const std::vector<Row>& rows,
+                             const std::vector<GlobalRowId>& gids,
+                             bool is_delete, MaintenanceReport* report) = 0;
+
+  /// Describes what a plan step probes at a node: which table, which of its
+  /// columns, and how a probed row maps to the target base's needed tuple.
+  struct ProbeTarget {
+    std::string table;
+    /// Column to probe, in the probed table's schema.
+    int probe_col = -1;
+    /// Position in the probed row of each needed column of the target base
+    /// (full base rows: the needed column indices themselves; AR rows: the
+    /// AR's column positions).
+    std::vector<int> needed_map;
+    /// Selection predicates to apply to probed rows; column indices are
+    /// positions within the probed row.
+    std::vector<BoundPred> preds;
+  };
+
+  /// ProbeTarget for the raw base table of `step.target_base`.
+  ProbeTarget BaseProbeTarget(const PlanStep& step) const;
+
+  /// Joins `group` (partials already located at `node`) against the probe
+  /// target's fragment there, choosing index-nested-loops vs sort-merge by
+  /// cost (`per_tuple_index_io` is the estimated index I/O per outer tuple
+  /// at this node). Extends matches into `out` at `node`.
+  Status ProbeGroupAtNode(uint64_t txn, const PlanStep& step,
+                          const ProbeTarget& target, int node,
+                          std::vector<const Partial*> group, int key_idx,
+                          double per_tuple_index_io, MaintenanceReport* report,
+                          std::vector<Partial>* out);
+
+  /// The naive method's all-node step: broadcasts every partial to all L
+  /// nodes (L SENDs each) and joins at every node. Also the large-batch
+  /// fallback of the global-index method.
+  Result<std::vector<Partial>> BroadcastStep(uint64_t txn, const PlanStep& step,
+                                             const std::vector<Partial>& in,
+                                             MaintenanceReport* report);
+
+  /// Single-node step: routes each partial to the hash home of its key in
+  /// `target` (one SEND per partial unless already there) and joins there.
+  /// Used for co-partitioned bases (naive case 1) and auxiliary relations.
+  Result<std::vector<Partial>> RoutedStep(uint64_t txn, const PlanStep& step,
+                                          const ProbeTarget& target,
+                                          const std::vector<Partial>& in,
+                                          MaintenanceReport* report);
+
+  const BoundView& bound() const { return view_->bound(); }
+
+  ParallelSystem* sys_;
+  MaterializedView* view_;
+  const StructureResolver* resolver_;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_VIEW_MAINTAINER_H_

@@ -1,0 +1,285 @@
+#include "view/materialized_view.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "net/message.h"
+
+namespace pjvm {
+
+Result<MaterializedView> MaterializedView::Create(ParallelSystem* sys,
+                                                  BoundView bound) {
+  TableDef def;
+  def.name = bound.def().name;
+  def.schema = bound.output_schema();
+  def.kind = TableKind::kView;
+  if (bound.output_partition_col() >= 0) {
+    const std::string& pcol =
+        def.schema.column(bound.output_partition_col()).name;
+    def.partition = PartitionSpec::Hash(pcol);
+    def.indexes.push_back(IndexSpec{pcol, /*clustered=*/false});
+  } else {
+    def.partition = PartitionSpec::RoundRobin();
+  }
+  PJVM_RETURN_NOT_OK(sys->CreateTable(def));
+  return MaterializedView(sys, std::move(bound));
+}
+
+int MaterializedView::DestinationOf(const Row& output_row) {
+  if (bound_.output_partition_col() >= 0) {
+    return sys_->HomeNodeForKey(output_row[bound_.output_partition_col()]);
+  }
+  // A global aggregate (no GROUP BY) keeps its single row at node 0.
+  if (bound_.is_aggregate()) return 0;
+  const TableDef* def = *sys_->catalog().Get(table_name());
+  return sys_->HomeNodeForRow(*def, output_row);
+}
+
+Status MaterializedView::ApplyOutputs(uint64_t txn, int source_node,
+                                      std::vector<Row> rows, bool is_delete,
+                                      size_t* applied) {
+  if (rows.empty()) return Status::OK();
+  if (bound_.is_aggregate()) {
+    return ApplyAggregateContributions(txn, source_node, std::move(rows),
+                                       is_delete, applied);
+  }
+  std::map<int, std::vector<Row>> by_dest;
+  if (is_delete && bound_.output_partition_col() < 0) {
+    // Round-robin view: locate each victim by probing nodes in order.
+    for (Row& row : rows) {
+      int found = -1;
+      for (int i = 0; i < sys_->num_nodes(); ++i) {
+        const TableFragment* frag = sys_->node(i)->fragment(table_name());
+        sys_->cost().ChargeSearch(i);
+        if (frag->FindExact(row).ok()) {
+          found = i;
+          break;
+        }
+      }
+      if (found < 0) {
+        return Status::NotFound("view '" + table_name() +
+                                "': delete target missing: " + RowToString(row));
+      }
+      by_dest[found].push_back(std::move(row));
+    }
+  } else {
+    for (Row& row : rows) {
+      by_dest[DestinationOf(row)].push_back(std::move(row));
+    }
+  }
+  for (auto& [dest, dest_rows] : by_dest) {
+    Message msg;
+    msg.kind = is_delete ? MessageKind::kDeleteTuples : MessageKind::kJoinResults;
+    msg.from = source_node;
+    msg.to = dest;
+    msg.table = table_name();
+    msg.rows = dest_rows;
+    msg.txn_id = txn;
+    PJVM_RETURN_NOT_OK(sys_->network().Send(std::move(msg)));
+    Message delivered = *sys_->network().Poll(dest);
+    for (Row& row : delivered.rows) {
+      if (is_delete) {
+        PJVM_RETURN_NOT_OK(sys_->node(dest)->DeleteExact(txn, table_name(), row));
+      } else {
+        PJVM_RETURN_NOT_OK(
+            sys_->node(dest)->Insert(txn, table_name(), std::move(row)).status());
+      }
+      ++*applied;
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Value AddValue(const Value& a, const Value& b, bool negate_b) {
+  if (a.is_int64()) {
+    return Value{a.AsInt64() + (negate_b ? -b.AsInt64() : b.AsInt64())};
+  }
+  return Value{a.AsDouble() + (negate_b ? -b.AsDouble() : b.AsDouble())};
+}
+
+}  // namespace
+
+Status MaterializedView::ApplyAggregateContributions(uint64_t txn,
+                                                     int source_node,
+                                                     std::vector<Row> rows,
+                                                     bool is_delete,
+                                                     size_t* applied) {
+  int width = bound_.StoredGroupWidth();
+  std::map<int, std::vector<Row>> by_dest;
+  for (Row& row : rows) by_dest[DestinationOf(row)].push_back(std::move(row));
+  for (auto& [dest, dest_rows] : by_dest) {
+    Message msg;
+    msg.kind = is_delete ? MessageKind::kDeleteTuples : MessageKind::kJoinResults;
+    msg.from = source_node;
+    msg.to = dest;
+    msg.table = table_name();
+    msg.rows = dest_rows;
+    msg.txn_id = txn;
+    PJVM_RETURN_NOT_OK(sys_->network().Send(std::move(msg)));
+    Message delivered = *sys_->network().Poll(dest);
+    Node* node = sys_->node(dest);
+    TableFragment* frag = node->fragment(table_name());
+    for (Row& contribution : delivered.rows) {
+      // Locate the current group row, if any.
+      Row old_row;
+      bool found = false;
+      if (bound_.output_partition_col() >= 0) {
+        // One SEARCH through the index on the partitioning group column,
+        // then filter by the full group prefix.
+        PJVM_ASSIGN_OR_RETURN(
+            ProbeResult probe,
+            node->IndexProbe(table_name(), bound_.output_partition_col(),
+                             contribution[bound_.output_partition_col()]));
+        for (Row& candidate : probe.rows) {
+          if (std::equal(candidate.begin(), candidate.begin() + width,
+                         contribution.begin())) {
+            old_row = std::move(candidate);
+            found = true;
+            break;
+          }
+        }
+      } else {
+        // Global aggregate: at most one row, scan the (single-row) fragment.
+        sys_->cost().ChargeSearch(dest);
+        frag->ForEach([&](LocalRowId, const Row& candidate) {
+          old_row = candidate;
+          found = true;
+          return false;
+        });
+      }
+      if (!found) {
+        if (is_delete) {
+          return Status::Internal("aggregate view '" + table_name() +
+                                  "': delete for a missing group " +
+                                  RowToString(contribution));
+        }
+        PJVM_RETURN_NOT_OK(
+            node->Insert(txn, table_name(), std::move(contribution)).status());
+        ++*applied;
+        continue;
+      }
+      Row new_row = old_row;
+      for (size_t i = width; i < contribution.size(); ++i) {
+        new_row[i] = AddValue(new_row[i], contribution[i], is_delete);
+      }
+      PJVM_RETURN_NOT_OK(node->DeleteExact(txn, table_name(), old_row));
+      int64_t count = new_row[bound_.StoredCountIndex()].AsInt64();
+      if (count < 0) {
+        return Status::Internal("aggregate view '" + table_name() +
+                                "': negative group count");
+      }
+      if (count > 0) {
+        PJVM_RETURN_NOT_OK(
+            node->Insert(txn, table_name(), std::move(new_row)).status());
+      }
+      ++*applied;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> EvaluateViewFromScratch(ParallelSystem* sys,
+                                                 const BoundView& bound) {
+  int n = bound.num_bases();
+  // Connected join order starting from base 0 (Validate guarantees one).
+  std::vector<bool> filled(n, false);
+  std::vector<int> order = {0};
+  filled[0] = true;
+  while (static_cast<int>(order.size()) < n) {
+    for (const BoundEdge& e : bound.bound_edges()) {
+      int next = -1;
+      if (filled[e.left_base] && !filled[e.right_base]) next = e.right_base;
+      if (filled[e.right_base] && !filled[e.left_base]) next = e.left_base;
+      if (next >= 0) {
+        filled[next] = true;
+        order.push_back(next);
+        break;
+      }
+    }
+  }
+
+  // Seed with base order[0]'s selection-filtered needed tuples.
+  std::vector<Row> partials;
+  {
+    int b0 = order[0];
+    for (const Row& row : sys->ScanAll(bound.base_def(b0).name)) {
+      if (!bound.RowPassesSelections(b0, row)) continue;
+      Row working(bound.working_width());
+      Row part = bound.ProjectNeeded(b0, row);
+      for (size_t j = 0; j < part.size(); ++j) {
+        working[bound.needed_offset(b0) + j] = std::move(part[j]);
+      }
+      partials.push_back(std::move(working));
+    }
+  }
+
+  std::fill(filled.begin(), filled.end(), false);
+  filled[order[0]] = true;
+  for (size_t step = 1; step < order.size(); ++step) {
+    int target = order[step];
+    // Edges between the target and filled bases; the first drives the hash
+    // join, the rest are residual filters.
+    std::vector<BoundEdge> connecting;
+    for (const BoundEdge& e : bound.bound_edges()) {
+      if ((e.left_base == target && filled[e.right_base]) ||
+          (e.right_base == target && filled[e.left_base])) {
+        connecting.push_back(e);
+      }
+    }
+    if (connecting.empty()) {
+      return Status::Internal("evaluate: disconnected join order");
+    }
+    BoundEdge drive = connecting[0];
+    int target_col = drive.left_base == target ? drive.left_col : drive.right_col;
+    int source_base = drive.left_base == target ? drive.right_base : drive.left_base;
+    int source_col = drive.left_base == target ? drive.right_col : drive.left_col;
+
+    // Build a hash table over the target base's (filtered, needed) tuples.
+    std::unordered_map<Value, std::vector<Row>, ValueHash> table;
+    PJVM_ASSIGN_OR_RETURN(int key_pos, bound.NeededPos(target, target_col));
+    for (const Row& row : sys->ScanAll(bound.base_def(target).name)) {
+      if (!bound.RowPassesSelections(target, row)) continue;
+      Row part = bound.ProjectNeeded(target, row);
+      table[part[key_pos]].push_back(std::move(part));
+    }
+
+    PJVM_ASSIGN_OR_RETURN(int probe_idx,
+                          bound.WorkingIndex(source_base, source_col));
+    std::vector<Row> next;
+    for (const Row& working : partials) {
+      auto it = table.find(working[probe_idx]);
+      if (it == table.end()) continue;
+      for (const Row& part : it->second) {
+        Row extended = working;
+        for (size_t j = 0; j < part.size(); ++j) {
+          extended[bound.needed_offset(target) + j] = part[j];
+        }
+        // Residual edge checks.
+        bool ok = true;
+        for (size_t e = 1; e < connecting.size() && ok; ++e) {
+          const BoundEdge& edge = connecting[e];
+          PJVM_ASSIGN_OR_RETURN(int li,
+                                bound.WorkingIndex(edge.left_base, edge.left_col));
+          PJVM_ASSIGN_OR_RETURN(
+              int ri, bound.WorkingIndex(edge.right_base, edge.right_col));
+          ok = extended[li] == extended[ri];
+        }
+        if (ok) next.push_back(std::move(extended));
+      }
+    }
+    partials = std::move(next);
+    filled[target] = true;
+  }
+
+  std::vector<Row> outputs;
+  outputs.reserve(partials.size());
+  for (const Row& working : partials) {
+    outputs.push_back(bound.OutputRow(working));
+  }
+  // Aggregate views store folded group rows, not raw join tuples.
+  return bound.FoldAggregates(outputs);
+}
+
+}  // namespace pjvm

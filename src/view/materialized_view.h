@@ -1,0 +1,68 @@
+#ifndef PJVM_VIEW_MATERIALIZED_VIEW_H_
+#define PJVM_VIEW_MATERIALIZED_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/system.h"
+#include "view/view_def.h"
+
+namespace pjvm {
+
+/// \brief The stored form of a join view: a distributed table (one fragment
+/// per node) holding the view's output rows, partitioned per the view
+/// definition (hash on the partitioning attribute, or round-robin when the
+/// view "is not partitioned on an attribute" in the paper's terms).
+class MaterializedView {
+ public:
+  /// Creates the view's backing table across the system. The table carries a
+  /// non-clustered index on the partitioning attribute (the paper's model
+  /// assumption 3). The table starts empty; see ViewManager for backfill.
+  static Result<MaterializedView> Create(ParallelSystem* sys, BoundView bound);
+
+  const BoundView& bound() const { return bound_; }
+  const std::string& table_name() const { return bound_.def().name; }
+
+  /// Destination node of one output row.
+  int DestinationOf(const Row& output_row);
+
+  /// Applies one batch of output rows produced at `source_node`: routes each
+  /// row through the interconnect to its home view node (one message per
+  /// distinct destination, as in the paper's flows) and inserts or deletes
+  /// there. `rows` are *output* rows (already projected). Deletions on a
+  /// round-robin view search the nodes in order, charging one SEARCH per
+  /// miss, since the row's location is not derivable from its content.
+  Status ApplyOutputs(uint64_t txn, int source_node, std::vector<Row> rows,
+                      bool is_delete, size_t* applied);
+
+  /// All output rows of the view (test/inspection utility; uncharged).
+  std::vector<Row> Contents() const { return sys_->ScanAll(table_name()); }
+  size_t RowCount() const { return sys_->RowCount(table_name()); }
+
+ private:
+  MaterializedView(ParallelSystem* sys, BoundView bound)
+      : sys_(sys), bound_(std::move(bound)) {}
+
+  /// Aggregate-view path of ApplyOutputs: folds contribution rows into the
+  /// stored group rows ([group..., __count, aggregates...]), creating,
+  /// updating, or removing groups as their counts move through zero.
+  Status ApplyAggregateContributions(uint64_t txn, int source_node,
+                                     std::vector<Row> rows, bool is_delete,
+                                     size_t* applied);
+
+  ParallelSystem* sys_;
+  BoundView bound_;
+};
+
+/// \brief Recomputes the view's output rows from the current base tables by
+/// a from-scratch multi-way hash join (bag semantics).
+///
+/// This is the correctness oracle for every incremental maintenance method,
+/// and the backfill source when a view is first registered. It reads
+/// fragments directly and charges no costs.
+Result<std::vector<Row>> EvaluateViewFromScratch(ParallelSystem* sys,
+                                                 const BoundView& bound);
+
+}  // namespace pjvm
+
+#endif  // PJVM_VIEW_MATERIALIZED_VIEW_H_

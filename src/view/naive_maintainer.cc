@@ -1,0 +1,30 @@
+#include "view/naive_maintainer.h"
+
+namespace pjvm {
+
+Status NaiveMaintainer::ProcessSign(uint64_t txn, int updated_base,
+                                    const MaintenancePlan& plan,
+                                    const std::vector<Row>& rows,
+                                    const std::vector<GlobalRowId>& gids,
+                                    bool is_delete, MaintenanceReport* report) {
+  PJVM_ASSIGN_OR_RETURN(
+      std::vector<Partial> partials,
+      SeedPartials(updated_base, rows, gids, /*colocate_col=*/-1));
+  for (const PlanStep& step : plan.steps) {
+    const TableDef& target_def = bound().base_def(step.target_base);
+    bool co_partitioned = target_def.partition.is_hash() &&
+                          target_def.PartitionColumn() == step.target_col;
+    if (co_partitioned) {
+      // Case 1: the matching tuples live at one known node per key.
+      PJVM_ASSIGN_OR_RETURN(partials, RoutedStep(txn, step, BaseProbeTarget(step),
+                                                 partials, report));
+    } else {
+      // Case 2: the matching tuples could be anywhere; go everywhere.
+      PJVM_ASSIGN_OR_RETURN(partials, BroadcastStep(txn, step, partials, report));
+    }
+    if (partials.empty()) return Status::OK();
+  }
+  return EmitToView(txn, partials, is_delete, report);
+}
+
+}  // namespace pjvm

@@ -1,0 +1,32 @@
+#ifndef PJVM_VIEW_NAIVE_MAINTAINER_H_
+#define PJVM_VIEW_NAIVE_MAINTAINER_H_
+
+#include "view/maintainer.h"
+
+namespace pjvm {
+
+/// \brief The paper's naive method (Section 2.1.1).
+///
+/// Each plan step probes the raw base table. When the target base happens to
+/// be partitioned on the join attribute (case 1), each partial is routed to
+/// the single owning node; otherwise (case 2) each partial is broadcast to
+/// all L nodes — the expensive all-node operation the other methods avoid.
+/// No extra storage is used.
+class NaiveMaintainer : public Maintainer {
+ public:
+  using Maintainer::Maintainer;
+
+  MaintenanceMethod method() const override {
+    return MaintenanceMethod::kNaive;
+  }
+
+ protected:
+  Status ProcessSign(uint64_t txn, int updated_base,
+                     const MaintenancePlan& plan, const std::vector<Row>& rows,
+                     const std::vector<GlobalRowId>& gids, bool is_delete,
+                     MaintenanceReport* report) override;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_VIEW_NAIVE_MAINTAINER_H_

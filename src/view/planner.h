@@ -1,0 +1,76 @@
+#ifndef PJVM_VIEW_PLANNER_H_
+#define PJVM_VIEW_PLANNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "view/view_def.h"
+
+namespace pjvm {
+
+/// \brief One step of a maintenance plan: join the partial results (which
+/// cover the already-filled bases) with `target_base`.
+struct PlanStep {
+  /// Base being brought in by this step.
+  int target_base = -1;
+  /// Full-schema column of the target used for routing and probing.
+  int target_col = -1;
+  /// Already-filled base providing the join key, and its column.
+  int source_base = -1;
+  int source_col = -1;
+  /// Additional edges between the target and already-filled bases that must
+  /// be re-verified after the probe (cyclic join graphs).
+  std::vector<BoundEdge> residual;
+};
+
+/// \brief Order in which the non-updated bases are joined when a delta
+/// arrives on `updated_base` (Section 2.2's optimization problem: "there are
+/// many choices as to how to use the auxiliary relations").
+struct MaintenancePlan {
+  int updated_base = -1;
+  std::vector<PlanStep> steps;
+
+  std::string ToString(const BoundView& view) const;
+};
+
+/// Estimated average join fanout of probing `base` on its `full_col` (rows
+/// per distinct key). Supplied from live table statistics.
+using FanoutFn = std::function<double(int base, int full_col)>;
+
+/// \brief Greedy statistics-driven planner: repeatedly joins the reachable
+/// base whose probe column has the smallest estimated fanout, keeping
+/// intermediate result sizes small.
+Result<MaintenancePlan> PlanMaintenance(const BoundView& view, int updated_base,
+                                        const FanoutFn& fanout);
+
+/// Estimated matches in (base, full_col) for one specific key value —
+/// exact when an index exists, histogram-based otherwise.
+using KeyFanoutFn =
+    std::function<double(int base, int full_col, const Value& key)>;
+
+/// \brief Delta-aware greedy planner: candidate steps whose join key comes
+/// from the *updated* base are scored with the actual key values of this
+/// delta (averaged through `key_fanout`), so a batch that hits a skewed
+/// column's cold keys plans differently from one hitting its hot keys.
+/// Steps keyed by not-yet-joined values fall back to `avg_fanout`.
+Result<MaintenancePlan> PlanMaintenanceForDelta(
+    const BoundView& view, int updated_base, const std::vector<Row>& delta_rows,
+    const FanoutFn& avg_fanout, const KeyFanoutFn& key_fanout);
+
+/// \brief All valid join orders (for the plan-choice ablation study).
+/// Exponential in the number of bases; fine for the 3-5 base views the paper
+/// considers.
+std::vector<MaintenancePlan> EnumerateAllPlans(const BoundView& view,
+                                               int updated_base);
+
+/// \brief Cost of a plan under the simple model: each step routes and probes
+/// every current partial tuple (1 send + 1 search each) and multiplies the
+/// partial count by the step's fanout.
+double EstimatePlanCost(const BoundView& view, const MaintenancePlan& plan,
+                        const FanoutFn& fanout);
+
+}  // namespace pjvm
+
+#endif  // PJVM_VIEW_PLANNER_H_

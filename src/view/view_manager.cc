@@ -1,0 +1,497 @@
+#include "view/view_manager.h"
+
+#include <algorithm>
+#include <map>
+
+#include "net/message.h"
+#include "view/aux_relation_maintainer.h"
+#include "view/global_index_maintainer.h"
+#include "view/naive_maintainer.h"
+
+namespace pjvm {
+
+// ----------------------------------------------------------------- GiRegistry
+
+namespace {
+
+std::string GiName(const std::string& table, const std::string& column) {
+  return "__gi_" + table + "_" + column;
+}
+
+}  // namespace
+
+Row GiRegistry::EntryRow(const Value& key, GlobalRowId gid) {
+  return Row{key, Value{static_cast<int64_t>(gid.node)},
+             Value{static_cast<int64_t>(gid.lrid)}};
+}
+
+Status GiRegistry::Require(const std::string& table, int col) {
+  ++refs_[{table, col}];
+  if (Has(table, col)) return Status::OK();
+  PJVM_ASSIGN_OR_RETURN(const TableDef* base, sys_->catalog().Get(table));
+  Entry entry;
+  entry.base_table = table;
+  entry.col = col;
+  entry.gi_table = GiName(table, base->schema.column(col).name);
+  TableDef def;
+  def.name = entry.gi_table;
+  def.schema = Schema({{"key", base->schema.column(col).type},
+                       {"node", ValueType::kInt64},
+                       {"lrid", ValueType::kInt64}});
+  def.kind = TableKind::kGlobalIndex;
+  def.partition = PartitionSpec::Hash("key");
+  // An entry's posting list lives together: probing it is one SEARCH with no
+  // per-item fetches, which "clustered" models.
+  def.indexes.push_back(IndexSpec{"key", /*clustered=*/true});
+  PJVM_RETURN_NOT_OK(sys_->CreateTable(def));
+  PJVM_RETURN_NOT_OK(Backfill(entry));
+  entries_.emplace(std::make_pair(table, col), std::move(entry));
+  return Status::OK();
+}
+
+Status GiRegistry::Backfill(const Entry& entry) {
+  for (int i = 0; i < sys_->num_nodes(); ++i) {
+    const TableFragment* frag = sys_->node(i)->fragment(entry.base_table);
+    Status st = Status::OK();
+    int node = i;
+    frag->ForEach([&](LocalRowId lrid, const Row& row) {
+      st = sys_->Insert(entry.gi_table,
+                        EntryRow(row[entry.col], GlobalRowId{node, lrid}));
+      return st.ok();
+    });
+    PJVM_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+Status GiRegistry::Release(const std::string& table, int col) {
+  auto ref = refs_.find({table, col});
+  if (ref == refs_.end() || ref->second <= 0) {
+    return Status::NotFound("no global index reference for " + table +
+                            " column " + std::to_string(col));
+  }
+  if (--ref->second > 0) return Status::OK();
+  refs_.erase(ref);
+  auto it = entries_.find({table, col});
+  if (it != entries_.end()) {
+    PJVM_RETURN_NOT_OK(sys_->DropTable(it->second.gi_table));
+    entries_.erase(it);
+  }
+  return Status::OK();
+}
+
+Result<std::string> GiRegistry::Access(const std::string& table,
+                                       int col) const {
+  auto it = entries_.find({table, col});
+  if (it == entries_.end()) {
+    return Status::NotFound("no global index for " + table + " column " +
+                            std::to_string(col));
+  }
+  return it->second.gi_table;
+}
+
+Result<size_t> GiRegistry::ApplyDelta(uint64_t txn, const DeltaBatch& delta) {
+  size_t writes = 0;
+  for (auto& [key, entry] : entries_) {
+    if (entry.base_table != delta.table) continue;
+    auto apply = [&](const std::vector<Row>& rows,
+                     const std::vector<GlobalRowId>& gids,
+                     bool is_delete) -> Status {
+      if (rows.size() != gids.size()) {
+        return Status::InvalidArgument(
+            "global index maintenance requires one gid per delta row");
+      }
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const Value& k = rows[i][entry.col];
+        Row entry_row = EntryRow(k, gids[i]);
+        int dest = sys_->HomeNodeForKey(k);
+        int from = gids[i].node;
+        if (from != dest) {
+          Message msg;
+          msg.kind = is_delete ? MessageKind::kDeleteTuples : MessageKind::kTuples;
+          msg.from = from;
+          msg.to = dest;
+          msg.table = entry.gi_table;
+          msg.rows.push_back(entry_row);
+          msg.txn_id = txn;
+          PJVM_RETURN_NOT_OK(sys_->network().Send(std::move(msg)));
+          sys_->network().Poll(dest);
+        }
+        if (is_delete) {
+          PJVM_RETURN_NOT_OK(
+              sys_->node(dest)->DeleteExact(txn, entry.gi_table, entry_row));
+        } else {
+          PJVM_RETURN_NOT_OK(
+              sys_->node(dest)->Insert(txn, entry.gi_table, std::move(entry_row))
+                  .status());
+        }
+        ++writes;
+      }
+      return Status::OK();
+    };
+    PJVM_RETURN_NOT_OK(apply(delta.deletes, delta.delete_gids, true));
+    PJVM_RETURN_NOT_OK(apply(delta.inserts, delta.insert_gids, false));
+  }
+  return writes;
+}
+
+Status GiRegistry::RebuildAll() {
+  for (auto& [key, entry] : entries_) {
+    PJVM_ASSIGN_OR_RETURN(const TableDef* def,
+                          sys_->catalog().Get(entry.gi_table));
+    TableDef copy = *def;
+    PJVM_RETURN_NOT_OK(sys_->DropTable(entry.gi_table));
+    PJVM_RETURN_NOT_OK(sys_->CreateTable(copy));
+    PJVM_RETURN_NOT_OK(Backfill(entry));
+  }
+  return Status::OK();
+}
+
+size_t GiRegistry::StorageBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, entry] : entries_) {
+    bytes += sys_->TableBytes(entry.gi_table);
+  }
+  return bytes;
+}
+
+std::vector<std::string> GiRegistry::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, entry] : entries_) names.push_back(entry.gi_table);
+  return names;
+}
+
+Status GiRegistry::CheckConsistent() const {
+  for (const auto& [key, entry] : entries_) {
+    size_t base_rows = sys_->RowCount(entry.base_table);
+    size_t entries_count = sys_->RowCount(entry.gi_table);
+    if (base_rows != entries_count) {
+      return Status::Internal("GI '" + entry.gi_table + "' has " +
+                              std::to_string(entries_count) + " entries for " +
+                              std::to_string(base_rows) + " base rows");
+    }
+    for (int i = 0; i < sys_->num_nodes(); ++i) {
+      const TableFragment* frag = sys_->node(i)->fragment(entry.gi_table);
+      Status st = Status::OK();
+      int node = i;
+      frag->ForEach([&](LocalRowId, const Row& row) {
+        if (sys_->HomeNodeForKey(row[0]) != node) {
+          st = Status::Internal("GI '" + entry.gi_table +
+                                "' entry on wrong node");
+          return false;
+        }
+        int owner = static_cast<int>(row[1].AsInt64());
+        LocalRowId lrid = static_cast<LocalRowId>(row[2].AsInt64());
+        const TableFragment* base_frag =
+            sys_->node(owner)->fragment(entry.base_table);
+        const Row* base_row =
+            base_frag == nullptr ? nullptr : base_frag->Get(lrid);
+        if (base_row == nullptr || !((*base_row)[entry.col] == row[0])) {
+          st = Status::Internal("GI '" + entry.gi_table +
+                                "' entry does not resolve: " + RowToString(row));
+          return false;
+        }
+        return true;
+      });
+      PJVM_RETURN_NOT_OK(st);
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- ViewManager
+
+const char* MaintenanceTimingToString(MaintenanceTiming timing) {
+  switch (timing) {
+    case MaintenanceTiming::kImmediate:
+      return "IMMEDIATE";
+    case MaintenanceTiming::kDeferred:
+      return "DEFERRED";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<std::pair<int, int>> ViewManager::ProbeColumns(
+    const BoundView& bound) {
+  std::vector<std::pair<int, int>> out;
+  for (const BoundEdge& edge : bound.bound_edges()) {
+    out.emplace_back(edge.left_base, edge.left_col);
+    out.emplace_back(edge.right_base, edge.right_col);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Status ViewManager::CreateStructures(const BoundView& bound,
+                                     MaintenanceMethod method) {
+  for (const auto& [base, col] : ProbeColumns(bound)) {
+    const TableDef& def = bound.base_def(base);
+    const std::string& col_name = def.schema.column(col).name;
+    bool co_partitioned =
+        def.partition.is_hash() && def.PartitionColumn() == col;
+    // Any method may probe the raw base when it is co-partitioned (and the
+    // naive method always does), which needs a local index on the attribute.
+    if (method == MaintenanceMethod::kNaive || co_partitioned) {
+      PJVM_RETURN_NOT_OK(
+          sys_->CreateIndexOn(def.name, col_name, /*clustered=*/false));
+    }
+    if (co_partitioned) continue;  // "the AR/GI for that relation is unnecessary"
+    switch (method) {
+      case MaintenanceMethod::kNaive:
+        break;
+      case MaintenanceMethod::kAuxRelation:
+        PJVM_RETURN_NOT_OK(ars_.Require(def.name, col, bound.needed_cols(base),
+                                        bound.base_preds(base)));
+        break;
+      case MaintenanceMethod::kGlobalIndex:
+        PJVM_RETURN_NOT_OK(gis_.Require(def.name, col));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status ViewManager::RegisterView(const JoinViewDef& def,
+                                 MaintenanceMethod method,
+                                 MaintenanceTiming timing) {
+  if (views_.count(def.name) > 0) {
+    return Status::AlreadyExists("view '" + def.name + "' already registered");
+  }
+  PJVM_ASSIGN_OR_RETURN(BoundView bound, BoundView::Bind(def, sys_->catalog()));
+  PJVM_RETURN_NOT_OK(CreateStructures(bound, method));
+  PJVM_ASSIGN_OR_RETURN(MaterializedView mv,
+                        MaterializedView::Create(sys_, bound));
+
+  ViewRegistration reg;
+  reg.bound = std::move(bound);
+  reg.method = method;
+  reg.timing = timing;
+  reg.view = std::make_unique<MaterializedView>(std::move(mv));
+  switch (method) {
+    case MaintenanceMethod::kNaive:
+      reg.maintainer =
+          std::make_unique<NaiveMaintainer>(sys_, reg.view.get(), this);
+      break;
+    case MaintenanceMethod::kAuxRelation:
+      reg.maintainer =
+          std::make_unique<AuxRelationMaintainer>(sys_, reg.view.get(), this);
+      break;
+    case MaintenanceMethod::kGlobalIndex:
+      reg.maintainer =
+          std::make_unique<GlobalIndexMaintainer>(sys_, reg.view.get(), this);
+      break;
+  }
+
+  // Backfill the view from the current base contents.
+  PJVM_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                        EvaluateViewFromScratch(sys_, reg.bound));
+  for (Row& row : rows) {
+    PJVM_RETURN_NOT_OK(sys_->Insert(def.name, std::move(row)));
+  }
+  views_.emplace(def.name, std::move(reg));
+  return Status::OK();
+}
+
+Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta) {
+  if (!sys_->catalog().Has(delta.table)) {
+    return Status::NotFound("no base table '" + delta.table + "'");
+  }
+  // Normalize updates into delete+insert pairs.
+  for (auto& [old_row, new_row] : delta.updates) {
+    delta.deletes.push_back(std::move(old_row));
+    delta.inserts.push_back(std::move(new_row));
+  }
+  delta.updates.clear();
+
+  uint64_t txn = sys_->Begin();
+  auto run = [&]() -> Result<MaintenanceReport> {
+    MaintenanceReport total;
+    // 1. Update the base relation, capturing each row's global row id.
+    //    Deletes must be located before removal (GIs reference their rids).
+    delta.delete_gids.clear();
+    for (const Row& row : delta.deletes) {
+      PJVM_ASSIGN_OR_RETURN(GlobalRowId gid, sys_->LocateExact(delta.table, row));
+      delta.delete_gids.push_back(gid);
+      PJVM_RETURN_NOT_OK(sys_->DeleteExact(delta.table, row, txn));
+    }
+    delta.insert_gids.clear();
+    for (const Row& row : delta.inserts) {
+      PJVM_ASSIGN_OR_RETURN(GlobalRowId gid,
+                            sys_->InsertReturningId(delta.table, row, txn));
+      delta.insert_gids.push_back(gid);
+    }
+    // 2. Update the auxiliary structures (shared across views, so done once).
+    PJVM_ASSIGN_OR_RETURN(size_t ar_writes, ars_.ApplyDelta(txn, delta));
+    PJVM_ASSIGN_OR_RETURN(size_t gi_writes, gis_.ApplyDelta(txn, delta));
+    total.structure_writes = ar_writes + gi_writes;
+    // 3. Maintain every dependent view.
+    for (auto& [name, reg] : views_) {
+      auto base_idx = [&]() -> int {
+        for (int i = 0; i < reg.bound.num_bases(); ++i) {
+          if (reg.bound.base_def(i).name == delta.table) return i;
+        }
+        return -1;
+      }();
+      if (base_idx < 0) continue;
+      if (reg.timing == MaintenanceTiming::kDeferred) {
+        reg.stale = true;  // Brought current later by RefreshView().
+        continue;
+      }
+      PJVM_ASSIGN_OR_RETURN(MaintenanceReport report,
+                            reg.maintainer->ApplyDelta(txn, base_idx, delta));
+      total += report;
+    }
+    return total;
+  };
+  Result<MaintenanceReport> result = run();
+  if (!result.ok()) {
+    sys_->Abort(txn).Check();
+    return result;
+  }
+  PJVM_RETURN_NOT_OK(sys_->Commit(txn));
+  return result;
+}
+
+Status ViewManager::UnregisterView(const std::string& name) {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + name + "' is not registered");
+  }
+  const ViewRegistration& reg = it->second;
+  for (const auto& [base, col] : ProbeColumns(reg.bound)) {
+    const TableDef& def = reg.bound.base_def(base);
+    bool co_partitioned =
+        def.partition.is_hash() && def.PartitionColumn() == col;
+    if (co_partitioned) continue;
+    switch (reg.method) {
+      case MaintenanceMethod::kNaive:
+        break;
+      case MaintenanceMethod::kAuxRelation:
+        PJVM_RETURN_NOT_OK(ars_.Release(def.name, col));
+        break;
+      case MaintenanceMethod::kGlobalIndex:
+        PJVM_RETURN_NOT_OK(gis_.Release(def.name, col));
+        break;
+    }
+  }
+  PJVM_RETURN_NOT_OK(sys_->DropTable(name));
+  views_.erase(it);
+  return Status::OK();
+}
+
+Status ViewManager::RefreshView(const std::string& name) {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + name + "' is not registered");
+  }
+  ViewRegistration& reg = it->second;
+  if (reg.timing == MaintenanceTiming::kImmediate || !reg.stale) {
+    return Status::OK();
+  }
+  // Charge what the recomputation reads: a full scan of every base
+  // relation's fragments (sort/hash join passes are subsumed by the
+  // engine's memory budget at these scales; a refresh is scan-dominated).
+  for (int i = 0; i < reg.bound.num_bases(); ++i) {
+    const std::string& table = reg.bound.base_def(i).name;
+    for (int n = 0; n < sys_->num_nodes(); ++n) {
+      const TableFragment* frag = sys_->node(n)->fragment(table);
+      if (frag != nullptr) sys_->cost().ChargeIOPages(n, frag->num_pages());
+    }
+  }
+  PJVM_ASSIGN_OR_RETURN(std::vector<Row> expected,
+                        EvaluateViewFromScratch(sys_, reg.bound));
+  // Diff against stored contents (bag semantics) and apply the difference.
+  std::map<std::string, std::pair<int, Row>> delta;  // rendered -> (count, row)
+  for (Row& row : expected) {
+    auto [entry, inserted] =
+        delta.try_emplace(RowToString(row), 0, std::move(row));
+    entry->second.first += 1;
+    (void)inserted;
+  }
+  for (Row& row : sys_->ScanAll(name)) {
+    auto [entry, inserted] =
+        delta.try_emplace(RowToString(row), 0, std::move(row));
+    entry->second.first -= 1;
+    (void)inserted;
+  }
+  uint64_t txn = sys_->Begin();
+  for (auto& [key, counted] : delta) {
+    auto& [count, row] = counted;
+    for (; count > 0; --count) {
+      PJVM_RETURN_NOT_OK(sys_->Insert(name, row, txn));
+    }
+    for (; count < 0; ++count) {
+      PJVM_RETURN_NOT_OK(sys_->DeleteExact(name, row, txn));
+    }
+  }
+  PJVM_RETURN_NOT_OK(sys_->Commit(txn));
+  reg.stale = false;
+  return Status::OK();
+}
+
+Status ViewManager::RefreshAllViews() {
+  for (auto& [name, reg] : views_) {
+    PJVM_RETURN_NOT_OK(RefreshView(name));
+  }
+  return Status::OK();
+}
+
+bool ViewManager::IsStale(const std::string& name) const {
+  auto it = views_.find(name);
+  return it != views_.end() && it->second.stale;
+}
+
+MaterializedView* ViewManager::view(const std::string& name) {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : it->second.view.get();
+}
+
+const ViewRegistration* ViewManager::registration(
+    const std::string& name) const {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ViewManager::ViewNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, reg] : views_) names.push_back(name);
+  return names;
+}
+
+Status ViewManager::CheckAllConsistent() {
+  for (auto& [name, reg] : views_) {
+    // A stale deferred view is *expected* to lag; only fresh contents are
+    // held to the oracle.
+    if (reg.stale) continue;
+    PJVM_ASSIGN_OR_RETURN(std::vector<Row> expected,
+                          EvaluateViewFromScratch(sys_, reg.bound));
+    std::vector<Row> actual = reg.view->Contents();
+    std::map<std::string, int> want, got;
+    for (const Row& r : expected) want[RowToString(r)]++;
+    for (const Row& r : actual) got[RowToString(r)]++;
+    if (want != got) {
+      std::string detail;
+      for (const auto& [row, count] : want) {
+        auto it = got.find(row);
+        int have = it == got.end() ? 0 : it->second;
+        if (have != count) {
+          detail += " expected " + std::to_string(count) + "x" + row + " got " +
+                    std::to_string(have) + ";";
+        }
+      }
+      for (const auto& [row, count] : got) {
+        if (want.count(row) == 0) {
+          detail += " unexpected " + std::to_string(count) + "x" + row + ";";
+        }
+      }
+      return Status::Internal("view '" + name +
+                              "' diverged from from-scratch join:" + detail);
+    }
+  }
+  PJVM_RETURN_NOT_OK(ars_.CheckConsistent());
+  PJVM_RETURN_NOT_OK(gis_.CheckConsistent());
+  return sys_->CheckInvariants();
+}
+
+}  // namespace pjvm

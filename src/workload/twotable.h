@@ -1,0 +1,40 @@
+#ifndef PJVM_WORKLOAD_TWOTABLE_H_
+#define PJVM_WORKLOAD_TWOTABLE_H_
+
+#include <cstdint>
+
+#include "engine/system.h"
+#include "view/view_def.h"
+
+namespace pjvm {
+
+/// \brief The uniform two-relation setup of the paper's analytical model
+/// experiments (Section 3.1/3.2):
+///
+/// A(a, c, e) partitioned on a — the updated relation; join attribute c.
+/// B(b, d, f) partitioned on b — the probed relation; join attribute d with
+/// exactly `fanout` (the paper's N) rows per key value, uniformly
+/// distributed on d (the paper's assumption 9).
+///
+/// Neither relation is partitioned on the join attribute, matching the
+/// model's standing assumption, and B carries an index on d that is
+/// clustered or not per `b_clustered_on_d` (the J_B variants).
+struct TwoTableConfig {
+  int64_t b_join_keys = 100;
+  int64_t fanout = 10;
+  bool b_clustered_on_d = true;
+  uint64_t seed = 7;
+};
+
+/// Creates and loads A (empty) and B (b_join_keys * fanout rows) in `sys`.
+Status LoadTwoTable(ParallelSystem* sys, const TwoTableConfig& config);
+
+/// The i-th delta tuple for A: key i, join attribute uniform over B's keys.
+Row MakeDeltaA(const TwoTableConfig& config, int64_t i);
+
+/// The model's JV = A x B on c = d, partitioned on an attribute of A.
+JoinViewDef MakeModelView();
+
+}  // namespace pjvm
+
+#endif  // PJVM_WORKLOAD_TWOTABLE_H_

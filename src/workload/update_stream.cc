@@ -1,0 +1,47 @@
+#include "workload/update_stream.h"
+
+namespace pjvm {
+
+UpdateStreamGenerator::UpdateStreamGenerator(
+    std::string table, UpdateMix mix, uint64_t seed,
+    std::function<Row(int64_t)> make_row,
+    std::function<Row(const Row&, Rng&)> mutate)
+    : table_(std::move(table)),
+      mix_(mix),
+      rng_(seed),
+      make_row_(std::move(make_row)),
+      mutate_(std::move(mutate)) {}
+
+DeltaBatch UpdateStreamGenerator::NextBatch(int ops) {
+  DeltaBatch batch;
+  batch.table = table_;
+  double total = mix_.insert_frac + mix_.delete_frac + mix_.update_frac;
+  // Deletes and updates must target rows that existed before this batch:
+  // ViewManager applies a batch's deletes before its inserts, so touching a
+  // same-batch insert would be a use-before-insert.
+  size_t stable = live_.size();
+  for (int i = 0; i < ops; ++i) {
+    double dice = rng_.UniformDouble() * total;
+    if (dice < mix_.insert_frac || stable == 0) {
+      Row row = make_row_(next_id_++);
+      batch.inserts.push_back(row);
+      live_.push_back(std::move(row));
+    } else if (dice < mix_.insert_frac + mix_.delete_frac) {
+      size_t pick = rng_.Next() % stable;
+      batch.deletes.push_back(live_[pick]);
+      live_.erase(live_.begin() + pick);
+      --stable;
+    } else {
+      size_t pick = rng_.Next() % stable;
+      Row new_row = mutate_(live_[pick], rng_);
+      batch.updates.emplace_back(live_[pick], new_row);
+      // The updated image counts as a fresh row for this batch's purposes.
+      live_.erase(live_.begin() + pick);
+      --stable;
+      live_.push_back(std::move(new_row));
+    }
+  }
+  return batch;
+}
+
+}  // namespace pjvm

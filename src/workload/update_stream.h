@@ -1,0 +1,50 @@
+#ifndef PJVM_WORKLOAD_UPDATE_STREAM_H_
+#define PJVM_WORKLOAD_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "view/maintainer.h"
+
+namespace pjvm {
+
+/// \brief Mix of operations in a generated update stream.
+struct UpdateMix {
+  double insert_frac = 1.0;
+  double delete_frac = 0.0;
+  double update_frac = 0.0;
+};
+
+/// \brief Deterministic generator of DeltaBatches against one table — the
+/// "stream of updates" of the paper's operational-warehouse scenario.
+///
+/// The generator tracks which of its rows are live so deletes and updates
+/// always target existing tuples. `make_row(i)` supplies the i-th fresh row;
+/// `mutate(row)` produces the updated image of a row.
+class UpdateStreamGenerator {
+ public:
+  UpdateStreamGenerator(std::string table, UpdateMix mix, uint64_t seed,
+                        std::function<Row(int64_t)> make_row,
+                        std::function<Row(const Row&, Rng&)> mutate);
+
+  /// Next batch of `ops` operations.
+  DeltaBatch NextBatch(int ops);
+
+  size_t live_rows() const { return live_.size(); }
+
+ private:
+  std::string table_;
+  UpdateMix mix_;
+  Rng rng_;
+  std::function<Row(int64_t)> make_row_;
+  std::function<Row(const Row&, Rng&)> mutate_;
+  std::vector<Row> live_;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_WORKLOAD_UPDATE_STREAM_H_

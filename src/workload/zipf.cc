@@ -1,0 +1,27 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pjvm {
+
+ZipfGenerator::ZipfGenerator(int64_t n, double theta, uint64_t seed)
+    : rng_(seed) {
+  cdf_.reserve(n);
+  double cumulative = 0.0;
+  for (int64_t r = 0; r < n; ++r) {
+    cumulative += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_.push_back(cumulative);
+  }
+  // Normalize to [0, 1].
+  for (double& x : cdf_) x /= cumulative;
+}
+
+int64_t ZipfGenerator::Next() {
+  double u = rng_.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<int64_t>(cdf_.size()) - 1;
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+}  // namespace pjvm

@@ -1,0 +1,34 @@
+#ifndef PJVM_WORKLOAD_ZIPF_H_
+#define PJVM_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pjvm {
+
+/// \brief Zipf-distributed key sampler over ranks [0, n): rank r is drawn
+/// with probability proportional to 1 / (r + 1)^theta.
+///
+/// Real warehouse update streams are skewed (a few hot customers/parts
+/// receive most activity), which changes join fanouts and hence the best
+/// maintenance plan; this generator drives the skew experiments.
+class ZipfGenerator {
+ public:
+  /// theta = 0 degenerates to uniform; theta ~ 1 is classic Zipf.
+  ZipfGenerator(int64_t n, double theta, uint64_t seed);
+
+  /// Next rank in [0, n); rank 0 is the hottest.
+  int64_t Next();
+
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+  Rng rng_;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_WORKLOAD_ZIPF_H_

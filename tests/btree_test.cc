@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/btree.h"
+#include "storage/row_id.h"
+
+namespace pjvm {
+namespace {
+
+using Tree = BPlusTree<uint64_t>;
+
+TEST(BTreeTest, EmptyTree) {
+  Tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.num_keys(), 0u);
+  EXPECT_EQ(t.num_items(), 0u);
+  EXPECT_EQ(t.Find(Value{1}), nullptr);
+  EXPECT_TRUE(t.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, SingleInsertFind) {
+  Tree t;
+  t.Insert(Value{5}, 100);
+  ASSERT_NE(t.Find(Value{5}), nullptr);
+  EXPECT_EQ(t.Find(Value{5})->at(0), 100u);
+  EXPECT_EQ(t.Find(Value{6}), nullptr);
+  EXPECT_EQ(t.num_keys(), 1u);
+  EXPECT_EQ(t.num_items(), 1u);
+}
+
+TEST(BTreeTest, DuplicateKeysShareEntry) {
+  Tree t;
+  t.Insert(Value{5}, 1);
+  t.Insert(Value{5}, 2);
+  t.Insert(Value{5}, 3);
+  const auto* list = t.Find(Value{5});
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->size(), 3u);
+  EXPECT_EQ(t.num_keys(), 1u);
+  EXPECT_EQ(t.num_items(), 3u);
+}
+
+TEST(BTreeTest, SplitsKeepAllKeysFindable) {
+  Tree t(/*max_keys=*/4);
+  for (int64_t i = 0; i < 500; ++i) t.Insert(Value{i}, static_cast<uint64_t>(i));
+  EXPECT_GT(t.height(), 1);
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_NE(t.Find(Value{i}), nullptr) << "missing key " << i;
+  }
+  EXPECT_TRUE(t.CheckInvariants().ok()) << t.CheckInvariants();
+}
+
+TEST(BTreeTest, ReverseInsertionOrder) {
+  Tree t(4);
+  for (int64_t i = 499; i >= 0; --i) t.Insert(Value{i}, static_cast<uint64_t>(i));
+  for (int64_t i = 0; i < 500; ++i) ASSERT_NE(t.Find(Value{i}), nullptr);
+  EXPECT_TRUE(t.CheckInvariants().ok()) << t.CheckInvariants();
+}
+
+TEST(BTreeTest, RemoveMissingKeyFails) {
+  Tree t;
+  t.Insert(Value{1}, 10);
+  EXPECT_TRUE(t.Remove(Value{2}, 10).IsNotFound());
+  EXPECT_TRUE(t.Remove(Value{1}, 99).IsNotFound());
+  EXPECT_TRUE(t.Remove(Value{1}, 10).ok());
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BTreeTest, RemoveOneDuplicateKeepsOthers) {
+  Tree t;
+  t.Insert(Value{7}, 1);
+  t.Insert(Value{7}, 2);
+  EXPECT_TRUE(t.Remove(Value{7}, 1).ok());
+  const auto* list = t.Find(Value{7});
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->size(), 1u);
+  EXPECT_EQ(list->at(0), 2u);
+}
+
+TEST(BTreeTest, DeleteEverythingAscending) {
+  Tree t(4);
+  for (int64_t i = 0; i < 300; ++i) t.Insert(Value{i}, static_cast<uint64_t>(i));
+  for (int64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(t.Remove(Value{i}, static_cast<uint64_t>(i)).ok()) << i;
+    ASSERT_TRUE(t.CheckInvariants().ok()) << i << ": " << t.CheckInvariants();
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BTreeTest, DeleteEverythingDescending) {
+  Tree t(4);
+  for (int64_t i = 0; i < 300; ++i) t.Insert(Value{i}, static_cast<uint64_t>(i));
+  for (int64_t i = 299; i >= 0; --i) {
+    ASSERT_TRUE(t.Remove(Value{i}, static_cast<uint64_t>(i)).ok()) << i;
+    ASSERT_TRUE(t.CheckInvariants().ok()) << i << ": " << t.CheckInvariants();
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BTreeTest, ScanRangeInOrder) {
+  Tree t(8);
+  for (int64_t i = 0; i < 100; ++i) t.Insert(Value{i * 2}, static_cast<uint64_t>(i));
+  std::vector<int64_t> keys;
+  t.ScanRange(Value{10}, Value{30}, [&](const Value& k, const uint64_t&) {
+    keys.push_back(k.AsInt64());
+    return true;
+  });
+  std::vector<int64_t> expected = {10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30};
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(BTreeTest, ScanRangeEarlyStop) {
+  Tree t;
+  for (int64_t i = 0; i < 20; ++i) t.Insert(Value{i}, static_cast<uint64_t>(i));
+  int visits = 0;
+  t.ScanRange(Value{0}, Value{19}, [&](const Value&, const uint64_t&) {
+    return ++visits < 5;
+  });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(BTreeTest, ForEachEntryVisitsAllInOrder) {
+  Tree t(4);
+  for (int64_t i = 50; i >= 1; --i) t.Insert(Value{i}, static_cast<uint64_t>(i));
+  int64_t prev = 0;
+  size_t count = 0;
+  t.ForEachEntry([&](const Value& k, const Tree::PostingList& list) {
+    EXPECT_GT(k.AsInt64(), prev);
+    prev = k.AsInt64();
+    count += list.size();
+    return true;
+  });
+  EXPECT_EQ(count, 50u);
+}
+
+TEST(BTreeTest, StringKeys) {
+  Tree t(4);
+  std::vector<std::string> words = {"pear", "apple", "fig",   "kiwi",
+                                    "lime", "mango", "grape", "plum"};
+  for (size_t i = 0; i < words.size(); ++i) {
+    t.Insert(Value{words[i]}, static_cast<uint64_t>(i));
+  }
+  for (size_t i = 0; i < words.size(); ++i) {
+    const auto* list = t.Find(Value{words[i]});
+    ASSERT_NE(list, nullptr);
+    EXPECT_EQ(list->at(0), i);
+  }
+  // In-order scan yields sorted words.
+  std::vector<std::string> scanned;
+  t.ForEachEntry([&](const Value& k, const Tree::PostingList&) {
+    scanned.push_back(k.AsString());
+    return true;
+  });
+  std::vector<std::string> sorted = words;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(scanned, sorted);
+}
+
+TEST(BTreeTest, GlobalRowIdPayload) {
+  BPlusTree<GlobalRowId> t;
+  t.Insert(Value{1}, GlobalRowId{2, 77});
+  t.Insert(Value{1}, GlobalRowId{3, 12});
+  const auto* list = t.Find(Value{1});
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->size(), 2u);
+  EXPECT_EQ((*list)[0], (GlobalRowId{2, 77}));
+  EXPECT_TRUE(t.Remove(Value{1}, GlobalRowId{2, 77}).ok());
+  EXPECT_EQ(t.Find(Value{1})->size(), 1u);
+}
+
+// Property-style fuzz against a reference std::multimap, over several tree
+// fanouts and seeds.
+class BTreeFuzzTest : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(BTreeFuzzTest, MatchesReferenceUnderRandomOps) {
+  auto [max_keys, seed] = GetParam();
+  Tree t(max_keys);
+  std::multimap<int64_t, uint64_t> ref;
+  Rng rng(seed);
+  for (int step = 0; step < 4000; ++step) {
+    int64_t key = rng.UniformInt(0, 80);
+    if (rng.Bernoulli(0.6) || ref.empty()) {
+      uint64_t item = rng.Next() % 1000;
+      t.Insert(Value{key}, item);
+      ref.emplace(key, item);
+    } else {
+      auto range = ref.equal_range(key);
+      if (range.first == range.second) {
+        EXPECT_TRUE(t.Remove(Value{key}, 0).IsNotFound());
+      } else {
+        uint64_t item = range.first->second;
+        ASSERT_TRUE(t.Remove(Value{key}, item).ok());
+        ref.erase(range.first);
+      }
+    }
+    if (step % 256 == 0) {
+      ASSERT_TRUE(t.CheckInvariants().ok()) << t.CheckInvariants();
+    }
+  }
+  ASSERT_TRUE(t.CheckInvariants().ok()) << t.CheckInvariants();
+  EXPECT_EQ(t.num_items(), ref.size());
+  // Every reference key's multiset matches.
+  for (auto it = ref.begin(); it != ref.end();) {
+    int64_t key = it->first;
+    std::multiset<uint64_t> want;
+    while (it != ref.end() && it->first == key) want.insert(it++->second);
+    const auto* list = t.Find(Value{key});
+    ASSERT_NE(list, nullptr) << "key " << key;
+    std::multiset<uint64_t> got(list->begin(), list->end());
+    EXPECT_EQ(got, want) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanoutsAndSeeds, BTreeFuzzTest,
+    ::testing::Combine(::testing::Values(4, 8, 64),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace pjvm

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "storage/histogram.h"
+#include "tests/view_test_util.h"
+#include "view/planner.h"
+#include "view/view_manager.h"
+#include "workload/zipf.h"
+
+namespace pjvm {
+namespace {
+
+// ---------------------------------------------------------- EquiDepth hist
+
+TEST(HistogramTest, EmptyAndDegenerate) {
+  EquiDepthHistogram empty = EquiDepthHistogram::Build({}, 4);
+  EXPECT_EQ(empty.total_rows(), 0u);
+  EXPECT_DOUBLE_EQ(empty.EstimateEq(Value{1}), 0.0);
+  EquiDepthHistogram one = EquiDepthHistogram::Build({Value{5}}, 4);
+  EXPECT_DOUBLE_EQ(one.EstimateEq(Value{5}), 1.0);
+  EXPECT_DOUBLE_EQ(one.EstimateEq(Value{6}), 0.0);
+}
+
+TEST(HistogramTest, UniformDataEstimatesFanout) {
+  std::vector<Value> values;
+  for (int64_t k = 0; k < 50; ++k) {
+    for (int r = 0; r < 4; ++r) values.push_back(Value{k});
+  }
+  EquiDepthHistogram hist = EquiDepthHistogram::Build(std::move(values), 10);
+  EXPECT_EQ(hist.total_rows(), 200u);
+  for (int64_t k = 0; k < 50; k += 7) {
+    EXPECT_NEAR(hist.EstimateEq(Value{k}), 4.0, 0.5) << k;
+  }
+}
+
+TEST(HistogramTest, HotKeyGetsItsOwnNarrowBucket) {
+  // 1000 rows of key 0, one row each of keys 1..100.
+  std::vector<Value> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(Value{int64_t{0}});
+  for (int64_t k = 1; k <= 100; ++k) values.push_back(Value{k});
+  EquiDepthHistogram hist = EquiDepthHistogram::Build(std::move(values), 10);
+  // The hot key's estimate is essentially exact; cold keys near 1.
+  EXPECT_NEAR(hist.EstimateEq(Value{int64_t{0}}), 1000.0, 1.0);
+  EXPECT_NEAR(hist.EstimateEq(Value{int64_t{50}}), 1.0, 0.5);
+}
+
+TEST(HistogramTest, DuplicatesNeverSplitAcrossBuckets) {
+  std::vector<Value> values;
+  for (int i = 0; i < 64; ++i) values.push_back(Value{int64_t{7}});
+  EquiDepthHistogram hist = EquiDepthHistogram::Build(std::move(values), 8);
+  EXPECT_EQ(hist.num_buckets(), 1u);
+  EXPECT_DOUBLE_EQ(hist.EstimateEq(Value{7}), 64.0);
+}
+
+TEST(HistogramTest, RangeEstimates) {
+  std::vector<Value> values;
+  for (int64_t k = 0; k < 100; ++k) values.push_back(Value{k});
+  EquiDepthHistogram hist = EquiDepthHistogram::Build(std::move(values), 10);
+  EXPECT_NEAR(hist.EstimateRange(Value{int64_t{0}}, Value{int64_t{99}}), 100.0,
+              1.0);
+  EXPECT_NEAR(hist.EstimateRange(Value{int64_t{0}}, Value{int64_t{49}}), 50.0,
+              6.0);
+  EXPECT_DOUBLE_EQ(hist.EstimateRange(Value{int64_t{200}}, Value{int64_t{300}}),
+                   0.0);
+  EXPECT_DOUBLE_EQ(hist.EstimateRange(Value{int64_t{5}}, Value{int64_t{1}}),
+                   0.0);
+}
+
+TEST(HistogramTest, BuildFromFragment) {
+  TableFragment frag(
+      Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}}));
+  for (int64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(frag.Insert({Value{i % 3}, Value{i}}).ok());
+  }
+  EquiDepthHistogram hist = BuildFragmentHistogram(frag, 0, 3);
+  EXPECT_NEAR(hist.EstimateEq(Value{int64_t{1}}), 10.0, 0.1);
+}
+
+// ----------------------------------------------------------------- Zipf
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  ZipfGenerator gen(10, 0.0, 42);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) counts[gen.Next()]++;
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+TEST(ZipfTest, HighThetaConcentratesOnRankZero) {
+  ZipfGenerator gen(100, 1.2, 7);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 10000; ++i) counts[gen.Next()]++;
+  EXPECT_GT(counts[0], counts[10] * 5);
+  EXPECT_GT(counts[0], 1500);
+}
+
+TEST(ZipfTest, RanksStayInRange) {
+  ZipfGenerator gen(5, 0.9, 3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t r = gen.Next();
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 5);
+  }
+}
+
+// ------------------------------------------------- Delta-aware planning
+
+class DeltaPlanTest : public ::testing::Test {
+ protected:
+  // A -c- B -f- C chain where B's neighbours have *identical average*
+  // fanout but opposite skew: joining toward A is cheap for even keys and
+  // expensive for odd keys; C is the mirror image.
+  void SetUp() override {
+    SystemConfig cfg;
+    cfg.num_nodes = 4;
+    sys_ = std::make_unique<ParallelSystem>(cfg);
+    sys_->CreateTable(MakeTableDef("A", ASchema(), "a")).Check();
+    sys_->CreateTable(MakeTableDef("B", BSchema(), "b")).Check();
+    sys_->CreateTable(MakeTableDef("C", CSchema(), "h")).Check();
+    int64_t id = 0;
+    for (int64_t k = 0; k < 8; ++k) {
+      int64_t a_copies = (k % 2 == 0) ? 1 : 15;  // Odd A-keys are hot.
+      int64_t c_copies = (k % 2 == 0) ? 15 : 1;  // Even C-keys are hot.
+      for (int64_t r = 0; r < a_copies; ++r) {
+        sys_->Insert("A", {Value{id++}, Value{k}, Value{id}}).Check();
+      }
+      for (int64_t r = 0; r < c_copies; ++r) {
+        sys_->Insert("C", {Value{k}, Value{id++}, Value{id}}).Check();
+      }
+    }
+    manager_ = std::make_unique<ViewManager>(sys_.get());
+    JoinViewDef def;
+    def.name = "JV3";
+    def.bases = {{"A", "A"}, {"B", "B"}, {"C", "C"}};
+    def.edges = {{{"A", "c"}, {"B", "d"}}, {{"B", "f"}, {"C", "g"}}};
+    manager_->RegisterView(def, MaintenanceMethod::kAuxRelation).Check();
+  }
+
+  std::unique_ptr<ParallelSystem> sys_;
+  std::unique_ptr<ViewManager> manager_;
+};
+
+TEST_F(DeltaPlanTest, PlannerUsesActualDeltaKeys) {
+  const ViewRegistration* reg = manager_->registration("JV3");
+  FanoutFn avg_fn = [](int, int) { return 8.0; };
+  KeyFanoutFn key_fn = [&](int base, int col, const Value& key) {
+    (void)col;
+    int64_t k = key.AsInt64();
+    if (base == 0) return (k % 2 == 0) ? 1.0 : 15.0;  // A-side skew.
+    if (base == 2) return (k % 2 == 0) ? 15.0 : 1.0;  // C-side mirror.
+    return 8.0;
+  };
+  // A delta on B whose rows carry even keys on both join columns: the A
+  // side is cheap (1 per key), so it must be joined first.
+  std::vector<Row> even_delta = {{Value{100}, Value{2}, Value{2}},
+                                 {Value{101}, Value{4}, Value{4}}};
+  auto plan_even = PlanMaintenanceForDelta(reg->bound, 1, even_delta, avg_fn,
+                                           key_fn);
+  ASSERT_TRUE(plan_even.ok());
+  EXPECT_EQ(plan_even->steps[0].target_base, 0);
+  // Odd keys flip the decision: C first.
+  std::vector<Row> odd_delta = {{Value{102}, Value{3}, Value{3}},
+                                {Value{103}, Value{5}, Value{5}}};
+  auto plan_odd =
+      PlanMaintenanceForDelta(reg->bound, 1, odd_delta, avg_fn, key_fn);
+  ASSERT_TRUE(plan_odd.ok());
+  EXPECT_EQ(plan_odd->steps[0].target_base, 2);
+}
+
+TEST_F(DeltaPlanTest, EndToEndSkewAwareMaintenanceIsCorrectAndCheaper) {
+  // Drive the real maintainer (which uses exact index counts per delta key)
+  // with a hot-key batch and a cold-key batch; both must be correct, and
+  // the cold batch must cost less.
+  auto run_batch = [&](int64_t key) {
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < 4; ++i) {
+      rows.push_back({Value{500 + key * 10 + i}, Value{key}, Value{key}});
+    }
+    sys_->cost().Reset();
+    manager_->ApplyDelta(DeltaBatch::Inserts("B", rows)).status().Check();
+    return sys_->cost().TotalWorkload();
+  };
+  double even_cost = run_batch(2);  // Cheap on the A side, hot on C.
+  double odd_cost = run_batch(3);   // Hot on the A side, cheap on C.
+  ASSERT_TRUE(manager_->CheckAllConsistent().ok())
+      << manager_->CheckAllConsistent();
+  // Both batches produce 1 x 15 = 15 view rows; the planner's freedom is
+  // only the join order, and the delta-aware order keeps the partials small
+  // on whichever side is cold, so costs should be within ~25% of each other
+  // (a fixed order would pay ~15x partials on one of them).
+  EXPECT_LT(std::max(even_cost, odd_cost) / std::min(even_cost, odd_cost), 1.6);
+}
+
+TEST(KeyFanoutTest, ExactWhenIndexed) {
+  TwoTableFixture fx(4, 6, 3);
+  ASSERT_TRUE(fx.manager
+                  ->RegisterView(fx.MakeView("JV"),
+                                 MaintenanceMethod::kAuxRelation)
+                  .ok());
+  // The AR on B.d is clustered-indexed; every key has exactly fanout 3.
+  // Probe the maintainer's estimate through a single insert (which plans
+  // per delta) — correctness of contents implies the probe worked, and the
+  // cost equals the model's: no mis-estimation detours.
+  fx.sys->cost().Reset();
+  auto report = fx.manager->InsertRow("A", fx.NextARow(4));
+  report.status().Check();
+  EXPECT_EQ(report->view_rows_inserted, 3u);
+}
+
+}  // namespace
+}  // namespace pjvm

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "engine/system.h"
+#include "tests/view_test_util.h"
+#include "txn/lock_manager.h"
+#include "view/view_manager.h"
+
+namespace pjvm {
+namespace {
+
+// ------------------------------------------------------------ LockManager
+
+TEST(LockManagerTest, SharedLocksAreCompatible) {
+  LockManager lm;
+  LockId id = LockId::Key(0, "T", Value{5});
+  EXPECT_TRUE(lm.Acquire(1, id, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, id, LockMode::kShared).ok());
+  EXPECT_EQ(lm.TotalLocks(), 2u);
+}
+
+TEST(LockManagerTest, ExclusiveConflictsAbortImmediately) {
+  LockManager lm;
+  LockId id = LockId::Key(0, "T", Value{5});
+  ASSERT_TRUE(lm.Acquire(1, id, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, id, LockMode::kExclusive).IsAborted());
+  EXPECT_TRUE(lm.Acquire(2, id, LockMode::kShared).IsAborted());
+  // Different keys do not conflict.
+  EXPECT_TRUE(lm.Acquire(2, LockId::Key(0, "T", Value{6}), LockMode::kExclusive)
+                  .ok());
+}
+
+TEST(LockManagerTest, ReacquisitionAndUpgrade) {
+  LockManager lm;
+  LockId id = LockId::Key(0, "T", Value{5});
+  ASSERT_TRUE(lm.Acquire(1, id, LockMode::kShared).ok());
+  // Reacquire and upgrade by the sole holder are fine.
+  EXPECT_TRUE(lm.Acquire(1, id, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, id, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, id, LockMode::kExclusive));
+  // After the upgrade, others are locked out.
+  EXPECT_TRUE(lm.Acquire(2, id, LockMode::kShared).IsAborted());
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReaders) {
+  LockManager lm;
+  LockId id = LockId::Key(0, "T", Value{5});
+  ASSERT_TRUE(lm.Acquire(1, id, LockMode::kShared).ok());
+  ASSERT_TRUE(lm.Acquire(2, id, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, id, LockMode::kExclusive).IsAborted());
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager lm;
+  LockId a = LockId::Key(0, "T", Value{1});
+  LockId b = LockId::Key(1, "T", Value{2});
+  ASSERT_TRUE(lm.Acquire(1, a, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(1, b, LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.HeldCount(1), 2u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.HeldCount(1), 0u);
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+  EXPECT_TRUE(lm.Acquire(2, a, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, TableLockCoversKeys) {
+  LockManager lm;
+  LockId table = LockId::Table(0, "T");
+  LockId key = LockId::Key(0, "T", Value{5});
+  // Writer holds a key; a scanner's table-S lock conflicts.
+  ASSERT_TRUE(lm.Acquire(1, key, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, table, LockMode::kShared).IsAborted());
+  lm.ReleaseAll(1);
+  // Scanner holds the table; a writer's key-X conflicts.
+  ASSERT_TRUE(lm.Acquire(2, table, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, key, LockMode::kExclusive).IsAborted());
+  // But a reading probe is compatible with the table-S lock.
+  EXPECT_TRUE(lm.Acquire(1, key, LockMode::kShared).ok());
+}
+
+TEST(LockManagerTest, DifferentTablesAndNodesIndependent) {
+  LockManager lm;
+  ASSERT_TRUE(
+      lm.Acquire(1, LockId::Table(0, "T"), LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, LockId::Table(0, "U"), LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(3, LockId::Table(1, "T"), LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, IndexKeyLocksDistinguishColumns) {
+  LockManager lm;
+  LockId c0 = LockId::IndexKey(0, "T", 0, Value{5});
+  LockId c1 = LockId::IndexKey(0, "T", 1, Value{5});
+  ASSERT_TRUE(lm.Acquire(1, c0, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, c1, LockMode::kExclusive).ok());
+}
+
+// -------------------------------------------------- Engine-level locking
+
+SystemConfig LockingConfig(int nodes = 4) {
+  SystemConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.rows_per_page = 4;
+  cfg.enable_locking = true;
+  return cfg;
+}
+
+TableDef SimpleTable() {
+  TableDef def;
+  def.name = "T";
+  def.schema = Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+  def.partition = PartitionSpec::Hash("k");
+  def.indexes.push_back(IndexSpec{"k", false});
+  return def;
+}
+
+TEST(EngineLockingTest, ConflictingWritersAbort) {
+  ParallelSystem sys(LockingConfig());
+  ASSERT_TRUE(sys.CreateTable(SimpleTable()).ok());
+  uint64_t t1 = sys.Begin();
+  uint64_t t2 = sys.Begin();
+  Row row = {Value{7}, Value{1}};
+  ASSERT_TRUE(sys.Insert("T", row, t1).ok());
+  // Same row content (and same index keys): t2 must be refused.
+  EXPECT_TRUE(sys.Insert("T", row, t2).IsAborted());
+  // A different key is fine.
+  EXPECT_TRUE(sys.Insert("T", {Value{8}, Value{1}}, t2).ok());
+  ASSERT_TRUE(sys.Commit(t1).ok());
+  ASSERT_TRUE(sys.Commit(t2).ok());
+  EXPECT_EQ(sys.RowCount("T"), 2u);
+}
+
+TEST(EngineLockingTest, ReaderBlocksWriterOnSameIndexKey) {
+  ParallelSystem sys(LockingConfig());
+  ASSERT_TRUE(sys.CreateTable(SimpleTable()).ok());
+  ASSERT_TRUE(sys.Insert("T", {Value{7}, Value{1}}).ok());
+  uint64_t reader = sys.Begin();
+  int home = sys.HomeNodeForKey(Value{7});
+  ASSERT_TRUE(sys.node(home)->IndexProbe("T", 0, Value{7}, reader).ok());
+  uint64_t writer = sys.Begin();
+  EXPECT_TRUE(sys.Insert("T", {Value{7}, Value{2}}, writer).IsAborted());
+  // No-wait policy: the refused transaction rolls back (releasing any locks
+  // it picked up before the conflict).
+  ASSERT_TRUE(sys.Abort(writer).ok());
+  // Readers of the same key coexist.
+  uint64_t reader2 = sys.Begin();
+  EXPECT_TRUE(sys.node(home)->IndexProbe("T", 0, Value{7}, reader2).ok());
+  ASSERT_TRUE(sys.Commit(reader).ok());
+  ASSERT_TRUE(sys.Commit(reader2).ok());
+  // Now the writer (a fresh txn; the old one aborted its statement) may go.
+  uint64_t writer2 = sys.Begin();
+  EXPECT_TRUE(sys.Insert("T", {Value{7}, Value{2}}, writer2).ok());
+  ASSERT_TRUE(sys.Commit(writer2).ok());
+}
+
+TEST(EngineLockingTest, CommitAndAbortReleaseLocks) {
+  ParallelSystem sys(LockingConfig());
+  ASSERT_TRUE(sys.CreateTable(SimpleTable()).ok());
+  uint64_t t1 = sys.Begin();
+  ASSERT_TRUE(sys.Insert("T", {Value{1}, Value{1}}, t1).ok());
+  EXPECT_GT(sys.locks().TotalLocks(), 0u);
+  ASSERT_TRUE(sys.Commit(t1).ok());
+  EXPECT_EQ(sys.locks().TotalLocks(), 0u);
+  uint64_t t2 = sys.Begin();
+  ASSERT_TRUE(sys.Insert("T", {Value{2}, Value{2}}, t2).ok());
+  ASSERT_TRUE(sys.Abort(t2).ok());
+  EXPECT_EQ(sys.locks().TotalLocks(), 0u);
+}
+
+TEST(EngineLockingTest, AutocommitOpsAreNotLocked) {
+  ParallelSystem sys(LockingConfig());
+  ASSERT_TRUE(sys.CreateTable(SimpleTable()).ok());
+  ASSERT_TRUE(sys.Insert("T", {Value{1}, Value{1}}).ok());
+  EXPECT_EQ(sys.locks().TotalLocks(), 0u);
+}
+
+TEST(EngineLockingTest, MaintenanceTransactionsSerializeOnConflicts) {
+  // Two ViewManager deltas run back-to-back (each commits) — with locking
+  // enabled, each must acquire and fully release its footprint.
+  SystemConfig cfg = LockingConfig();
+  ParallelSystem sys(cfg);
+  sys.CreateTable(MakeTableDef("A", ASchema(), "a")).Check();
+  sys.CreateTable(MakeTableDef("B", BSchema(), "b")).Check();
+  for (int64_t k = 0; k < 10; ++k) {
+    sys.Insert("B", {Value{k}, Value{k % 5}, Value{k}}).Check();
+  }
+  ViewManager manager(&sys);
+  JoinViewDef def;
+  def.name = "JV";
+  def.bases = {{"A", "A"}, {"B", "B"}};
+  def.edges = {{{"A", "c"}, {"B", "d"}}};
+  def.partition_on = ColumnRef{"A", "e"};
+  ASSERT_TRUE(manager.RegisterView(def, MaintenanceMethod::kAuxRelation).ok());
+  for (int64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(manager.InsertRow("A", {Value{i}, Value{i % 5}, Value{i}}).ok())
+        << i;
+    EXPECT_EQ(sys.locks().TotalLocks(), 0u) << "locks leaked after txn " << i;
+  }
+  ASSERT_TRUE(manager.CheckAllConsistent().ok())
+      << manager.CheckAllConsistent();
+}
+
+TEST(EngineLockingTest, CrashClearsLockTable) {
+  ParallelSystem sys(LockingConfig());
+  ASSERT_TRUE(sys.CreateTable(SimpleTable()).ok());
+  uint64_t t1 = sys.Begin();
+  ASSERT_TRUE(sys.Insert("T", {Value{1}, Value{1}}, t1).ok());
+  sys.Crash();
+  EXPECT_EQ(sys.locks().TotalLocks(), 0u);
+  ASSERT_TRUE(sys.Recover().ok());
+  uint64_t t2 = sys.Begin();
+  EXPECT_TRUE(sys.Insert("T", {Value{1}, Value{1}}, t2).ok());
+  ASSERT_TRUE(sys.Commit(t2).ok());
+}
+
+}  // namespace
+}  // namespace pjvm

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "net/message.h"
+#include "net/network.h"
+
+namespace pjvm {
+namespace {
+
+TEST(MessageTest, ByteSizeCountsPayload) {
+  Message msg;
+  msg.table = "orders";  // 6 bytes
+  msg.rows.push_back({Value{1}, Value{"abc"}});  // 8 + 4
+  msg.rids = {1, 2};  // 16
+  EXPECT_EQ(msg.ByteSize(), 16u + 6u + 12u + 16u);
+}
+
+TEST(MessageTest, KindNames) {
+  EXPECT_STREQ(MessageKindToString(MessageKind::kTuples), "TUPLES");
+  EXPECT_STREQ(MessageKindToString(MessageKind::kRidProbe), "RID_PROBE");
+}
+
+TEST(NetworkTest, SendDeliversToDestinationQueue) {
+  CostTracker cost(4);
+  Network net(4, &cost);
+  Message msg;
+  msg.from = 0;
+  msg.to = 2;
+  msg.table = "t";
+  ASSERT_TRUE(net.Send(msg).ok());
+  EXPECT_FALSE(net.Poll(1).has_value());
+  auto got = net.Poll(2);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->table, "t");
+  EXPECT_FALSE(net.Poll(2).has_value());
+}
+
+TEST(NetworkTest, CrossNodeSendChargesSender) {
+  CostTracker cost(4);
+  Network net(4, &cost);
+  Message msg;
+  msg.from = 1;
+  msg.to = 3;
+  ASSERT_TRUE(net.Send(msg).ok());
+  EXPECT_EQ(cost.node(1).sends, 1u);
+  EXPECT_EQ(cost.node(3).sends, 0u);
+}
+
+TEST(NetworkTest, SelfSendIsConceptualAndFree) {
+  // The paper's dashed arrows: same-node "sends" cost nothing.
+  CostTracker cost(4);
+  Network net(4, &cost);
+  Message msg;
+  msg.from = 2;
+  msg.to = 2;
+  ASSERT_TRUE(net.Send(msg).ok());
+  EXPECT_EQ(cost.node(2).sends, 0u);
+  EXPECT_TRUE(net.Poll(2).has_value());  // But it is still delivered.
+  EXPECT_EQ(net.PairCount(2, 2), 1u);    // And counted as a message.
+}
+
+TEST(NetworkTest, BroadcastChargesLSends) {
+  // The naive method's model term: L*SEND including the self-copy.
+  CostTracker cost(8);
+  Network net(8, &cost);
+  Message msg;
+  ASSERT_TRUE(net.Broadcast(3, msg).ok());
+  EXPECT_EQ(cost.node(3).sends, 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(net.Poll(i).has_value()) << "node " << i;
+  }
+}
+
+TEST(NetworkTest, RejectsBadNodes) {
+  CostTracker cost(2);
+  Network net(2, &cost);
+  Message msg;
+  msg.from = -1;
+  msg.to = 0;
+  EXPECT_FALSE(net.Send(msg).ok());
+  msg.from = 0;
+  msg.to = 5;
+  EXPECT_FALSE(net.Send(msg).ok());
+  EXPECT_FALSE(net.Broadcast(9, Message{}).ok());
+}
+
+TEST(NetworkTest, PairCountsAndTotals) {
+  CostTracker cost(3);
+  Network net(3, &cost);
+  Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  ASSERT_TRUE(net.Send(msg).ok());
+  ASSERT_TRUE(net.Send(msg).ok());
+  msg.to = 2;
+  ASSERT_TRUE(net.Send(msg).ok());
+  EXPECT_EQ(net.PairCount(0, 1), 2u);
+  EXPECT_EQ(net.PairCount(0, 2), 1u);
+  EXPECT_EQ(net.PairCount(1, 0), 0u);
+  EXPECT_EQ(net.TotalMessages(), 3u);
+  EXPECT_GT(net.TotalBytes(), 0u);
+  net.ResetCounters();
+  EXPECT_EQ(net.TotalMessages(), 0u);
+  EXPECT_EQ(net.PairCount(0, 1), 0u);
+}
+
+TEST(NetworkTest, HasPendingTracksQueues) {
+  CostTracker cost(2);
+  Network net(2, &cost);
+  EXPECT_FALSE(net.HasPending());
+  Message msg;
+  msg.from = 0;
+  msg.to = 1;
+  ASSERT_TRUE(net.Send(msg).ok());
+  EXPECT_TRUE(net.HasPending());
+  net.Poll(1);
+  EXPECT_FALSE(net.HasPending());
+}
+
+TEST(NetworkTest, FifoPerDestination) {
+  CostTracker cost(2);
+  Network net(2, &cost);
+  for (int i = 0; i < 3; ++i) {
+    Message msg;
+    msg.from = 0;
+    msg.to = 1;
+    msg.txn_id = static_cast<uint64_t>(i);
+    ASSERT_TRUE(net.Send(msg).ok());
+  }
+  for (uint64_t i = 0; i < 3; ++i) {
+    auto got = net.Poll(1);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->txn_id, i);
+  }
+}
+
+}  // namespace
+}  // namespace pjvm

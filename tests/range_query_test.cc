@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/analytical.h"
+#include "sql/executor.h"
+#include "tests/view_test_util.h"
+
+namespace pjvm {
+namespace {
+
+class RangeQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SystemConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.rows_per_page = 4;
+    sys_ = std::make_unique<ParallelSystem>(cfg);
+    TableDef def;
+    def.name = "T";
+    def.schema = Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+    def.partition = PartitionSpec::Hash("k");
+    def.indexes.push_back(IndexSpec{"v", false});
+    sys_->CreateTable(def).Check();
+    TableDef noidx;
+    noidx.name = "U";
+    noidx.schema = def.schema;
+    noidx.partition = PartitionSpec::Hash("k");
+    sys_->CreateTable(noidx).Check();
+    for (int64_t i = 0; i < 40; ++i) {
+      sys_->Insert("T", {Value{i}, Value{i % 10}}).Check();
+      sys_->Insert("U", {Value{i}, Value{i % 10}}).Check();
+    }
+  }
+
+  std::unique_ptr<ParallelSystem> sys_;
+};
+
+TEST_F(RangeQueryTest, InclusiveBoundsViaIndex) {
+  auto rows = sys_->SelectRange("T", "v", Value{int64_t{3}}, Value{int64_t{5}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 12u);  // v in {3,4,5}, 4 rows each.
+  for (const Row& row : *rows) {
+    EXPECT_GE(row[1].AsInt64(), 3);
+    EXPECT_LE(row[1].AsInt64(), 5);
+  }
+}
+
+TEST_F(RangeQueryTest, ScanFallbackMatchesIndexResults) {
+  auto via_index =
+      sys_->SelectRange("T", "v", Value{int64_t{2}}, Value{int64_t{7}});
+  auto via_scan =
+      sys_->SelectRange("U", "v", Value{int64_t{2}}, Value{int64_t{7}});
+  ASSERT_TRUE(via_index.ok());
+  ASSERT_TRUE(via_scan.ok());
+  EXPECT_EQ(RowBag(*via_index), RowBag(*via_scan));
+}
+
+TEST_F(RangeQueryTest, EmptyAndInvertedRanges) {
+  EXPECT_TRUE(
+      sys_->SelectRange("T", "v", Value{int64_t{50}}, Value{int64_t{60}})
+          ->empty());
+  EXPECT_TRUE(sys_->SelectRange("T", "v", Value{int64_t{5}}, Value{int64_t{2}})
+                  ->empty());
+}
+
+TEST_F(RangeQueryTest, CostChargedPerDeliveredRowWithIndex) {
+  sys_->cost().Reset();
+  auto rows = sys_->SelectRange("T", "v", Value{int64_t{0}}, Value{int64_t{0}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  // Per node: 1 seek SEARCH; 4 FETCHes across nodes for the delivered rows.
+  EXPECT_DOUBLE_EQ(sys_->cost().TotalWorkload(), 4.0 * 1 + 4.0);
+}
+
+TEST_F(RangeQueryTest, SingleKeyRangeMatchesSelectEq) {
+  auto ranged =
+      sys_->SelectRange("T", "v", Value{int64_t{6}}, Value{int64_t{6}});
+  auto eq = sys_->SelectEq("T", "v", Value{int64_t{6}});
+  ASSERT_TRUE(ranged.ok());
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(RowBag(*ranged), RowBag(*eq));
+}
+
+TEST_F(RangeQueryTest, UnknownTableOrColumnFails) {
+  EXPECT_FALSE(sys_->SelectRange("Nope", "v", Value{1}, Value{2}).ok());
+  EXPECT_FALSE(sys_->SelectRange("T", "ghost", Value{1}, Value{2}).ok());
+}
+
+TEST_F(RangeQueryTest, BetweenThroughSqlSurface) {
+  ViewManager manager(sys_.get());
+  sql::Executor executor(&manager);
+  std::ostringstream out;
+  ASSERT_TRUE(
+      executor.Execute("SELECT * FROM T WHERE v BETWEEN 8 AND 9;", out).ok())
+      << out.str();
+  EXPECT_NE(out.str().find("(8 row(s))"), std::string::npos) << out.str();
+  EXPECT_FALSE(
+      executor.Execute("SELECT * FROM T WHERE v BETWEEN 8;", out).ok());
+}
+
+// ------------------------------------------ Missing-coverage unit tests
+
+TEST(ModelBatchTwTest, BatchFormulasReduceToSingleTupleTw) {
+  model::ModelParams p;
+  p.num_nodes = 16;
+  p.fanout = 10;
+  EXPECT_DOUBLE_EQ(model::TwBatchAux(p, 1), model::TwAuxRelation(p));
+  EXPECT_DOUBLE_EQ(model::TwBatchGi(p, 1, true),
+                   model::TwGlobalIndex(p, true));
+  EXPECT_DOUBLE_EQ(model::TwBatchNaive(p, 1, true),
+                   p.num_nodes * 1.0 /* one search per node */);
+}
+
+TEST(ModelBatchTwTest, LargeBatchesSwitchToScans) {
+  model::ModelParams p;
+  p.num_nodes = 8;
+  // AR: 3A vs 2A + |B| crosses at A = |B|.
+  EXPECT_DOUBLE_EQ(model::TwBatchAux(p, 100), 300.0);
+  EXPECT_DOUBLE_EQ(model::TwBatchAux(p, 10000), 2.0 * 10000 + 6400);
+  // Naive clustered: L * min(A, |B_i|) = |B| once A >= |B_i|.
+  EXPECT_DOUBLE_EQ(model::TwBatchNaive(p, 100000, true), 6400.0);
+}
+
+TEST(MetricsWriteKindTest, CategoriesTrackedSeparately) {
+  CostTracker t(2);
+  t.ChargeWrite(0, CostTracker::WriteKind::kBase);
+  t.ChargeWrite(0, CostTracker::WriteKind::kStructure);
+  t.ChargeWrite(1, CostTracker::WriteKind::kView);
+  t.ChargeWrite(1, CostTracker::WriteKind::kView);
+  EXPECT_EQ(t.node(0).base_writes, 1u);
+  EXPECT_EQ(t.node(0).structure_writes, 1u);
+  EXPECT_EQ(t.node(1).view_writes, 2u);
+  EXPECT_EQ(t.node(0).inserts, 2u);
+  // ComputeIO excludes all writes.
+  t.ChargeSearch(1, 3);
+  EXPECT_DOUBLE_EQ(t.ComputeResponseTime(), 3.0);
+}
+
+TEST(CreateIndexOnTest, BackfillsAndIsIdempotent) {
+  SystemConfig cfg;
+  cfg.num_nodes = 2;
+  ParallelSystem sys(cfg);
+  TableDef def;
+  def.name = "T";
+  def.schema = Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}});
+  def.partition = PartitionSpec::Hash("k");
+  sys.CreateTable(def).Check();
+  for (int64_t i = 0; i < 10; ++i) {
+    sys.Insert("T", {Value{i}, Value{i % 3}}).Check();
+  }
+  ASSERT_TRUE(sys.CreateIndexOn("T", "v", false).ok());
+  ASSERT_TRUE(sys.CreateIndexOn("T", "v", false).ok());  // No-op.
+  auto rows = sys.SelectEq("T", "v", Value{int64_t{1}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+  EXPECT_TRUE(sys.CheckInvariants().ok());
+  EXPECT_FALSE(sys.CreateIndexOn("T", "ghost", false).ok());
+}
+
+}  // namespace
+}  // namespace pjvm

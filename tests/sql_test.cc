@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "tests/view_test_util.h"
+
+namespace pjvm {
+namespace {
+
+using sql::Lex;
+using sql::ParseCreateView;
+using sql::Token;
+using sql::TokenType;
+
+// ----------------------------------------------------------------- Lexer
+
+TEST(LexerTest, TokenizesAllCategories) {
+  auto tokens = Lex("CREATE view V as SELECT a.b, 12 3.5 'hi' <> <= ; *");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> types;
+  for (const Token& t : *tokens) types.push_back(t.type);
+  EXPECT_EQ(types,
+            (std::vector<TokenType>{
+                TokenType::kKeyword, TokenType::kKeyword, TokenType::kIdent,
+                TokenType::kKeyword, TokenType::kKeyword, TokenType::kIdent,
+                TokenType::kSymbol, TokenType::kIdent, TokenType::kSymbol,
+                TokenType::kInt, TokenType::kDouble, TokenType::kString,
+                TokenType::kOperator, TokenType::kOperator, TokenType::kSymbol,
+                TokenType::kSymbol, TokenType::kEnd}));
+}
+
+TEST(LexerTest, KeywordsCaseInsensitiveIdentsPreserved) {
+  auto tokens = Lex("select MyTable");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "MyTable");
+}
+
+TEST(LexerTest, NegativeNumbersAndDoubles) {
+  auto tokens = Lex("-42 -1.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInt);
+  EXPECT_EQ((*tokens)[0].text, "-42");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kDouble);
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Lex("select 'oops").ok());
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) { EXPECT_FALSE(Lex("a @ b").ok()); }
+
+// ---------------------------------------------------------------- Parser
+
+TEST(ParserTest, ParsesThePaperViewDefinition) {
+  // The paper's Section 2.1 example verbatim.
+  auto def = ParseCreateView(
+      "create join view JV as select * from A, B where A.c=B.d "
+      "partitioned on A.e;");
+  ASSERT_TRUE(def.ok()) << def.status();
+  EXPECT_EQ(def->name, "JV");
+  ASSERT_EQ(def->bases.size(), 2u);
+  EXPECT_EQ(def->bases[0].table, "A");
+  EXPECT_EQ(def->bases[0].alias, "A");  // No alias given: table name.
+  ASSERT_EQ(def->edges.size(), 1u);
+  EXPECT_EQ(def->edges[0].left.ToString(), "A.c");
+  EXPECT_EQ(def->edges[0].right.ToString(), "B.d");
+  EXPECT_TRUE(def->projection.empty());  // SELECT *.
+  ASSERT_TRUE(def->partition_on.has_value());
+  EXPECT_EQ(def->partition_on->ToString(), "A.e");
+}
+
+TEST(ParserTest, ParsesJv2StyleThreeWayView) {
+  auto def = ParseCreateView(
+      "create view JV2 as select c.custkey, c.acctbal, o.orderkey, "
+      "o.totalprice, l.discount, l.extendedprice "
+      "from orders o, customer c, lineitem l "
+      "where c.custkey=o.custkey and o.orderkey=l.orderkey");
+  ASSERT_TRUE(def.ok()) << def.status();
+  EXPECT_EQ(def->name, "JV2");
+  ASSERT_EQ(def->bases.size(), 3u);
+  EXPECT_EQ(def->bases[0].table, "orders");
+  EXPECT_EQ(def->bases[0].alias, "o");
+  EXPECT_EQ(def->projection.size(), 6u);
+  EXPECT_EQ(def->edges.size(), 2u);
+  EXPECT_FALSE(def->partition_on.has_value());
+}
+
+TEST(ParserTest, ClassifiesSelectionsVsEdges) {
+  auto def = ParseCreateView(
+      "create view V as select * from A a, B b "
+      "where a.c = b.d and a.e > 10 and b.f <> 'x' and a.e <= 2.5");
+  ASSERT_TRUE(def.ok()) << def.status();
+  EXPECT_EQ(def->edges.size(), 1u);
+  ASSERT_EQ(def->selections.size(), 3u);
+  EXPECT_EQ(def->selections[0].op, PredOp::kGt);
+  EXPECT_EQ(def->selections[0].constant, Value{10});
+  EXPECT_EQ(def->selections[1].op, PredOp::kNe);
+  EXPECT_EQ(def->selections[1].constant, Value{"x"});
+  EXPECT_EQ(def->selections[2].op, PredOp::kLe);
+  EXPECT_EQ(def->selections[2].constant, Value{2.5});
+}
+
+TEST(ParserTest, RejectsNonEqualityJoin) {
+  EXPECT_FALSE(
+      ParseCreateView("create view V as select * from A a, B b where a.c < b.d")
+          .ok());
+}
+
+TEST(ParserTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(ParseCreateView("select * from A").ok());
+  EXPECT_FALSE(ParseCreateView("create view as select * from A").ok());
+  EXPECT_FALSE(ParseCreateView("create view V as select from A").ok());
+  EXPECT_FALSE(ParseCreateView("create view V as select * from").ok());
+  EXPECT_FALSE(
+      ParseCreateView("create view V as select * from A where a.c =").ok());
+  EXPECT_FALSE(
+      ParseCreateView("create view V as select * from A extra junk").ok());
+}
+
+TEST(ParserTest, ParsedViewBindsAndRuns) {
+  // End-to-end: text -> JoinViewDef -> registered, maintained view.
+  TwoTableFixture fx(4, 8, 2);
+  auto def = ParseCreateView(
+      "create join view JV as select A.e, B.f from A, B "
+      "where A.c = B.d and A.e >= 0 partitioned on A.e;");
+  ASSERT_TRUE(def.ok()) << def.status();
+  ASSERT_TRUE(
+      fx.manager->RegisterView(*def, MaintenanceMethod::kAuxRelation).ok());
+  ASSERT_TRUE(fx.manager->InsertRow("A", fx.NextARow(3)).ok());
+  EXPECT_EQ(fx.manager->view("JV")->RowCount(), 2u);
+  ASSERT_TRUE(fx.manager->CheckAllConsistent().ok())
+      << fx.manager->CheckAllConsistent();
+}
+
+TEST(ParserTest, OptionalSemicolonAndJoinKeyword) {
+  EXPECT_TRUE(
+      ParseCreateView("create view V as select * from A where A.c = 1").ok());
+  EXPECT_TRUE(
+      ParseCreateView("CREATE JOIN VIEW V AS SELECT * FROM A WHERE A.c = 1;")
+          .ok());
+}
+
+}  // namespace
+}  // namespace pjvm

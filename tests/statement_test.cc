@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sql/executor.h"
+#include "sql/statement.h"
+#include "tests/view_test_util.h"
+
+namespace pjvm {
+namespace {
+
+using sql::Executor;
+using sql::ParsedStatement;
+using sql::ParseStatement;
+using sql::StatementKind;
+
+// ------------------------------------------------------------- Parsing
+
+TEST(StatementParseTest, CreateTable) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE t (a INT, b DOUBLE, c STRING) PARTITIONED ON a;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kCreateTable);
+  EXPECT_EQ(stmt->create_table.name, "t");
+  ASSERT_EQ(stmt->create_table.schema.num_columns(), 3);
+  EXPECT_EQ(stmt->create_table.schema.column(0).type, ValueType::kInt64);
+  EXPECT_EQ(stmt->create_table.schema.column(1).type, ValueType::kDouble);
+  EXPECT_EQ(stmt->create_table.schema.column(2).type, ValueType::kString);
+  EXPECT_TRUE(stmt->create_table.partition.is_hash());
+  EXPECT_EQ(stmt->create_table.partition.column, "a");
+}
+
+TEST(StatementParseTest, CreateTableTypeAliases) {
+  auto stmt =
+      ParseStatement("CREATE TABLE t (a BIGINT, b REAL, c VARCHAR)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->create_table.schema.column(0).type, ValueType::kInt64);
+  EXPECT_EQ(stmt->create_table.schema.column(1).type, ValueType::kDouble);
+  EXPECT_EQ(stmt->create_table.schema.column(2).type, ValueType::kString);
+  // Round-robin when no PARTITIONED ON.
+  EXPECT_FALSE(stmt->create_table.partition.is_hash());
+}
+
+TEST(StatementParseTest, CreateViewWithUsingClause) {
+  auto stmt = ParseStatement(
+      "CREATE JOIN VIEW v AS SELECT * FROM A, B WHERE A.c = B.d USING GI;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kCreateView);
+  EXPECT_EQ(stmt->method, MaintenanceMethod::kGlobalIndex);
+  EXPECT_EQ(stmt->create_view.name, "v");
+  // Default method is AR.
+  auto stmt2 = ParseStatement(
+      "CREATE VIEW v AS SELECT * FROM A, B WHERE A.c = B.d");
+  ASSERT_TRUE(stmt2.ok());
+  EXPECT_EQ(stmt2->method, MaintenanceMethod::kAuxRelation);
+  auto stmt3 = ParseStatement(
+      "CREATE VIEW v AS SELECT * FROM A, B WHERE A.c = B.d USING NAIVE");
+  ASSERT_TRUE(stmt3.ok());
+  EXPECT_EQ(stmt3->method, MaintenanceMethod::kNaive);
+  EXPECT_FALSE(
+      ParseStatement(
+          "CREATE VIEW v AS SELECT * FROM A, B WHERE A.c = B.d USING BOGUS")
+          .ok());
+}
+
+TEST(StatementParseTest, InsertMultipleRows) {
+  auto stmt = ParseStatement(
+      "INSERT INTO t VALUES (1, 2.5, 'x'), (2, -3.5, 'y');");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kInsert);
+  EXPECT_EQ(stmt->table, "t");
+  ASSERT_EQ(stmt->rows.size(), 2u);
+  EXPECT_EQ(stmt->rows[0], (Row{Value{1}, Value{2.5}, Value{"x"}}));
+  EXPECT_EQ(stmt->rows[1][1], Value{-3.5});
+}
+
+TEST(StatementParseTest, DeleteByValues) {
+  auto stmt = ParseStatement("DELETE FROM t VALUES (7, 'gone')");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, StatementKind::kDelete);
+  ASSERT_EQ(stmt->rows.size(), 1u);
+}
+
+TEST(StatementParseTest, SelectWithAndWithoutWhere) {
+  auto all = ParseStatement("SELECT * FROM t");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->kind, StatementKind::kSelect);
+  EXPECT_FALSE(all->where.has_value());
+  auto filtered = ParseStatement("SELECT * FROM v WHERE c.region = 10;");
+  ASSERT_TRUE(filtered.ok()) << filtered.status();
+  ASSERT_TRUE(filtered->where.has_value());
+  EXPECT_EQ(filtered->where->first, "c.region");
+  EXPECT_EQ(filtered->where->second, Value{10});
+}
+
+TEST(StatementParseTest, ShowStatements) {
+  EXPECT_EQ(ParseStatement("SHOW TABLES")->kind, StatementKind::kShowTables);
+  EXPECT_EQ(ParseStatement("SHOW COST;")->kind, StatementKind::kShowCost);
+  EXPECT_FALSE(ParseStatement("SHOW NOTHING").ok());
+}
+
+TEST(StatementParseTest, MalformedStatementsRejected) {
+  EXPECT_FALSE(ParseStatement("").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t a INT").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t (a WIDGET)").ok());
+  EXPECT_FALSE(ParseStatement("INSERT t VALUES (1)").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO t VALUES 1, 2").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t WHERE a < 3").ok());
+  EXPECT_FALSE(ParseStatement("DROP TABLE t").ok());
+}
+
+// ------------------------------------------------------------- Executor
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() {
+    SystemConfig cfg;
+    cfg.num_nodes = 4;
+    sys_ = std::make_unique<ParallelSystem>(cfg);
+    manager_ = std::make_unique<ViewManager>(sys_.get());
+    executor_ = std::make_unique<Executor>(manager_.get());
+  }
+
+  Status Run(const std::string& script) {
+    return executor_->ExecuteScript(script, out_);
+  }
+
+  std::unique_ptr<ParallelSystem> sys_;
+  std::unique_ptr<ViewManager> manager_;
+  std::unique_ptr<Executor> executor_;
+  std::ostringstream out_;
+};
+
+TEST_F(ExecutorTest, FullLifecycleScript) {
+  ASSERT_TRUE(Run(R"sql(
+    CREATE TABLE A (a INT, c INT, e INT) PARTITIONED ON a;
+    CREATE TABLE B (b INT, d INT, f INT) PARTITIONED ON b;
+    INSERT INTO B VALUES (1, 5, 10), (2, 5, 20), (3, 6, 30);
+    CREATE JOIN VIEW jv AS SELECT A.e, B.f FROM A, B WHERE A.c = B.d
+      PARTITIONED ON A.e USING AR;
+    INSERT INTO A VALUES (100, 5, 7);
+  )sql")
+                  .ok())
+      << out_.str();
+  EXPECT_EQ(manager_->view("jv")->RowCount(), 2u);
+  ASSERT_TRUE(Run("DELETE FROM B VALUES (1, 5, 10);").ok());
+  EXPECT_EQ(manager_->view("jv")->RowCount(), 1u);
+  ASSERT_TRUE(manager_->CheckAllConsistent().ok())
+      << manager_->CheckAllConsistent();
+}
+
+TEST_F(ExecutorTest, SelectPrintsRowsAndCount) {
+  ASSERT_TRUE(Run(R"sql(
+    CREATE TABLE t (k INT, v STRING) PARTITIONED ON k;
+    INSERT INTO t VALUES (1, 'one'), (2, 'two');
+  )sql")
+                  .ok());
+  out_.str("");
+  ASSERT_TRUE(Run("SELECT * FROM t;").ok());
+  std::string printed = out_.str();
+  EXPECT_NE(printed.find("(1, one)"), std::string::npos);
+  EXPECT_NE(printed.find("(2 row(s))"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, SelectWhereRoutesByPartitionColumn) {
+  ASSERT_TRUE(Run(R"sql(
+    CREATE TABLE t (k INT, v STRING) PARTITIONED ON k;
+    INSERT INTO t VALUES (1, 'one'), (2, 'two'), (1, 'uno');
+  )sql")
+                  .ok());
+  out_.str("");
+  ASSERT_TRUE(Run("SELECT * FROM t WHERE k = 1;").ok());
+  EXPECT_NE(out_.str().find("(2 row(s))"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ErrorsSurfaceWithoutSideEffects) {
+  EXPECT_FALSE(Run("INSERT INTO missing VALUES (1);").ok());
+  EXPECT_FALSE(Run("SELECT * FROM missing;").ok());
+  ASSERT_TRUE(Run("CREATE TABLE t (k INT) PARTITIONED ON k;").ok());
+  // Wrong arity fails and leaves the table empty (txn aborted).
+  EXPECT_FALSE(Run("INSERT INTO t VALUES (1, 2);").ok());
+  EXPECT_EQ(sys_->RowCount("t"), 0u);
+}
+
+TEST_F(ExecutorTest, ShowTablesListsKinds) {
+  ASSERT_TRUE(Run(R"sql(
+    CREATE TABLE A (a INT, c INT) PARTITIONED ON a;
+    CREATE TABLE B (b INT, d INT) PARTITIONED ON b;
+    CREATE VIEW jv AS SELECT * FROM A, B WHERE A.c = B.d USING GI;
+  )sql")
+                  .ok())
+      << out_.str();
+  out_.str("");
+  ASSERT_TRUE(Run("SHOW TABLES;").ok());
+  std::string printed = out_.str();
+  EXPECT_NE(printed.find("BASE A"), std::string::npos);
+  EXPECT_NE(printed.find("VIEW jv"), std::string::npos);
+  EXPECT_NE(printed.find("GLOBAL_INDEX"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, AggregateViewThroughExecutor) {
+  ASSERT_TRUE(Run(R"sql(
+    CREATE TABLE A (a INT, c INT) PARTITIONED ON a;
+    CREATE TABLE B (b INT, d INT, f DOUBLE) PARTITIONED ON b;
+    INSERT INTO B VALUES (1, 5, 1.5), (2, 5, 2.5);
+    CREATE VIEW agg AS SELECT A.c, COUNT(*), SUM(B.f) FROM A, B
+      WHERE A.c = B.d GROUP BY A.c USING AR;
+    INSERT INTO A VALUES (9, 5);
+  )sql")
+                  .ok())
+      << out_.str();
+  std::vector<Row> rows = manager_->view("agg")->Contents();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][2], Value{int64_t{2}});
+  EXPECT_DOUBLE_EQ(rows[0][3].AsDouble(), 4.0);
+}
+
+TEST_F(ExecutorTest, ExplainShowsMaintenancePlans) {
+  ASSERT_TRUE(Run(R"sql(
+    CREATE TABLE A (a INT, c INT) PARTITIONED ON a;
+    CREATE TABLE B (b INT, d INT, f INT) PARTITIONED ON b;
+    CREATE TABLE C (g INT, h INT) PARTITIONED ON h;
+    CREATE VIEW jv AS SELECT * FROM A, B, C
+      WHERE A.c = B.d AND B.f = C.g USING GI;
+  )sql")
+                  .ok())
+      << out_.str();
+  out_.str("");
+  ASSERT_TRUE(Run("EXPLAIN B;").ok());
+  std::string printed = out_.str();
+  EXPECT_NE(printed.find("view jv"), std::string::npos);
+  EXPECT_NE(printed.find("GLOBAL_INDEX"), std::string::npos);
+  EXPECT_NE(printed.find("delta(B)"), std::string::npos);
+  EXPECT_NE(printed.find("est. cost/tuple"), std::string::npos);
+  // A table with no views says so; a missing table errors.
+  ASSERT_TRUE(Run("CREATE TABLE lonely (x INT);").ok());
+  out_.str("");
+  ASSERT_TRUE(Run("EXPLAIN lonely;").ok());
+  EXPECT_NE(out_.str().find("no registered views"), std::string::npos);
+  EXPECT_FALSE(Run("EXPLAIN missing;").ok());
+}
+
+TEST_F(ExecutorTest, ShowCostReportsTracker) {
+  ASSERT_TRUE(Run("CREATE TABLE t (k INT) PARTITIONED ON k;").ok());
+  out_.str("");
+  ASSERT_TRUE(Run("SHOW COST;").ok());
+  EXPECT_NE(out_.str().find("CostTracker"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pjvm

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/system.h"
+#include "txn/txn_manager.h"
+#include "txn/wal.h"
+
+namespace pjvm {
+namespace {
+
+Schema AbSchema() {
+  return Schema({{"a", ValueType::kInt64}, {"c", ValueType::kInt64}});
+}
+
+TableDef HashTableDef(const std::string& name, const std::string& col) {
+  TableDef def;
+  def.name = name;
+  def.schema = AbSchema();
+  def.partition = PartitionSpec::Hash(col);
+  return def;
+}
+
+SystemConfig SmallConfig(int nodes = 4) {
+  SystemConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.rows_per_page = 4;
+  return cfg;
+}
+
+std::vector<Row> Sorted(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return RowToString(a) < RowToString(b);
+  });
+  return rows;
+}
+
+// ---------------------------------------------------------------- Wal
+
+TEST(WalTest, AppendsAssignIncreasingLsns) {
+  Wal wal;
+  uint64_t a = wal.Append({0, 1, LogRecordType::kInsert, "T", {Value{1}}});
+  uint64_t b = wal.Append({0, 1, LogRecordType::kCommit, "", {}});
+  EXPECT_LT(a, b);
+  EXPECT_EQ(wal.size(), 2u);
+}
+
+TEST(WalTest, ReplaySkipsUncommittedAndControl) {
+  Wal wal;
+  wal.Append({0, 1, LogRecordType::kInsert, "T", {Value{1}}});
+  wal.Append({0, 2, LogRecordType::kInsert, "T", {Value{2}}});
+  wal.Append({0, 1, LogRecordType::kCommit, "", {}});
+  std::vector<int64_t> applied;
+  wal.ReplayCommitted([](uint64_t txn) { return txn == 1; },
+                      [&](const LogRecord& rec) {
+                        applied.push_back(rec.row[0].AsInt64());
+                      });
+  EXPECT_EQ(applied, (std::vector<int64_t>{1}));
+}
+
+// ------------------------------------------------------------- TxnManager
+
+TEST(TxnManagerTest, LifecycleStates) {
+  TxnManager mgr;
+  uint64_t t = mgr.Begin();
+  EXPECT_TRUE(mgr.IsActive(t));
+  EXPECT_FALSE(mgr.IsCommitted(t));
+  ASSERT_TRUE(mgr.MarkPreparing(t).ok());
+  ASSERT_TRUE(mgr.LogCommitDecision(t).ok());
+  EXPECT_TRUE(mgr.IsCommitted(t));
+  EXPECT_EQ(mgr.state(t), TxnState::kCommitted);
+}
+
+TEST(TxnManagerTest, AutocommitAlwaysCommitted) {
+  TxnManager mgr;
+  EXPECT_TRUE(mgr.IsCommitted(kAutoCommitTxnId));
+}
+
+TEST(TxnManagerTest, CannotAbortCommitted) {
+  TxnManager mgr;
+  uint64_t t = mgr.Begin();
+  ASSERT_TRUE(mgr.LogCommitDecision(t).ok());
+  EXPECT_FALSE(mgr.MarkAborted(t).ok());
+}
+
+TEST(TxnManagerTest, CannotCommitAborted) {
+  TxnManager mgr;
+  uint64_t t = mgr.Begin();
+  ASSERT_TRUE(mgr.MarkAborted(t).ok());
+  EXPECT_FALSE(mgr.LogCommitDecision(t).ok());
+}
+
+TEST(TxnManagerTest, UndoIsReversedAndConsumed) {
+  TxnManager mgr;
+  uint64_t t = mgr.Begin();
+  mgr.PushUndo(t, {UndoOp::Kind::kDeleteInserted, 0, "T", {Value{1}}});
+  mgr.PushUndo(t, {UndoOp::Kind::kDeleteInserted, 0, "T", {Value{2}}});
+  auto ops = mgr.TakeUndoReversed(t);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].row[0], Value{2});
+  EXPECT_EQ(ops[1].row[0], Value{1});
+  EXPECT_TRUE(mgr.TakeUndoReversed(t).empty());
+}
+
+TEST(TxnManagerTest, CrashAbortsInFlight) {
+  TxnManager mgr;
+  uint64_t committed = mgr.Begin();
+  uint64_t in_flight = mgr.Begin();
+  ASSERT_TRUE(mgr.LogCommitDecision(committed).ok());
+  mgr.CrashAndRecover();
+  EXPECT_TRUE(mgr.IsCommitted(committed));
+  EXPECT_EQ(mgr.state(in_flight), TxnState::kAborted);
+}
+
+// ------------------------------------------------- System-level txn + 2PC
+
+TEST(SystemTxnTest, CommitMakesChangesDurable) {
+  ParallelSystem sys(SmallConfig());
+  ASSERT_TRUE(sys.CreateTable(HashTableDef("A", "a")).ok());
+  uint64_t t = sys.Begin();
+  for (int64_t k = 0; k < 8; ++k) {
+    ASSERT_TRUE(sys.Insert("A", {Value{k}, Value{k}}, t).ok());
+  }
+  ASSERT_TRUE(sys.Commit(t).ok());
+  EXPECT_EQ(sys.RowCount("A"), 8u);
+  sys.Crash();
+  ASSERT_TRUE(sys.Recover().ok());
+  EXPECT_EQ(sys.RowCount("A"), 8u);
+}
+
+TEST(SystemTxnTest, AbortRollsBackInserts) {
+  ParallelSystem sys(SmallConfig());
+  ASSERT_TRUE(sys.CreateTable(HashTableDef("A", "a")).ok());
+  ASSERT_TRUE(sys.Insert("A", {Value{100}, Value{1}}).ok());
+  uint64_t t = sys.Begin();
+  for (int64_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(sys.Insert("A", {Value{k}, Value{k}}, t).ok());
+  }
+  EXPECT_EQ(sys.RowCount("A"), 6u);
+  ASSERT_TRUE(sys.Abort(t).ok());
+  EXPECT_EQ(sys.RowCount("A"), 1u);
+  EXPECT_TRUE(sys.CheckInvariants().ok());
+}
+
+TEST(SystemTxnTest, AbortRollsBackDeletes) {
+  ParallelSystem sys(SmallConfig());
+  ASSERT_TRUE(sys.CreateTable(HashTableDef("A", "a")).ok());
+  Row row = {Value{7}, Value{77}};
+  ASSERT_TRUE(sys.Insert("A", row).ok());
+  uint64_t t = sys.Begin();
+  ASSERT_TRUE(sys.DeleteExact("A", row, t).ok());
+  EXPECT_EQ(sys.RowCount("A"), 0u);
+  ASSERT_TRUE(sys.Abort(t).ok());
+  ASSERT_EQ(sys.RowCount("A"), 1u);
+  EXPECT_EQ(Sorted(sys.ScanAll("A"))[0], row);
+}
+
+TEST(SystemTxnTest, UncommittedTxnLostOnCrash) {
+  ParallelSystem sys(SmallConfig());
+  ASSERT_TRUE(sys.CreateTable(HashTableDef("A", "a")).ok());
+  ASSERT_TRUE(sys.Insert("A", {Value{100}, Value{1}}).ok());  // autocommit
+  uint64_t t = sys.Begin();
+  for (int64_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(sys.Insert("A", {Value{k}, Value{k}}, t).ok());
+  }
+  sys.Crash();  // Crash without commit.
+  ASSERT_TRUE(sys.Recover().ok());
+  EXPECT_EQ(sys.RowCount("A"), 1u);
+}
+
+TEST(SystemTxnTest, CrashBeforePrepareAborts) {
+  ParallelSystem sys(SmallConfig());
+  ASSERT_TRUE(sys.CreateTable(HashTableDef("A", "a")).ok());
+  uint64_t t = sys.Begin();
+  ASSERT_TRUE(sys.Insert("A", {Value{1}, Value{1}}, t).ok());
+  sys.txns().InjectFailure(FailurePoint::kBeforePrepare);
+  EXPECT_TRUE(sys.Commit(t).IsAborted());
+  ASSERT_TRUE(sys.Recover().ok());
+  EXPECT_EQ(sys.RowCount("A"), 0u);
+}
+
+TEST(SystemTxnTest, CrashAfterPrepareAborts) {
+  // Presumed abort: prepared but undecided transactions roll back.
+  ParallelSystem sys(SmallConfig());
+  ASSERT_TRUE(sys.CreateTable(HashTableDef("A", "a")).ok());
+  uint64_t t = sys.Begin();
+  for (int64_t k = 0; k < 6; ++k) {
+    ASSERT_TRUE(sys.Insert("A", {Value{k}, Value{k}}, t).ok());
+  }
+  sys.txns().InjectFailure(FailurePoint::kAfterPrepare);
+  EXPECT_TRUE(sys.Commit(t).IsAborted());
+  ASSERT_TRUE(sys.Recover().ok());
+  EXPECT_EQ(sys.RowCount("A"), 0u);
+}
+
+TEST(SystemTxnTest, CrashAfterDecisionCommits) {
+  // Once the coordinator durably decided commit, recovery must apply the
+  // transaction even though participants never heard the outcome.
+  ParallelSystem sys(SmallConfig());
+  ASSERT_TRUE(sys.CreateTable(HashTableDef("A", "a")).ok());
+  uint64_t t = sys.Begin();
+  for (int64_t k = 0; k < 6; ++k) {
+    ASSERT_TRUE(sys.Insert("A", {Value{k}, Value{k}}, t).ok());
+  }
+  sys.txns().InjectFailure(FailurePoint::kAfterDecision);
+  EXPECT_TRUE(sys.Commit(t).IsAborted());  // The call reports the crash...
+  ASSERT_TRUE(sys.Recover().ok());
+  EXPECT_EQ(sys.RowCount("A"), 6u);  // ...but the transaction committed.
+}
+
+TEST(SystemTxnTest, RecoveryPreservesExactContents) {
+  ParallelSystem sys(SmallConfig());
+  TableDef def = HashTableDef("A", "a");
+  def.indexes.push_back({"c", false});
+  ASSERT_TRUE(sys.CreateTable(def).ok());
+  // A mix of committed work, aborted work, and deletes.
+  uint64_t t1 = sys.Begin();
+  for (int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(sys.Insert("A", {Value{k}, Value{k % 3}}, t1).ok());
+  }
+  ASSERT_TRUE(sys.Commit(t1).ok());
+  uint64_t t2 = sys.Begin();
+  ASSERT_TRUE(sys.Insert("A", {Value{999}, Value{9}}, t2).ok());
+  ASSERT_TRUE(sys.DeleteExact("A", {Value{1}, Value{1}}, t2).ok());
+  ASSERT_TRUE(sys.Abort(t2).ok());
+  uint64_t t3 = sys.Begin();
+  ASSERT_TRUE(sys.DeleteExact("A", {Value{2}, Value{2}}, t3).ok());
+  ASSERT_TRUE(sys.Commit(t3).ok());
+
+  std::vector<Row> before = Sorted(sys.ScanAll("A"));
+  sys.Crash();
+  ASSERT_TRUE(sys.Recover().ok());
+  std::vector<Row> after = Sorted(sys.ScanAll("A"));
+  EXPECT_EQ(before, after);
+  EXPECT_TRUE(sys.CheckInvariants().ok());
+}
+
+TEST(SystemTxnTest, MultiTableTransactionIsAtomic) {
+  ParallelSystem sys(SmallConfig());
+  ASSERT_TRUE(sys.CreateTable(HashTableDef("A", "a")).ok());
+  ASSERT_TRUE(sys.CreateTable(HashTableDef("B", "a")).ok());
+  uint64_t t = sys.Begin();
+  ASSERT_TRUE(sys.Insert("A", {Value{1}, Value{1}}, t).ok());
+  ASSERT_TRUE(sys.Insert("B", {Value{2}, Value{2}}, t).ok());
+  sys.txns().InjectFailure(FailurePoint::kAfterPrepare);
+  EXPECT_FALSE(sys.Commit(t).ok());
+  ASSERT_TRUE(sys.Recover().ok());
+  // Neither table kept its row: no partial commit.
+  EXPECT_EQ(sys.RowCount("A"), 0u);
+  EXPECT_EQ(sys.RowCount("B"), 0u);
+}
+
+}  // namespace
+}  // namespace pjvm

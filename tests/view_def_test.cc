@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "tests/view_test_util.h"
+#include "view/materialized_view.h"
+#include "view/view_def.h"
+
+namespace pjvm {
+namespace {
+
+class ViewDefTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.AddTable(MakeTableDef("A", ASchema(), "a")).ok());
+    ASSERT_TRUE(catalog_.AddTable(MakeTableDef("B", BSchema(), "b")).ok());
+    ASSERT_TRUE(catalog_.AddTable(MakeTableDef("C", CSchema(), "g")).ok());
+  }
+
+  JoinViewDef TwoWay() {
+    JoinViewDef def;
+    def.name = "JV";
+    def.bases = {{"A", "A"}, {"B", "B"}};
+    def.edges = {{{"A", "c"}, {"B", "d"}}};
+    return def;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ViewDefTest, ValidViewPasses) {
+  EXPECT_TRUE(TwoWay().Validate(catalog_).ok());
+}
+
+TEST_F(ViewDefTest, RejectsMissingTable) {
+  JoinViewDef def = TwoWay();
+  def.bases[1].table = "Nope";
+  EXPECT_TRUE(def.Validate(catalog_).IsNotFound());
+}
+
+TEST_F(ViewDefTest, RejectsUnknownColumns) {
+  JoinViewDef def = TwoWay();
+  def.edges[0].left.column = "ghost";
+  EXPECT_FALSE(def.Validate(catalog_).ok());
+  def = TwoWay();
+  def.projection = {{"A", "ghost"}};
+  EXPECT_FALSE(def.Validate(catalog_).ok());
+  def = TwoWay();
+  def.selections = {{{"B", "ghost"}, PredOp::kEq, Value{1}}};
+  EXPECT_FALSE(def.Validate(catalog_).ok());
+}
+
+TEST_F(ViewDefTest, RejectsSelfJoin) {
+  JoinViewDef def;
+  def.name = "SJ";
+  def.bases = {{"A", "x"}, {"A", "y"}};
+  def.edges = {{{"x", "c"}, {"y", "c"}}};
+  EXPECT_EQ(def.Validate(catalog_).code(), StatusCode::kNotImplemented);
+}
+
+TEST_F(ViewDefTest, RejectsDisconnectedGraph) {
+  JoinViewDef def;
+  def.name = "D";
+  def.bases = {{"A", "A"}, {"B", "B"}, {"C", "C"}};
+  def.edges = {{{"A", "c"}, {"B", "d"}}};  // C unreachable.
+  EXPECT_FALSE(def.Validate(catalog_).ok());
+}
+
+TEST_F(ViewDefTest, RejectsTypeMismatchedEdge) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(MakeTableDef("A", ASchema(), "a")).ok());
+  TableDef s;
+  s.name = "S";
+  s.schema = Schema({{"k", ValueType::kString}});
+  s.partition = PartitionSpec::Hash("k");
+  ASSERT_TRUE(cat.AddTable(s).ok());
+  JoinViewDef def;
+  def.name = "TM";
+  def.bases = {{"A", "A"}, {"S", "S"}};
+  def.edges = {{{"A", "c"}, {"S", "k"}}};
+  EXPECT_FALSE(def.Validate(cat).ok());
+}
+
+TEST_F(ViewDefTest, RejectsPartitionAttrOutsideProjection) {
+  JoinViewDef def = TwoWay();
+  def.projection = {{"A", "a"}};
+  def.partition_on = ColumnRef{"A", "e"};
+  EXPECT_FALSE(def.Validate(catalog_).ok());
+}
+
+TEST_F(ViewDefTest, SelectStarBindsAllColumns) {
+  auto bound = BoundView::Bind(TwoWay(), catalog_);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->working_width(), 6);
+  EXPECT_EQ(bound->output_schema().num_columns(), 6);
+  EXPECT_EQ(bound->output_schema().column(0).name, "A.a");
+  EXPECT_EQ(bound->output_schema().column(3).name, "B.b");
+  EXPECT_EQ(bound->output_partition_col(), -1);
+}
+
+TEST_F(ViewDefTest, ProjectionNarrowsNeededColumns) {
+  JoinViewDef def = TwoWay();
+  def.projection = {{"A", "e"}, {"B", "f"}};
+  auto bound = BoundView::Bind(def, catalog_);
+  ASSERT_TRUE(bound.ok());
+  // Needed for A: c (join) + e (projection) = 2; for B: d + f = 2.
+  EXPECT_EQ(bound->needed_cols(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(bound->needed_cols(1), (std::vector<int>{1, 2}));
+  EXPECT_EQ(bound->working_width(), 4);
+  EXPECT_EQ(bound->output_schema().num_columns(), 2);
+  EXPECT_EQ(bound->output_schema().column(0).name, "A.e");
+}
+
+TEST_F(ViewDefTest, PartitionAttrResolvesToOutputColumn) {
+  JoinViewDef def = TwoWay();
+  def.projection = {{"B", "f"}, {"A", "e"}};
+  def.partition_on = ColumnRef{"A", "e"};
+  auto bound = BoundView::Bind(def, catalog_);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->output_partition_col(), 1);
+}
+
+TEST_F(ViewDefTest, WorkingIndexMapsCorrectly) {
+  auto bound = BoundView::Bind(TwoWay(), catalog_);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(*bound->WorkingIndex(0, 1), 1);  // A.c
+  EXPECT_EQ(*bound->WorkingIndex(1, 1), 4);  // B.d after A's 3 columns.
+  EXPECT_FALSE(BoundView::Bind(TwoWay(), catalog_)->WorkingIndex(0, 7).ok());
+}
+
+TEST_F(ViewDefTest, SelectionsFilterRows) {
+  JoinViewDef def = TwoWay();
+  def.selections = {{{"A", "e"}, PredOp::kGt, Value{10}}};
+  auto bound = BoundView::Bind(def, catalog_);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound->RowPassesSelections(0, {Value{1}, Value{2}, Value{11}}));
+  EXPECT_FALSE(bound->RowPassesSelections(0, {Value{1}, Value{2}, Value{10}}));
+  EXPECT_TRUE(bound->RowPassesSelections(1, {Value{1}, Value{2}, Value{3}}));
+}
+
+TEST_F(ViewDefTest, PredOpsEvaluate) {
+  EXPECT_TRUE((SelectionPred{{"x", "y"}, PredOp::kNe, Value{3}}).Eval(Value{4}));
+  EXPECT_TRUE((SelectionPred{{"x", "y"}, PredOp::kLe, Value{3}}).Eval(Value{3}));
+  EXPECT_FALSE((SelectionPred{{"x", "y"}, PredOp::kLt, Value{3}}).Eval(Value{3}));
+  EXPECT_TRUE((SelectionPred{{"x", "y"}, PredOp::kGe, Value{3}}).Eval(Value{3}));
+}
+
+TEST_F(ViewDefTest, ToStringRoundTripsShape) {
+  JoinViewDef def = TwoWay();
+  def.projection = {{"A", "e"}};
+  def.selections = {{{"A", "e"}, PredOp::kGt, Value{10}}};
+  def.partition_on = ColumnRef{"A", "e"};
+  std::string s = def.ToString();
+  EXPECT_NE(s.find("SELECT A.e"), std::string::npos);
+  EXPECT_NE(s.find("A.c = B.d"), std::string::npos);
+  EXPECT_NE(s.find("A.e > 10"), std::string::npos);
+  EXPECT_NE(s.find("PARTITIONED ON A.e"), std::string::npos);
+}
+
+// ------------------------------------------------ EvaluateViewFromScratch
+
+TEST(EvaluateTest, TwoWayJoinBagSemantics) {
+  TwoTableFixture fx(4, /*b_keys=*/5, /*fanout=*/3);
+  // Two A rows on key 2, one on key 4: expect 2*3 + 1*3 = 9 outputs.
+  fx.sys->Insert("A", fx.NextARow(2)).Check();
+  fx.sys->Insert("A", fx.NextARow(2)).Check();
+  fx.sys->Insert("A", fx.NextARow(4)).Check();
+  auto bound = BoundView::Bind(fx.MakeView("JV"), fx.sys->catalog());
+  ASSERT_TRUE(bound.ok());
+  auto rows = EvaluateViewFromScratch(fx.sys.get(), *bound);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 9u);
+}
+
+TEST(EvaluateTest, SelectionAndProjectionApplied) {
+  TwoTableFixture fx(2, 4, 1);
+  fx.sys->Insert("A", {Value{0}, Value{1}, Value{5}}).Check();
+  fx.sys->Insert("A", {Value{1}, Value{1}, Value{50}}).Check();
+  JoinViewDef def = fx.MakeView("JV", false);
+  def.projection = {{"A", "e"}, {"B", "f"}};
+  def.selections = {{{"A", "e"}, PredOp::kGt, Value{10}}};
+  auto bound = BoundView::Bind(def, fx.sys->catalog());
+  ASSERT_TRUE(bound.ok());
+  auto rows = EvaluateViewFromScratch(fx.sys.get(), *bound);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], Value{50});
+}
+
+TEST(EvaluateTest, EmptyBasesYieldEmptyView) {
+  TwoTableFixture fx(2, 0, 0);
+  auto bound = BoundView::Bind(fx.MakeView("JV"), fx.sys->catalog());
+  ASSERT_TRUE(bound.ok());
+  auto rows = EvaluateViewFromScratch(fx.sys.get(), *bound);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+}  // namespace
+}  // namespace pjvm

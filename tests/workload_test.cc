@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/view_test_util.h"
+#include "workload/tpcr.h"
+#include "workload/twotable.h"
+#include "workload/update_stream.h"
+
+namespace pjvm {
+namespace {
+
+// ----------------------------------------------------------------- TPC-R
+
+TpcrConfig SmallTpcr() {
+  TpcrConfig cfg;
+  cfg.customers = 100;
+  cfg.extra_customer_keys = 16;
+  return cfg;
+}
+
+TEST(TpcrTest, FanoutsMatchThePaper) {
+  TpcrConfig cfg = SmallTpcr();
+  TpcrData data = GenerateTpcr(cfg);
+  EXPECT_EQ(data.customer.size(), 100u);
+  EXPECT_EQ(data.orders.size(), 116u);       // customers + extra keys.
+  EXPECT_EQ(data.lineitem.size(), 116u * 4);  // 4 lineitems per order.
+  // "Each customer tuple matches one orders tuple on custkey."
+  std::map<int64_t, int> orders_per_cust;
+  for (const Row& o : data.orders) orders_per_cust[o[1].AsInt64()]++;
+  for (const Row& c : data.customer) {
+    EXPECT_EQ(orders_per_cust[c[0].AsInt64()], 1) << RowToString(c);
+  }
+  // "Each orders tuple matches 4 lineitem tuples on orderkey."
+  std::map<int64_t, int> items_per_order;
+  for (const Row& l : data.lineitem) items_per_order[l[0].AsInt64()]++;
+  for (const Row& o : data.orders) {
+    EXPECT_EQ(items_per_order[o[0].AsInt64()], 4);
+  }
+}
+
+TEST(TpcrTest, DeterministicForSeed) {
+  TpcrData a = GenerateTpcr(SmallTpcr());
+  TpcrData b = GenerateTpcr(SmallTpcr());
+  EXPECT_EQ(a.orders, b.orders);
+  EXPECT_EQ(a.customer, b.customer);
+}
+
+TEST(TpcrTest, LoadsAndReportsSizes) {
+  SystemConfig cfg;
+  cfg.num_nodes = 4;
+  ParallelSystem sys(cfg);
+  TpcrData data = GenerateTpcr(SmallTpcr());
+  ASSERT_TRUE(LoadTpcr(&sys, data).ok());
+  auto sizes = TableSizes(sys);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0].name, "customer");
+  EXPECT_EQ(sizes[0].rows, 100u);
+  EXPECT_EQ(sizes[1].rows, 116u);
+  EXPECT_EQ(sizes[2].rows, 464u);
+  for (const auto& row : sizes) EXPECT_GT(row.bytes, 0u);
+}
+
+TEST(TpcrTest, DeltaCustomersMatchExistingOrders) {
+  TpcrConfig cfg = SmallTpcr();
+  TpcrData data = GenerateTpcr(cfg);
+  std::set<int64_t> order_custkeys;
+  for (const Row& o : data.orders) order_custkeys.insert(o[1].AsInt64());
+  for (int64_t i = 0; i < 32; ++i) {
+    Row delta = MakeDeltaCustomer(cfg, i);
+    EXPECT_TRUE(order_custkeys.count(delta[0].AsInt64()) > 0)
+        << RowToString(delta);
+    // And it is not an existing customer.
+    EXPECT_GE(delta[0].AsInt64(), cfg.customers);
+  }
+}
+
+TEST(TpcrTest, Jv1AndJv2MaintainedCorrectly) {
+  SystemConfig sys_cfg;
+  sys_cfg.num_nodes = 4;
+  ParallelSystem sys(sys_cfg);
+  TpcrConfig cfg = SmallTpcr();
+  ASSERT_TRUE(LoadTpcr(&sys, GenerateTpcr(cfg)).ok());
+  ViewManager manager(&sys);
+  ASSERT_TRUE(
+      manager.RegisterView(MakeJv1(), MaintenanceMethod::kAuxRelation).ok());
+  ASSERT_TRUE(
+      manager.RegisterView(MakeJv2(), MaintenanceMethod::kAuxRelation).ok());
+  EXPECT_EQ(manager.view("JV1")->RowCount(), 100u);
+  EXPECT_EQ(manager.view("JV2")->RowCount(), 400u);
+  // The paper's experiment: insert delta customers matching existing orders.
+  std::vector<Row> delta;
+  for (int64_t i = 0; i < 8; ++i) delta.push_back(MakeDeltaCustomer(cfg, i));
+  ASSERT_TRUE(manager.ApplyDelta(DeltaBatch::Inserts("customer", delta)).ok());
+  EXPECT_EQ(manager.view("JV1")->RowCount(), 108u);
+  EXPECT_EQ(manager.view("JV2")->RowCount(), 432u);
+  ASSERT_TRUE(manager.CheckAllConsistent().ok())
+      << manager.CheckAllConsistent();
+}
+
+// -------------------------------------------------------------- TwoTable
+
+TEST(TwoTableTest, LoadsWithRequestedFanout) {
+  SystemConfig sys_cfg;
+  sys_cfg.num_nodes = 4;
+  ParallelSystem sys(sys_cfg);
+  TwoTableConfig cfg;
+  cfg.b_join_keys = 10;
+  cfg.fanout = 3;
+  ASSERT_TRUE(LoadTwoTable(&sys, cfg).ok());
+  EXPECT_EQ(sys.RowCount("A"), 0u);
+  EXPECT_EQ(sys.RowCount("B"), 30u);
+  // Fanout check via the clustered index.
+  auto rows = sys.SelectEq("B", "d", Value{4});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST(TwoTableTest, DeltaTuplesAlwaysMatchFanoutRows) {
+  SystemConfig sys_cfg;
+  sys_cfg.num_nodes = 2;
+  ParallelSystem sys(sys_cfg);
+  TwoTableConfig cfg;
+  cfg.b_join_keys = 5;
+  cfg.fanout = 2;
+  ASSERT_TRUE(LoadTwoTable(&sys, cfg).ok());
+  ViewManager manager(&sys);
+  ASSERT_TRUE(manager.RegisterView(MakeModelView(),
+                                   MaintenanceMethod::kAuxRelation)
+                  .ok());
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(manager.InsertRow("A", MakeDeltaA(cfg, i)).ok());
+  }
+  EXPECT_EQ(manager.view("JV")->RowCount(), 20u);  // 10 deltas x fanout 2.
+}
+
+// ---------------------------------------------------------- UpdateStream
+
+TEST(UpdateStreamTest, PureInsertStream) {
+  UpdateStreamGenerator gen(
+      "A", UpdateMix{1.0, 0.0, 0.0}, 5,
+      [](int64_t i) { return Row{Value{i}, Value{i % 3}, Value{i}}; },
+      [](const Row& r, Rng&) { return r; });
+  DeltaBatch batch = gen.NextBatch(20);
+  EXPECT_EQ(batch.inserts.size(), 20u);
+  EXPECT_TRUE(batch.deletes.empty());
+  EXPECT_TRUE(batch.updates.empty());
+  EXPECT_EQ(gen.live_rows(), 20u);
+}
+
+TEST(UpdateStreamTest, MixedStreamTargetsExistingRows) {
+  UpdateStreamGenerator gen(
+      "A", UpdateMix{0.5, 0.3, 0.2}, 11,
+      [](int64_t i) { return Row{Value{i}, Value{i % 3}, Value{i}}; },
+      [](const Row& r, Rng& rng) {
+        Row out = r;
+        out[1] = Value{rng.UniformInt(0, 2)};
+        return out;
+      });
+  // First batch seeds some rows; later batches mix.
+  gen.NextBatch(30);
+  for (int b = 0; b < 5; ++b) {
+    DeltaBatch batch = gen.NextBatch(20);
+    // Deletes and updates only reference rows that pre-existed the batch:
+    // none of them appear among the batch's own inserts.
+    std::set<std::string> inserted;
+    for (const Row& r : batch.inserts) inserted.insert(RowToString(r));
+    for (const Row& r : batch.deletes) {
+      EXPECT_EQ(inserted.count(RowToString(r)), 0u);
+    }
+    for (const auto& [old_row, new_row] : batch.updates) {
+      EXPECT_EQ(inserted.count(RowToString(old_row)), 0u);
+    }
+  }
+}
+
+TEST(UpdateStreamTest, StreamDrivesMaintenanceConsistently) {
+  TwoTableFixture fx(4, 6, 2);
+  ASSERT_TRUE(fx.manager
+                  ->RegisterView(fx.MakeView("JV"),
+                                 MaintenanceMethod::kGlobalIndex)
+                  .ok());
+  UpdateStreamGenerator gen(
+      "A", UpdateMix{0.6, 0.25, 0.15}, 17,
+      [](int64_t i) { return Row{Value{i}, Value{i % 8}, Value{i * 2}}; },
+      [](const Row& r, Rng& rng) {
+        Row out = r;
+        out[1] = Value{rng.UniformInt(0, 7)};
+        return out;
+      });
+  for (int b = 0; b < 8; ++b) {
+    ASSERT_TRUE(fx.manager->ApplyDelta(gen.NextBatch(10)).ok()) << b;
+  }
+  EXPECT_EQ(fx.sys->RowCount("A"), gen.live_rows());
+  ASSERT_TRUE(fx.manager->CheckAllConsistent().ok())
+      << fx.manager->CheckAllConsistent();
+}
+
+TEST(UpdateStreamTest, DeterministicForSeed) {
+  auto make = [] {
+    return UpdateStreamGenerator(
+        "A", UpdateMix{0.5, 0.5, 0.0}, 3,
+        [](int64_t i) { return Row{Value{i}}; },
+        [](const Row& r, Rng&) { return r; });
+  };
+  UpdateStreamGenerator g1 = make(), g2 = make();
+  for (int b = 0; b < 3; ++b) {
+    DeltaBatch b1 = g1.NextBatch(15), b2 = g2.NextBatch(15);
+    EXPECT_EQ(b1.inserts, b2.inserts);
+    EXPECT_EQ(b1.deletes, b2.deletes);
+  }
+}
+
+}  // namespace
+}  // namespace pjvm
