@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_deferred.dir/bench_ablation_deferred.cc.o"
+  "CMakeFiles/bench_ablation_deferred.dir/bench_ablation_deferred.cc.o.d"
+  "bench_ablation_deferred"
+  "bench_ablation_deferred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deferred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiway_plan.dir/bench_ablation_multiway_plan.cc.o"
+  "CMakeFiles/bench_ablation_multiway_plan.dir/bench_ablation_multiway_plan.cc.o.d"
+  "bench_ablation_multiway_plan"
+  "bench_ablation_multiway_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiway_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_large_txn.dir/bench_fig10_large_txn.cc.o"
+  "CMakeFiles/bench_fig10_large_txn.dir/bench_fig10_large_txn.cc.o.d"
+  "bench_fig10_large_txn"
+  "bench_fig10_large_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_large_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_predicted.dir/bench_fig13_predicted.cc.o"
+  "CMakeFiles/bench_fig13_predicted.dir/bench_fig13_predicted.cc.o.d"
+  "bench_fig13_predicted"
+  "bench_fig13_predicted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_predicted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_measured.dir/bench_fig14_measured.cc.o"
+  "CMakeFiles/bench_fig14_measured.dir/bench_fig14_measured.cc.o.d"
+  "bench_fig14_measured"
+  "bench_fig14_measured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_tw_vs_nodes.dir/bench_fig7_tw_vs_nodes.cc.o"
+  "CMakeFiles/bench_fig7_tw_vs_nodes.dir/bench_fig7_tw_vs_nodes.cc.o.d"
+  "bench_fig7_tw_vs_nodes"
+  "bench_fig7_tw_vs_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tw_vs_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

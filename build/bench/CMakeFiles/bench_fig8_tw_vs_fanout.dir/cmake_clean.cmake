@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_tw_vs_fanout.dir/bench_fig8_tw_vs_fanout.cc.o"
+  "CMakeFiles/bench_fig8_tw_vs_fanout.dir/bench_fig8_tw_vs_fanout.cc.o.d"
+  "bench_fig8_tw_vs_fanout"
+  "bench_fig8_tw_vs_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tw_vs_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

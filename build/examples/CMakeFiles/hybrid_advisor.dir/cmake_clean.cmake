@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_advisor.dir/hybrid_advisor.cpp.o"
+  "CMakeFiles/hybrid_advisor.dir/hybrid_advisor.cpp.o.d"
+  "hybrid_advisor"
+  "hybrid_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiway_views.dir/multiway_views.cpp.o"
+  "CMakeFiles/multiway_views.dir/multiway_views.cpp.o.d"
+  "multiway_views"
+  "multiway_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiway_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operational_warehouse.dir/operational_warehouse.cpp.o"
+  "CMakeFiles/operational_warehouse.dir/operational_warehouse.cpp.o.d"
+  "operational_warehouse"
+  "operational_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operational_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

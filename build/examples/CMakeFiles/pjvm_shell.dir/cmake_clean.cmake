@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pjvm_shell.dir/pjvm_shell.cpp.o"
+  "CMakeFiles/pjvm_shell.dir/pjvm_shell.cpp.o.d"
+  "pjvm_shell"
+  "pjvm_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pjvm_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pjvm_common.dir/common/metrics.cc.o"
+  "CMakeFiles/pjvm_common.dir/common/metrics.cc.o.d"
+  "CMakeFiles/pjvm_common.dir/common/rng.cc.o"
+  "CMakeFiles/pjvm_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/pjvm_common.dir/common/row.cc.o"
+  "CMakeFiles/pjvm_common.dir/common/row.cc.o.d"
+  "CMakeFiles/pjvm_common.dir/common/schema.cc.o"
+  "CMakeFiles/pjvm_common.dir/common/schema.cc.o.d"
+  "CMakeFiles/pjvm_common.dir/common/status.cc.o"
+  "CMakeFiles/pjvm_common.dir/common/status.cc.o.d"
+  "CMakeFiles/pjvm_common.dir/common/value.cc.o"
+  "CMakeFiles/pjvm_common.dir/common/value.cc.o.d"
+  "libpjvm_common.a"
+  "libpjvm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pjvm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

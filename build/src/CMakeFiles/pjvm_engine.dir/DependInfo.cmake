@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/catalog.cc" "src/CMakeFiles/pjvm_engine.dir/engine/catalog.cc.o" "gcc" "src/CMakeFiles/pjvm_engine.dir/engine/catalog.cc.o.d"
+  "/root/repo/src/engine/node.cc" "src/CMakeFiles/pjvm_engine.dir/engine/node.cc.o" "gcc" "src/CMakeFiles/pjvm_engine.dir/engine/node.cc.o.d"
+  "/root/repo/src/engine/system.cc" "src/CMakeFiles/pjvm_engine.dir/engine/system.cc.o" "gcc" "src/CMakeFiles/pjvm_engine.dir/engine/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pjvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pjvm_engine.dir/engine/catalog.cc.o"
+  "CMakeFiles/pjvm_engine.dir/engine/catalog.cc.o.d"
+  "CMakeFiles/pjvm_engine.dir/engine/node.cc.o"
+  "CMakeFiles/pjvm_engine.dir/engine/node.cc.o.d"
+  "CMakeFiles/pjvm_engine.dir/engine/system.cc.o"
+  "CMakeFiles/pjvm_engine.dir/engine/system.cc.o.d"
+  "libpjvm_engine.a"
+  "libpjvm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pjvm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/external_sorter.cc" "src/CMakeFiles/pjvm_exec.dir/exec/external_sorter.cc.o" "gcc" "src/CMakeFiles/pjvm_exec.dir/exec/external_sorter.cc.o.d"
+  "/root/repo/src/exec/join_chooser.cc" "src/CMakeFiles/pjvm_exec.dir/exec/join_chooser.cc.o" "gcc" "src/CMakeFiles/pjvm_exec.dir/exec/join_chooser.cc.o.d"
+  "/root/repo/src/exec/local_join.cc" "src/CMakeFiles/pjvm_exec.dir/exec/local_join.cc.o" "gcc" "src/CMakeFiles/pjvm_exec.dir/exec/local_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pjvm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

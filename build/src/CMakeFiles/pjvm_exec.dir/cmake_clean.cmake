@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pjvm_exec.dir/exec/external_sorter.cc.o"
+  "CMakeFiles/pjvm_exec.dir/exec/external_sorter.cc.o.d"
+  "CMakeFiles/pjvm_exec.dir/exec/join_chooser.cc.o"
+  "CMakeFiles/pjvm_exec.dir/exec/join_chooser.cc.o.d"
+  "CMakeFiles/pjvm_exec.dir/exec/local_join.cc.o"
+  "CMakeFiles/pjvm_exec.dir/exec/local_join.cc.o.d"
+  "libpjvm_exec.a"
+  "libpjvm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pjvm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pjvm_model.dir/model/analytical.cc.o"
+  "CMakeFiles/pjvm_model.dir/model/analytical.cc.o.d"
+  "CMakeFiles/pjvm_model.dir/model/figures.cc.o"
+  "CMakeFiles/pjvm_model.dir/model/figures.cc.o.d"
+  "libpjvm_model.a"
+  "libpjvm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pjvm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pjvm_net.dir/net/message.cc.o"
+  "CMakeFiles/pjvm_net.dir/net/message.cc.o.d"
+  "CMakeFiles/pjvm_net.dir/net/network.cc.o"
+  "CMakeFiles/pjvm_net.dir/net/network.cc.o.d"
+  "libpjvm_net.a"
+  "libpjvm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pjvm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/executor.cc" "src/CMakeFiles/pjvm_sql.dir/sql/executor.cc.o" "gcc" "src/CMakeFiles/pjvm_sql.dir/sql/executor.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/pjvm_sql.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/pjvm_sql.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/pjvm_sql.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/pjvm_sql.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/statement.cc" "src/CMakeFiles/pjvm_sql.dir/sql/statement.cc.o" "gcc" "src/CMakeFiles/pjvm_sql.dir/sql/statement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pjvm_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

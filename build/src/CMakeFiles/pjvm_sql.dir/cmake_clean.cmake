@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pjvm_sql.dir/sql/executor.cc.o"
+  "CMakeFiles/pjvm_sql.dir/sql/executor.cc.o.d"
+  "CMakeFiles/pjvm_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/pjvm_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/pjvm_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/pjvm_sql.dir/sql/parser.cc.o.d"
+  "CMakeFiles/pjvm_sql.dir/sql/statement.cc.o"
+  "CMakeFiles/pjvm_sql.dir/sql/statement.cc.o.d"
+  "libpjvm_sql.a"
+  "libpjvm_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pjvm_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

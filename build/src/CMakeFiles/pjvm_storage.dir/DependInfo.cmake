@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/pjvm_storage.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/pjvm_storage.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/histogram.cc" "src/CMakeFiles/pjvm_storage.dir/storage/histogram.cc.o" "gcc" "src/CMakeFiles/pjvm_storage.dir/storage/histogram.cc.o.d"
+  "/root/repo/src/storage/stats.cc" "src/CMakeFiles/pjvm_storage.dir/storage/stats.cc.o" "gcc" "src/CMakeFiles/pjvm_storage.dir/storage/stats.cc.o.d"
+  "/root/repo/src/storage/table_fragment.cc" "src/CMakeFiles/pjvm_storage.dir/storage/table_fragment.cc.o" "gcc" "src/CMakeFiles/pjvm_storage.dir/storage/table_fragment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pjvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

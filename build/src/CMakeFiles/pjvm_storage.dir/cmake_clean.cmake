@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pjvm_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/pjvm_storage.dir/storage/heap_file.cc.o.d"
+  "CMakeFiles/pjvm_storage.dir/storage/histogram.cc.o"
+  "CMakeFiles/pjvm_storage.dir/storage/histogram.cc.o.d"
+  "CMakeFiles/pjvm_storage.dir/storage/stats.cc.o"
+  "CMakeFiles/pjvm_storage.dir/storage/stats.cc.o.d"
+  "CMakeFiles/pjvm_storage.dir/storage/table_fragment.cc.o"
+  "CMakeFiles/pjvm_storage.dir/storage/table_fragment.cc.o.d"
+  "libpjvm_storage.a"
+  "libpjvm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pjvm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpjvm_storage.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pjvm_txn.dir/txn/lock_manager.cc.o"
+  "CMakeFiles/pjvm_txn.dir/txn/lock_manager.cc.o.d"
+  "CMakeFiles/pjvm_txn.dir/txn/txn_manager.cc.o"
+  "CMakeFiles/pjvm_txn.dir/txn/txn_manager.cc.o.d"
+  "CMakeFiles/pjvm_txn.dir/txn/wal.cc.o"
+  "CMakeFiles/pjvm_txn.dir/txn/wal.cc.o.d"
+  "libpjvm_txn.a"
+  "libpjvm_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pjvm_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/view/ar_minimizer.cc" "src/CMakeFiles/pjvm_view.dir/view/ar_minimizer.cc.o" "gcc" "src/CMakeFiles/pjvm_view.dir/view/ar_minimizer.cc.o.d"
+  "/root/repo/src/view/aux_relation_maintainer.cc" "src/CMakeFiles/pjvm_view.dir/view/aux_relation_maintainer.cc.o" "gcc" "src/CMakeFiles/pjvm_view.dir/view/aux_relation_maintainer.cc.o.d"
+  "/root/repo/src/view/global_index_maintainer.cc" "src/CMakeFiles/pjvm_view.dir/view/global_index_maintainer.cc.o" "gcc" "src/CMakeFiles/pjvm_view.dir/view/global_index_maintainer.cc.o.d"
+  "/root/repo/src/view/hybrid_advisor.cc" "src/CMakeFiles/pjvm_view.dir/view/hybrid_advisor.cc.o" "gcc" "src/CMakeFiles/pjvm_view.dir/view/hybrid_advisor.cc.o.d"
+  "/root/repo/src/view/maintainer.cc" "src/CMakeFiles/pjvm_view.dir/view/maintainer.cc.o" "gcc" "src/CMakeFiles/pjvm_view.dir/view/maintainer.cc.o.d"
+  "/root/repo/src/view/materialized_view.cc" "src/CMakeFiles/pjvm_view.dir/view/materialized_view.cc.o" "gcc" "src/CMakeFiles/pjvm_view.dir/view/materialized_view.cc.o.d"
+  "/root/repo/src/view/naive_maintainer.cc" "src/CMakeFiles/pjvm_view.dir/view/naive_maintainer.cc.o" "gcc" "src/CMakeFiles/pjvm_view.dir/view/naive_maintainer.cc.o.d"
+  "/root/repo/src/view/planner.cc" "src/CMakeFiles/pjvm_view.dir/view/planner.cc.o" "gcc" "src/CMakeFiles/pjvm_view.dir/view/planner.cc.o.d"
+  "/root/repo/src/view/view_def.cc" "src/CMakeFiles/pjvm_view.dir/view/view_def.cc.o" "gcc" "src/CMakeFiles/pjvm_view.dir/view/view_def.cc.o.d"
+  "/root/repo/src/view/view_manager.cc" "src/CMakeFiles/pjvm_view.dir/view/view_manager.cc.o" "gcc" "src/CMakeFiles/pjvm_view.dir/view/view_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pjvm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pjvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pjvm_view.dir/view/ar_minimizer.cc.o"
+  "CMakeFiles/pjvm_view.dir/view/ar_minimizer.cc.o.d"
+  "CMakeFiles/pjvm_view.dir/view/aux_relation_maintainer.cc.o"
+  "CMakeFiles/pjvm_view.dir/view/aux_relation_maintainer.cc.o.d"
+  "CMakeFiles/pjvm_view.dir/view/global_index_maintainer.cc.o"
+  "CMakeFiles/pjvm_view.dir/view/global_index_maintainer.cc.o.d"
+  "CMakeFiles/pjvm_view.dir/view/hybrid_advisor.cc.o"
+  "CMakeFiles/pjvm_view.dir/view/hybrid_advisor.cc.o.d"
+  "CMakeFiles/pjvm_view.dir/view/maintainer.cc.o"
+  "CMakeFiles/pjvm_view.dir/view/maintainer.cc.o.d"
+  "CMakeFiles/pjvm_view.dir/view/materialized_view.cc.o"
+  "CMakeFiles/pjvm_view.dir/view/materialized_view.cc.o.d"
+  "CMakeFiles/pjvm_view.dir/view/naive_maintainer.cc.o"
+  "CMakeFiles/pjvm_view.dir/view/naive_maintainer.cc.o.d"
+  "CMakeFiles/pjvm_view.dir/view/planner.cc.o"
+  "CMakeFiles/pjvm_view.dir/view/planner.cc.o.d"
+  "CMakeFiles/pjvm_view.dir/view/view_def.cc.o"
+  "CMakeFiles/pjvm_view.dir/view/view_def.cc.o.d"
+  "CMakeFiles/pjvm_view.dir/view/view_manager.cc.o"
+  "CMakeFiles/pjvm_view.dir/view/view_manager.cc.o.d"
+  "libpjvm_view.a"
+  "libpjvm_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pjvm_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

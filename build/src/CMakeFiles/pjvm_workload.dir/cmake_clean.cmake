@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pjvm_workload.dir/workload/tpcr.cc.o"
+  "CMakeFiles/pjvm_workload.dir/workload/tpcr.cc.o.d"
+  "CMakeFiles/pjvm_workload.dir/workload/twotable.cc.o"
+  "CMakeFiles/pjvm_workload.dir/workload/twotable.cc.o.d"
+  "CMakeFiles/pjvm_workload.dir/workload/update_stream.cc.o"
+  "CMakeFiles/pjvm_workload.dir/workload/update_stream.cc.o.d"
+  "CMakeFiles/pjvm_workload.dir/workload/zipf.cc.o"
+  "CMakeFiles/pjvm_workload.dir/workload/zipf.cc.o.d"
+  "libpjvm_workload.a"
+  "libpjvm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pjvm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

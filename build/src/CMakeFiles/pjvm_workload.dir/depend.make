@@ -1,0 +1,2 @@
+# Empty dependencies file for pjvm_workload.
+# This may be replaced when dependencies are built.

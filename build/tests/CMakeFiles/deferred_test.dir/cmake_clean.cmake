@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deferred_test.dir/deferred_test.cc.o"
+  "CMakeFiles/deferred_test.dir/deferred_test.cc.o.d"
+  "deferred_test"
+  "deferred_test.pdb"
+  "deferred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deferred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
