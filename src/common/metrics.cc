@@ -1,44 +1,68 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 namespace pjvm {
 
+void CostTracker::Stall(double weighted_units) const {
+  uint64_t per_unit = stall_ns_.load(std::memory_order_relaxed);
+  if (per_unit == 0 || weighted_units <= 0.0) return;
+  auto ns = static_cast<uint64_t>(weighted_units * static_cast<double>(per_unit));
+  if (ns == 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
 double CostTracker::TotalWorkload() const {
   double total = 0.0;
-  for (const NodeCounters& n : nodes_) total += n.IO(weights_);
+  for (const AtomicCounters& n : nodes_) total += n.Load().IO(weights_);
   return total;
 }
 
 double CostTracker::ResponseTime() const {
   double rt = 0.0;
-  for (const NodeCounters& n : nodes_) rt = std::max(rt, n.IO(weights_));
+  for (const AtomicCounters& n : nodes_) {
+    rt = std::max(rt, n.Load().IO(weights_));
+  }
   return rt;
 }
 
 double CostTracker::ComputeResponseTime() const {
   double rt = 0.0;
-  for (const NodeCounters& n : nodes_) rt = std::max(rt, n.ComputeIO(weights_));
+  for (const AtomicCounters& n : nodes_) {
+    rt = std::max(rt, n.Load().ComputeIO(weights_));
+  }
   return rt;
 }
 
 uint64_t CostTracker::TotalSends() const {
   uint64_t total = 0;
-  for (const NodeCounters& n : nodes_) total += n.sends;
+  for (const AtomicCounters& n : nodes_) {
+    total += n.sends.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
 int CostTracker::NodesTouched() const {
   int count = 0;
-  for (const NodeCounters& n : nodes_) {
-    if (n.searches + n.fetches + n.inserts + n.sends > 0) ++count;
+  for (const AtomicCounters& n : nodes_) {
+    NodeCounters c = n.Load();
+    if (c.searches + c.fetches + c.inserts + c.sends > 0) ++count;
   }
   return count;
 }
 
 void CostTracker::Reset() {
-  for (NodeCounters& n : nodes_) n = NodeCounters{};
+  for (AtomicCounters& n : nodes_) n.Clear();
+}
+
+std::vector<NodeCounters> CostTracker::Snapshot() const {
+  std::vector<NodeCounters> out;
+  out.reserve(nodes_.size());
+  for (const AtomicCounters& n : nodes_) out.push_back(n.Load());
+  return out;
 }
 
 std::string CostTracker::ToString() const {
@@ -47,7 +71,7 @@ std::string CostTracker::ToString() const {
      << " sends=" << TotalSends() << " nodes=[";
   for (size_t i = 0; i < nodes_.size(); ++i) {
     if (i > 0) os << " ";
-    os << nodes_[i].IO(weights_);
+    os << nodes_[i].Load().IO(weights_);
   }
   os << "]}";
   return os.str();

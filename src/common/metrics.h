@@ -1,6 +1,7 @@
 #ifndef PJVM_COMMON_METRICS_H_
 #define PJVM_COMMON_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -80,6 +81,13 @@ struct NodeCounters {
 ///  - TotalWorkload() — "the sum of the work done over all the nodes" (TW);
 ///  - ResponseTime()  — the max per-node work, i.e. the makespan when all
 ///    nodes proceed in parallel.
+///
+/// Counters are lock-free atomics so the thread-per-node executor's workers
+/// can charge concurrently. Each worker only ever charges its own node, but
+/// the relaxed atomics also make cross-node charges (e.g. a SEND charged to
+/// the message source from another node's worker) race-free. All aggregates
+/// (TW, response time, per-node sums) are order-independent, so parallel and
+/// sequential execution of the same work meter identically.
 class CostTracker {
  public:
   explicit CostTracker(int num_nodes, CostWeights weights = CostWeights{})
@@ -91,35 +99,50 @@ class CostTracker {
   /// Category of a write charge, for the per-category breakdown.
   enum class WriteKind { kBase, kStructure, kView };
 
-  void ChargeSearch(int node, uint64_t n = 1) { nodes_[node].searches += n; }
-  void ChargeFetch(int node, uint64_t n = 1) { nodes_[node].fetches += n; }
-  void ChargeInsert(int node, uint64_t n = 1) { nodes_[node].inserts += n; }
+  void ChargeSearch(int node, uint64_t n = 1) {
+    nodes_[node].searches.fetch_add(n, std::memory_order_relaxed);
+    Stall(weights_.search * n);
+  }
+  void ChargeFetch(int node, uint64_t n = 1) {
+    nodes_[node].fetches.fetch_add(n, std::memory_order_relaxed);
+    Stall(weights_.fetch * n);
+  }
+  void ChargeInsert(int node, uint64_t n = 1) {
+    nodes_[node].inserts.fetch_add(n, std::memory_order_relaxed);
+    Stall(weights_.insert * n);
+  }
   void ChargeWrite(int node, WriteKind kind) {
-    nodes_[node].inserts += 1;
+    nodes_[node].inserts.fetch_add(1, std::memory_order_relaxed);
     switch (kind) {
       case WriteKind::kBase:
-        nodes_[node].base_writes += 1;
+        nodes_[node].base_writes.fetch_add(1, std::memory_order_relaxed);
         break;
       case WriteKind::kStructure:
-        nodes_[node].structure_writes += 1;
+        nodes_[node].structure_writes.fetch_add(1, std::memory_order_relaxed);
         break;
       case WriteKind::kView:
-        nodes_[node].view_writes += 1;
+        nodes_[node].view_writes.fetch_add(1, std::memory_order_relaxed);
         break;
     }
+    Stall(weights_.insert);
   }
   /// Max over nodes of the join-compute I/O (searches + fetches only) — the
   /// paper's Figure 14 measurement.
   double ComputeResponseTime() const;
   void ChargeSend(int node, uint64_t bytes) {
-    nodes_[node].sends += 1;
-    nodes_[node].bytes_sent += bytes;
+    nodes_[node].sends.fetch_add(1, std::memory_order_relaxed);
+    nodes_[node].bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+    // No stall: the paper's SEND weight is ~0 against SEARCH/FETCH/INSERT.
   }
   /// Charges extra I/Os that are not one of the three primitives (e.g. the
   /// page reads/writes of an external sort); counted as fetches.
-  void ChargeIOPages(int node, uint64_t pages) { nodes_[node].fetches += pages; }
+  void ChargeIOPages(int node, uint64_t pages) {
+    nodes_[node].fetches.fetch_add(pages, std::memory_order_relaxed);
+    Stall(weights_.fetch * pages);
+  }
 
-  const NodeCounters& node(int i) const { return nodes_[i]; }
+  /// Plain snapshot of one node's counters.
+  NodeCounters node(int i) const { return nodes_[i].Load(); }
 
   /// Sum over nodes of weighted I/O (the paper's TW).
   double TotalWorkload() const;
@@ -134,13 +157,64 @@ class CostTracker {
   void Reset();
 
   /// Copies the current counters (for before/after diffs around a phase).
-  std::vector<NodeCounters> Snapshot() const { return nodes_; }
+  std::vector<NodeCounters> Snapshot() const;
+
+  /// Sleeps the charging thread for `ns` nanoseconds per weighted I/O unit
+  /// it charges from now on (0 disables; the default). This turns the cost
+  /// model into simulated device time: with the thread-per-node executor,
+  /// wall clock then tracks ResponseTime (max over nodes) instead of TW —
+  /// the effect bench_parallel_scaling measures. Counters are unaffected.
+  void SetIoStallNanos(uint64_t ns) {
+    stall_ns_.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t io_stall_nanos() const {
+    return stall_ns_.load(std::memory_order_relaxed);
+  }
 
   std::string ToString() const;
 
  private:
+  /// Cache-line-padded atomic mirror of NodeCounters: one slot per node, so
+  /// workers charging their own node never contend or false-share.
+  struct alignas(64) AtomicCounters {
+    std::atomic<uint64_t> searches{0};
+    std::atomic<uint64_t> fetches{0};
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> sends{0};
+    std::atomic<uint64_t> bytes_sent{0};
+    std::atomic<uint64_t> base_writes{0};
+    std::atomic<uint64_t> structure_writes{0};
+    std::atomic<uint64_t> view_writes{0};
+
+    NodeCounters Load() const {
+      NodeCounters c;
+      c.searches = searches.load(std::memory_order_relaxed);
+      c.fetches = fetches.load(std::memory_order_relaxed);
+      c.inserts = inserts.load(std::memory_order_relaxed);
+      c.sends = sends.load(std::memory_order_relaxed);
+      c.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+      c.base_writes = base_writes.load(std::memory_order_relaxed);
+      c.structure_writes = structure_writes.load(std::memory_order_relaxed);
+      c.view_writes = view_writes.load(std::memory_order_relaxed);
+      return c;
+    }
+    void Clear() {
+      searches.store(0, std::memory_order_relaxed);
+      fetches.store(0, std::memory_order_relaxed);
+      inserts.store(0, std::memory_order_relaxed);
+      sends.store(0, std::memory_order_relaxed);
+      bytes_sent.store(0, std::memory_order_relaxed);
+      base_writes.store(0, std::memory_order_relaxed);
+      structure_writes.store(0, std::memory_order_relaxed);
+      view_writes.store(0, std::memory_order_relaxed);
+    }
+  };
+
+  void Stall(double weighted_units) const;
+
   CostWeights weights_;
-  std::vector<NodeCounters> nodes_;
+  std::vector<AtomicCounters> nodes_;
+  std::atomic<uint64_t> stall_ns_{0};
 };
 
 }  // namespace pjvm

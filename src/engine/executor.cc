@@ -1,0 +1,106 @@
+#include "engine/executor.h"
+
+namespace pjvm {
+
+NodeExecutor::NodeExecutor(int num_nodes, bool inline_mode)
+    : num_nodes_(num_nodes), inline_mode_(inline_mode), queues_(num_nodes) {
+  if (inline_mode_) return;
+  workers_.reserve(num_nodes_);
+  for (int i = 0; i < num_nodes_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+NodeExecutor::~NodeExecutor() { Shutdown(); }
+
+void NodeExecutor::WorkerLoop(int node) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return stopping_ || !queues_[node].empty(); });
+    if (queues_[node].empty()) {
+      if (stopping_) return;  // Drained: safe to exit.
+      continue;
+    }
+    std::function<void()> fn = std::move(queues_[node].front());
+    queues_[node].pop_front();
+    lock.unlock();
+    fn();
+    lock.lock();
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void NodeExecutor::SubmitToNode(int node, std::function<void()> fn) {
+  if (inline_mode_) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[node].push_back(std::move(fn));
+    ++pending_;
+  }
+  work_cv_.notify_all();
+}
+
+void NodeExecutor::SubmitToAll(const std::function<void(int)>& fn) {
+  if (inline_mode_) {
+    for (int i = 0; i < num_nodes_; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < num_nodes_; ++i) {
+      queues_[i].push_back([fn, i] { fn(i); });
+      ++pending_;
+    }
+  }
+  work_cv_.notify_all();
+}
+
+void NodeExecutor::WaitAll() {
+  if (inline_mode_) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+Status NodeExecutor::RunOnAllNodes(const std::function<Status(int)>& fn) {
+  std::vector<Status> statuses(num_nodes_, Status::OK());
+  SubmitToAll([&statuses, &fn](int node) { statuses[node] = fn(node); });
+  WaitAll();
+  for (Status& st : statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+Status NodeExecutor::RunOnNodes(const std::vector<int>& nodes,
+                                const std::function<Status(int)>& fn) {
+  std::vector<Status> statuses(nodes.size(), Status::OK());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    int node = nodes[i];
+    SubmitToNode(node, [&statuses, &fn, node, i] { statuses[i] = fn(node); });
+  }
+  WaitAll();
+  for (Status& st : statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+void NodeExecutor::Shutdown() {
+  if (inline_mode_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace pjvm

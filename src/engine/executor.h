@@ -1,0 +1,88 @@
+#ifndef PJVM_ENGINE_EXECUTOR_H_
+#define PJVM_ENGINE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pjvm {
+
+/// \brief Thread-per-node task executor: the engine's execution substrate.
+///
+/// One worker thread is pinned to each data server node, so per-node work in
+/// fan-out phases (SelectEq/SelectRange broadcasts, InsertMany, the
+/// maintainers' probe phases) runs with real parallelism while each node's
+/// fragments, indexes, and WAL stay single-writer: only node i's worker (or
+/// the orchestrating caller while no tasks are in flight) ever touches node
+/// i's structures. Shared-nothing isolation is preserved by construction,
+/// without per-structure locks.
+///
+/// In `inline_mode` no threads are spawned and every submitted task runs
+/// immediately in the caller's thread, in submission order — the sequential
+/// reference semantics. Both modes drive the same call sites, which is what
+/// makes cost accounting provably identical between them (see
+/// tests/executor_test.cc).
+///
+/// Orchestration protocol: only one coordinating thread submits tasks and
+/// waits; tasks themselves must never submit or wait (no nesting). Between a
+/// WaitAll() and the next submission the caller may touch any node's state
+/// directly — the barrier's mutex hand-off orders those accesses after all
+/// worker writes.
+class NodeExecutor {
+ public:
+  explicit NodeExecutor(int num_nodes, bool inline_mode = false);
+  ~NodeExecutor();
+
+  NodeExecutor(const NodeExecutor&) = delete;
+  NodeExecutor& operator=(const NodeExecutor&) = delete;
+
+  int num_nodes() const { return num_nodes_; }
+  bool inline_mode() const { return inline_mode_; }
+
+  /// Enqueues `fn` for node `node`'s worker (runs immediately when inline).
+  void SubmitToNode(int node, std::function<void()> fn);
+
+  /// Enqueues `fn(node)` for every node's worker.
+  void SubmitToAll(const std::function<void(int)>& fn);
+
+  /// Barrier: returns once every submitted task has finished.
+  void WaitAll();
+
+  /// Runs `fn(node)` on every node's worker and waits. Every node runs even
+  /// if another fails; the first non-OK status in node order is returned, so
+  /// the outcome is deterministic regardless of scheduling.
+  Status RunOnAllNodes(const std::function<Status(int)>& fn);
+
+  /// Same, restricted to `nodes` (first failure in the listed order).
+  Status RunOnNodes(const std::vector<int>& nodes,
+                    const std::function<Status(int)>& fn);
+
+  /// Drains outstanding tasks, then stops and joins every worker.
+  /// Idempotent; called by the destructor (and by ~ParallelSystem before the
+  /// nodes the workers reference are torn down).
+  void Shutdown();
+
+ private:
+  void WorkerLoop(int node);
+
+  const int num_nodes_;
+  const bool inline_mode_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signaled on submit and on shutdown
+  std::condition_variable done_cv_;  // signaled when pending_ drains to zero
+  std::vector<std::deque<std::function<void()>>> queues_;
+  size_t pending_ = 0;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_ENGINE_EXECUTOR_H_

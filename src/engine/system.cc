@@ -6,12 +6,17 @@ ParallelSystem::ParallelSystem(SystemConfig config)
     : config_(config),
       cost_(config.num_nodes, config.weights),
       network_(config.num_nodes, &cost_) {
+  cost_.SetIoStallNanos(config_.io_stall_ns);
   nodes_.reserve(config_.num_nodes);
   LockManager* locks = config_.enable_locking ? &locks_ : nullptr;
   for (int i = 0; i < config_.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(i, &cost_, &txns_, locks));
   }
+  executor_ = std::make_unique<NodeExecutor>(
+      config_.num_nodes, /*inline_mode=*/!config_.parallel_execution);
 }
+
+ParallelSystem::~ParallelSystem() { executor_->Shutdown(); }
 
 Status ParallelSystem::CreateTable(TableDef def) {
   PJVM_RETURN_NOT_OK(catalog_.AddTable(def));
@@ -97,10 +102,38 @@ Status ParallelSystem::CreateIndexOn(const std::string& table,
 Status ParallelSystem::InsertMany(const std::string& table,
                                   const std::vector<Row>& rows,
                                   uint64_t txn_id) {
-  for (const Row& row : rows) {
-    PJVM_RETURN_NOT_OK(Insert(table, row, txn_id));
+  return InsertManyReturningIds(table, rows, txn_id).status();
+}
+
+Result<std::vector<GlobalRowId>> ParallelSystem::InsertManyReturningIds(
+    const std::string& table, const std::vector<Row>& rows, uint64_t txn_id) {
+  PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
+  // Validate and place every row in the caller's thread first: round-robin
+  // placement consumes the per-table counter in batch order, exactly as a
+  // sequence of single-row Inserts would.
+  std::vector<std::vector<size_t>> by_node(config_.num_nodes);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    PJVM_RETURN_NOT_OK(def->schema.ValidateRow(rows[i]));
+    by_node[HomeNodeForRow(*def, rows[i])].push_back(i);
   }
-  return Status::OK();
+  std::vector<int> targets;
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    if (!by_node[n].empty()) targets.push_back(n);
+  }
+  // One task per home node; each worker inserts its rows in batch order, so
+  // per-node local row ids, WAL contents, and cost charges are identical to
+  // the sequential run.
+  std::vector<GlobalRowId> gids(rows.size());
+  Status st = executor_->RunOnNodes(targets, [&](int n) -> Status {
+    for (size_t i : by_node[n]) {
+      PJVM_ASSIGN_OR_RETURN(LocalRowId lrid,
+                            nodes_[n]->Insert(txn_id, table, rows[i]));
+      gids[i] = GlobalRowId{n, lrid};
+    }
+    return Status::OK();
+  });
+  PJVM_RETURN_NOT_OK(st);
+  return gids;
 }
 
 Status ParallelSystem::DeleteExact(const std::string& table, const Row& row,
@@ -121,11 +154,14 @@ Status ParallelSystem::DeleteExact(const std::string& table, const Row& row,
 }
 
 std::vector<Row> ParallelSystem::ScanAll(const std::string& table) const {
+  std::vector<std::vector<Row>> per_node(config_.num_nodes);
+  executor_->RunOnAllNodes([&](int i) -> Status {
+    const TableFragment* frag = nodes_[i]->fragment(table);
+    if (frag != nullptr) per_node[i] = frag->AllRows();
+    return Status::OK();
+  }).Check();
   std::vector<Row> rows;
-  for (const auto& node : nodes_) {
-    const TableFragment* frag = node->fragment(table);
-    if (frag == nullptr) continue;
-    std::vector<Row> part = frag->AllRows();
+  for (std::vector<Row>& part : per_node) {
     rows.insert(rows.end(), std::make_move_iterator(part.begin()),
                 std::make_move_iterator(part.end()));
   }
@@ -164,28 +200,35 @@ Result<std::vector<Row>> ParallelSystem::SelectEq(const std::string& table,
                                                   const Value& key) {
   PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
   PJVM_ASSIGN_OR_RETURN(int col, def->schema.ColumnIndex(column));
-  std::vector<Row> out;
-  auto probe_node = [&](int i) -> Status {
+  auto probe_node = [&](int i, std::vector<Row>* out) -> Status {
     TableFragment* frag = nodes_[i]->fragment(table);
     if (frag->HasIndexOn(col)) {
       PJVM_ASSIGN_OR_RETURN(ProbeResult r, nodes_[i]->IndexProbe(table, col, key));
-      out.insert(out.end(), std::make_move_iterator(r.rows.begin()),
-                 std::make_move_iterator(r.rows.end()));
+      out->insert(out->end(), std::make_move_iterator(r.rows.begin()),
+                  std::make_move_iterator(r.rows.end()));
     } else {
       // Full scan: charge one fetch per page read.
       cost_.ChargeIOPages(i, frag->num_pages());
       ProbeResult r = frag->ScanEq(col, key);
-      out.insert(out.end(), std::make_move_iterator(r.rows.begin()),
-                 std::make_move_iterator(r.rows.end()));
+      out->insert(out->end(), std::make_move_iterator(r.rows.begin()),
+                  std::make_move_iterator(r.rows.end()));
     }
     return Status::OK();
   };
   if (def->partition.is_hash() && def->partition.column == column) {
-    PJVM_RETURN_NOT_OK(probe_node(HomeNodeForKey(key)));
+    std::vector<Row> out;
+    PJVM_RETURN_NOT_OK(probe_node(HomeNodeForKey(key), &out));
     return out;
   }
-  for (int i = 0; i < config_.num_nodes; ++i) {
-    PJVM_RETURN_NOT_OK(probe_node(i));
+  // Fan-out: every node probes its fragment on its own worker; results are
+  // concatenated in node order, matching the sequential loop exactly.
+  std::vector<std::vector<Row>> per_node(config_.num_nodes);
+  PJVM_RETURN_NOT_OK(executor_->RunOnAllNodes(
+      [&](int i) { return probe_node(i, &per_node[i]); }));
+  std::vector<Row> out;
+  for (std::vector<Row>& part : per_node) {
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
   }
   return out;
 }
@@ -198,14 +241,18 @@ Result<std::vector<Row>> ParallelSystem::SelectRange(const std::string& table,
   PJVM_ASSIGN_OR_RETURN(int col, def->schema.ColumnIndex(column));
   std::vector<Row> out;
   if (hi < lo) return out;
-  for (int i = 0; i < config_.num_nodes; ++i) {
+  // Hash partitioning cannot route a range: every node range-scans its own
+  // fragment on its worker thread.
+  std::vector<std::vector<Row>> per_node(config_.num_nodes);
+  PJVM_RETURN_NOT_OK(executor_->RunOnAllNodes([&](int i) -> Status {
+    std::vector<Row>& local = per_node[i];
     TableFragment* frag = nodes_[i]->fragment(table);
     const LocalIndex* index = frag->FindIndex(col);
     if (index != nullptr) {
       cost_.ChargeSearch(i);  // One seek to the range's start.
       size_t delivered = 0;
       index->tree.ScanRange(lo, hi, [&](const Value&, const LocalRowId& lrid) {
-        out.push_back(*frag->Get(lrid));
+        local.push_back(*frag->Get(lrid));
         ++delivered;
         return true;
       });
@@ -213,10 +260,15 @@ Result<std::vector<Row>> ParallelSystem::SelectRange(const std::string& table,
     } else {
       cost_.ChargeIOPages(i, frag->num_pages());
       frag->ForEach([&](LocalRowId, const Row& row) {
-        if (lo <= row[col] && row[col] <= hi) out.push_back(row);
+        if (lo <= row[col] && row[col] <= hi) local.push_back(row);
         return true;
       });
     }
+    return Status::OK();
+  }));
+  for (std::vector<Row>& part : per_node) {
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
   }
   return out;
 }

@@ -1,5 +1,8 @@
 #include "net/network.h"
 
+#include <algorithm>
+#include <chrono>
+
 namespace pjvm {
 
 Network::Network(int num_nodes, CostTracker* tracker)
@@ -20,54 +23,96 @@ Status Network::Validate(const Message& msg) const {
   return Status::OK();
 }
 
-Status Network::Send(Message msg) {
-  PJVM_RETURN_NOT_OK(Validate(msg));
+void Network::EnqueueLocked(Message msg, bool charge_self) {
   size_t bytes = msg.ByteSize();
   pair_counts_[msg.from * num_nodes_ + msg.to] += 1;
   total_messages_ += 1;
   total_bytes_ += bytes;
-  if (msg.from != msg.to && tracker_ != nullptr) {
+  if ((charge_self || msg.from != msg.to) && tracker_ != nullptr) {
     tracker_->ChargeSend(msg.from, bytes);
   }
   queues_[msg.to].push_back(std::move(msg));
+}
+
+Status Network::Send(Message msg) {
+  PJVM_RETURN_NOT_OK(Validate(msg));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnqueueLocked(std::move(msg), /*charge_self=*/false);
+  }
+  arrival_cv_.notify_all();
   return Status::OK();
 }
 
-Status Network::Broadcast(int from, const Message& msg) {
+Status Network::Broadcast(int from, Message msg) {
   if (from < 0 || from >= num_nodes_) {
     return Status::InvalidArgument("network: bad broadcast source");
   }
-  for (int to = 0; to < num_nodes_; ++to) {
-    Message copy = msg;
-    copy.from = from;
-    copy.to = to;
-    size_t bytes = copy.ByteSize();
-    pair_counts_[from * num_nodes_ + to] += 1;
-    total_messages_ += 1;
-    total_bytes_ += bytes;
-    // The paper charges the naive method L*SEND for "sending tuple to each
-    // node", i.e. the self-copy is charged too.
-    if (tracker_ != nullptr) tracker_->ChargeSend(from, bytes);
-    queues_[to].push_back(std::move(copy));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    msg.from = from;
+    for (int to = 0; to < num_nodes_; ++to) {
+      // The paper charges the naive method L*SEND for "sending tuple to each
+      // node", i.e. the self-copy is charged too. The last destination takes
+      // the payload by move.
+      Message copy = (to == num_nodes_ - 1) ? std::move(msg) : msg;
+      copy.to = to;
+      EnqueueLocked(std::move(copy), /*charge_self=*/true);
+    }
   }
+  arrival_cv_.notify_all();
   return Status::OK();
 }
 
 std::optional<Message> Network::Poll(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (queues_[node].empty()) return std::nullopt;
   Message msg = std::move(queues_[node].front());
   queues_[node].pop_front();
   return msg;
 }
 
+std::optional<Message> Network::PollWait(int node, uint64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!arrival_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                            [&] { return !queues_[node].empty(); })) {
+    return std::nullopt;
+  }
+  Message msg = std::move(queues_[node].front());
+  queues_[node].pop_front();
+  return msg;
+}
+
 bool Network::HasPending() const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& q : queues_) {
     if (!q.empty()) return true;
   }
   return false;
 }
 
+size_t Network::PendingCount(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queues_[node].size();
+}
+
+uint64_t Network::PairCount(int from, int to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pair_counts_[from * num_nodes_ + to];
+}
+
+uint64_t Network::TotalMessages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_messages_;
+}
+
+uint64_t Network::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
 void Network::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::fill(pair_counts_.begin(), pair_counts_.end(), 0);
   total_messages_ = 0;
   total_bytes_ = 0;

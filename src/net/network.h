@@ -1,8 +1,10 @@
 #ifndef PJVM_NET_NETWORK_H_
 #define PJVM_NET_NETWORK_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -24,6 +26,12 @@ namespace pjvm {
 ///    Figures 2/4/6);
 ///  - Broadcast() charges one SEND per destination including the sender's
 ///    own node, matching the naive method's L*SEND term.
+///
+/// The queues and counters are guarded by one mutex (with a condition
+/// variable signaled on every enqueue), so the thread-per-node executor's
+/// workers can Send/Poll concurrently. SEND cost charges go to the atomic
+/// CostTracker, so charging a message's source from another node's worker is
+/// race-free.
 class Network {
  public:
   Network(int num_nodes, CostTracker* tracker);
@@ -36,30 +44,39 @@ class Network {
 
   /// Sends a copy of `msg` to every node (setting to/from), charging
   /// `num_nodes` SENDs to the sender as in the paper's naive-method model.
-  Status Broadcast(int from, const Message& msg);
+  /// Takes the payload by value: the last destination receives it by move,
+  /// so an rvalue broadcast deep-copies L-1 times, not L.
+  Status Broadcast(int from, Message msg);
 
   /// Dequeues the next pending message for `node`, if any.
   std::optional<Message> Poll(int node);
 
+  /// Blocking Poll: waits until a message for `node` is available. The
+  /// deadline guards against a peer that never sends (returns nullopt).
+  std::optional<Message> PollWait(int node, uint64_t timeout_ms = 1000);
+
   /// True if any node has undelivered messages.
   bool HasPending() const;
-  size_t PendingCount(int node) const { return queues_[node].size(); }
+  size_t PendingCount(int node) const;
 
   /// Messages sent from i to j since construction/reset (self-sends are
   /// counted here even though they cost nothing).
-  uint64_t PairCount(int from, int to) const {
-    return pair_counts_[from * num_nodes_ + to];
-  }
-  uint64_t TotalMessages() const { return total_messages_; }
-  uint64_t TotalBytes() const { return total_bytes_; }
+  uint64_t PairCount(int from, int to) const;
+  uint64_t TotalMessages() const;
+  uint64_t TotalBytes() const;
 
   void ResetCounters();
 
  private:
   Status Validate(const Message& msg) const;
+  /// Accounting + enqueue for one already-validated hop; `mu_` must be held.
+  void EnqueueLocked(Message msg, bool charge_self);
 
-  int num_nodes_;
+  const int num_nodes_;
   CostTracker* tracker_;
+
+  mutable std::mutex mu_;
+  std::condition_variable arrival_cv_;
   std::vector<std::deque<Message>> queues_;
   std::vector<uint64_t> pair_counts_;
   uint64_t total_messages_ = 0;

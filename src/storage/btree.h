@@ -26,8 +26,10 @@ namespace pjvm {
 /// items for that key, matching the paper's assumption that all matches for
 /// a key live in one index entry (and, for clustered indexes, on one page).
 ///
-/// The tree is not thread-safe; the simulated parallel system runs nodes in
-/// one OS thread and isolates them by construction.
+/// The tree is not thread-safe and needs no locks: under the thread-per-node
+/// executor every node's indexes are touched only by that node's worker
+/// thread (single-writer-per-node; see DESIGN.md "Execution model"), so
+/// isolation still holds by construction.
 template <typename T>
 class BPlusTree {
  public:

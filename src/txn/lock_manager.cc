@@ -59,6 +59,7 @@ Status LockManager::CheckConflicts(uint64_t txn_id, const LockId& id,
 }
 
 Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Already held at sufficient strength?
   auto it = locks_.find(id);
   if (it != locks_.end()) {
@@ -81,6 +82,7 @@ Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
 }
 
 void LockManager::ReleaseAll(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = by_txn_.find(txn_id);
   if (it == by_txn_.end()) return;
   for (const LockId& id : it->second) {
@@ -93,12 +95,14 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
 }
 
 size_t LockManager::HeldCount(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = by_txn_.find(txn_id);
   return it == by_txn_.end() ? 0 : it->second.size();
 }
 
 bool LockManager::Holds(uint64_t txn_id, const LockId& id,
                         LockMode mode) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = locks_.find(id);
   if (it == locks_.end()) return false;
   auto held = it->second.holders.find(txn_id);
@@ -107,6 +111,7 @@ bool LockManager::Holds(uint64_t txn_id, const LockId& id,
 }
 
 size_t LockManager::TotalLocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t count = 0;
   for (const auto& [id, entry] : locks_) count += entry.holders.size();
   return count;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <tuple>
@@ -61,6 +62,10 @@ struct LockId {
 /// Table-granularity locks conflict with every key of that fragment, so a
 /// sort-merge scan can take one fragment lock instead of thousands of key
 /// locks.
+///
+/// The lock table is shared by all nodes, so every public method takes one
+/// internal mutex — required now that the thread-per-node executor acquires
+/// locks from per-node workers during parallel probe phases.
 class LockManager {
  public:
   /// Acquires (or upgrades) a lock; Aborted on conflict with another txn.
@@ -79,6 +84,7 @@ class LockManager {
 
   /// Drops every lock (crash recovery: all in-flight txns are aborted).
   void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     locks_.clear();
     by_txn_.clear();
   }
@@ -96,6 +102,7 @@ class LockManager {
     return held == LockMode::kShared && wanted == LockMode::kShared;
   }
 
+  mutable std::mutex mu_;
   std::map<LockId, Entry> locks_;
   std::map<uint64_t, std::set<LockId>> by_txn_;
 };

@@ -3,12 +3,14 @@
 namespace pjvm {
 
 uint64_t TxnManager::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t id = next_txn_id_++;
   states_[id] = TxnState::kActive;
   return id;
 }
 
 TxnState TxnManager::state(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = states_.find(txn_id);
   if (it == states_.end()) return TxnState::kAborted;
   return it->second;
@@ -16,10 +18,12 @@ TxnState TxnManager::state(uint64_t txn_id) const {
 
 bool TxnManager::IsCommitted(uint64_t txn_id) const {
   if (txn_id == kAutoCommitTxnId) return true;
+  std::lock_guard<std::mutex> lock(mu_);
   return committed_ids_.count(txn_id) > 0;
 }
 
 bool TxnManager::HasActive() const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [id, state] : states_) {
     if (state == TxnState::kActive || state == TxnState::kPreparing) {
       return true;
@@ -29,6 +33,7 @@ bool TxnManager::HasActive() const {
 }
 
 Status TxnManager::MarkPreparing(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = states_.find(txn_id);
   if (it == states_.end() || it->second != TxnState::kActive) {
     return Status::Aborted("txn " + std::to_string(txn_id) + " is not active");
@@ -38,6 +43,7 @@ Status TxnManager::MarkPreparing(uint64_t txn_id) {
 }
 
 Status TxnManager::LogCommitDecision(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = states_.find(txn_id);
   if (it == states_.end() ||
       (it->second != TxnState::kActive && it->second != TxnState::kPreparing)) {
@@ -50,6 +56,7 @@ Status TxnManager::LogCommitDecision(uint64_t txn_id) {
 }
 
 Status TxnManager::MarkAborted(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = states_.find(txn_id);
   if (it != states_.end() && it->second == TxnState::kCommitted) {
     return Status::Internal("txn " + std::to_string(txn_id) +
@@ -60,10 +67,12 @@ Status TxnManager::MarkAborted(uint64_t txn_id) {
 }
 
 void TxnManager::PushUndo(uint64_t txn_id, UndoOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
   undo_[txn_id].push_back(std::move(op));
 }
 
 std::vector<UndoOp> TxnManager::TakeUndoReversed(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<UndoOp> ops;
   auto it = undo_.find(txn_id);
   if (it == undo_.end()) return ops;
@@ -72,17 +81,23 @@ std::vector<UndoOp> TxnManager::TakeUndoReversed(uint64_t txn_id) {
   return ops;
 }
 
-void TxnManager::DiscardUndo(uint64_t txn_id) { undo_.erase(txn_id); }
+void TxnManager::DiscardUndo(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  undo_.erase(txn_id);
+}
 
 void TxnManager::AddParticipant(uint64_t txn_id, int node) {
+  std::lock_guard<std::mutex> lock(mu_);
   participants_[txn_id].insert(node);
 }
 
 const std::set<int>& TxnManager::participants(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   return participants_[txn_id];
 }
 
 bool TxnManager::ShouldFailAt(FailurePoint point) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (failure_ == point && point != FailurePoint::kNone) {
     failure_ = FailurePoint::kNone;
     return true;
@@ -91,6 +106,7 @@ bool TxnManager::ShouldFailAt(FailurePoint point) {
 }
 
 void TxnManager::CrashAndRecover() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, state] : states_) {
     if (state != TxnState::kCommitted) state = TxnState::kAborted;
   }

@@ -2,6 +2,7 @@
 #define PJVM_TXN_TXN_MANAGER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -55,6 +56,12 @@ struct UndoOp {
 ///
 /// The execution engine (ParallelSystem) drives the 2PC protocol; this class
 /// holds the authoritative state it reads during recovery.
+///
+/// All methods are guarded by one internal mutex: per-node executor workers
+/// record participants and undo actions concurrently during parallel write
+/// fan-outs. The 2PC driver itself stays single-threaded; `participants()`
+/// and `committed_ids()` return references that are only stable while no
+/// transaction is being started or written to from another thread.
 class TxnManager {
  public:
   TxnManager() = default;
@@ -104,6 +111,7 @@ class TxnManager {
   void CrashAndRecover();
 
  private:
+  mutable std::mutex mu_;
   uint64_t next_txn_id_ = 1;
   std::unordered_map<uint64_t, TxnState> states_;
   std::unordered_map<uint64_t, std::vector<UndoOp>> undo_;

@@ -1,8 +1,11 @@
 #include "view/global_index_maintainer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <map>
 #include <set>
+#include <tuple>
 
 namespace pjvm {
 
@@ -89,7 +92,12 @@ Result<std::vector<Maintainer::Partial>> GlobalIndexMaintainer::GlobalIndexStep(
   const std::string& col_name = target_def.schema.column(step.target_col).name;
   bool dist_clustered = target_def.HasClusteredIndexOn(col_name);
 
-  for (const Partial& p : in) {
+  // Phase 0 (coordinator): route each partial to its key's global-index home
+  // node. Ships stay on the caller thread so their SEND charges accrue to the
+  // producing nodes in batch order, exactly as before.
+  std::vector<std::vector<size_t>> at_home(sys_->num_nodes());
+  for (size_t i = 0; i < in.size(); ++i) {
+    const Partial& p = in[i];
     const Value& key = p.working[key_idx];
     int gi_home = sys_->HomeNodeForKey(key);
     if (gi_home != p.node) {
@@ -101,54 +109,118 @@ Result<std::vector<Maintainer::Partial>> GlobalIndexMaintainer::GlobalIndexStep(
       msg.rows.push_back(p.working);
       PJVM_RETURN_NOT_OK(Ship(std::move(msg)));
     }
-    // One SEARCH in the (clustered-on-key) global index fragment.
-    PJVM_ASSIGN_OR_RETURN(
-        ProbeResult entries,
-        sys_->node(gi_home)->IndexProbe(gi_table, kGiKeyCol, key, txn));
-    ++report->probes;
-    // Group the matching global row ids by owning node — the paper's K nodes.
-    std::map<int, std::vector<LocalRowId>> rids_by_node;
-    for (const Row& entry : entries.rows) {
-      rids_by_node[static_cast<int>(entry[kGiNodeCol].AsInt64())].push_back(
-          static_cast<LocalRowId>(entry[kGiLridCol].AsInt64()));
-    }
-    for (auto& [owner, rids] : rids_by_node) {
-      // "With the global row ids of those tuples residing at that node,
-      // the tuple is sent there."
-      Message msg;
-      msg.kind = MessageKind::kRidProbe;
-      msg.from = gi_home;
-      msg.to = owner;
-      msg.table = target_def.name;
-      msg.rows.push_back(p.working);
-      msg.rids = rids;
-      PJVM_RETURN_NOT_OK(Ship(std::move(msg)));
+    at_home[gi_home].push_back(i);
+  }
 
-      TableFragment* frag = sys_->node(owner)->fragment(target_def.name);
-      if (frag == nullptr) {
-        return Status::NotFound("GI step: missing fragment '" +
-                                target_def.name + "'");
-      }
-      size_t fetched_rows = 0;
-      for (LocalRowId rid : rids) {
-        const Row* row = frag->Get(rid);
-        if (row == nullptr || !((*row)[step.target_col] == key)) {
-          return Status::Internal("GI step: stale global index entry " +
-                                  GlobalRowId{owner, rid}.ToString() +
-                                  " for key " + key.ToString());
+  // A pending remote fetch: partial `partial_idx` matched `rids` at `owner`.
+  struct FetchWork {
+    size_t partial_idx = 0;
+    int owner = -1;
+    std::vector<LocalRowId> rids;
+    std::vector<Partial> out;
+  };
+
+  // Phase 1: every involved home node probes its global-index fragment on its
+  // own worker (the paper's few-node property: only the homes of the delta's
+  // key values participate), forwards each rid list to the owning node, and
+  // records one FetchWork per (partial, owner).
+  std::vector<int> homes;
+  for (int n = 0; n < sys_->num_nodes(); ++n) {
+    if (!at_home[n].empty()) homes.push_back(n);
+  }
+  std::vector<std::vector<FetchWork>> home_work(sys_->num_nodes());
+  std::vector<MaintenanceReport> home_rep(sys_->num_nodes());
+  PJVM_RETURN_NOT_OK(
+      sys_->executor().RunOnNodes(homes, [&](int gi_home) -> Status {
+        for (size_t i : at_home[gi_home]) {
+          const Partial& p = in[i];
+          const Value& key = p.working[key_idx];
+          // One SEARCH in the (clustered-on-key) global index fragment.
+          PJVM_ASSIGN_OR_RETURN(
+              ProbeResult entries,
+              sys_->node(gi_home)->IndexProbe(gi_table, kGiKeyCol, key, txn));
+          ++home_rep[gi_home].probes;
+          // Group the matching global row ids by owning node — the paper's K
+          // nodes.
+          std::map<int, std::vector<LocalRowId>> rids_by_node;
+          for (const Row& entry : entries.rows) {
+            rids_by_node[static_cast<int>(entry[kGiNodeCol].AsInt64())]
+                .push_back(static_cast<LocalRowId>(entry[kGiLridCol].AsInt64()));
+          }
+          for (auto& [owner, rids] : rids_by_node) {
+            // "With the global row ids of those tuples residing at that node,
+            // the tuple is sent there."
+            Message msg;
+            msg.kind = MessageKind::kRidProbe;
+            msg.from = gi_home;
+            msg.to = owner;
+            msg.table = target_def.name;
+            msg.rows.push_back(p.working);
+            msg.rids = rids;
+            PJVM_RETURN_NOT_OK(Ship(std::move(msg)));
+            home_work[gi_home].push_back(
+                FetchWork{i, owner, std::move(rids), {}});
+          }
         }
-        ++fetched_rows;
-        // Global indexes cover all rows; selections apply after the fetch.
-        if (!bound().RowPassesSelections(step.target_base, *row)) continue;
-        Row needed = bound().ProjectNeeded(step.target_base, *row);
-        PJVM_RETURN_NOT_OK(Extend(step, p, needed, owner, &out));
-      }
-      // Distributed clustered: one key's matches at a node share a page (the
-      // paper's assumption), so the whole rid list costs one FETCH here.
-      // Distributed non-clustered: one FETCH per row.
-      sys_->cost().ChargeFetch(
-          owner, dist_clustered ? (fetched_rows > 0 ? 1 : 0) : fetched_rows);
-    }
+        return Status::OK();
+      }));
+
+  // Deterministic output order: the sequential implementation emitted per
+  // partial (batch order), then per owner ascending within a partial.
+  std::vector<FetchWork*> works;
+  for (int n : homes) {
+    report->probes += home_rep[n].probes;
+    for (FetchWork& w : home_work[n]) works.push_back(&w);
+  }
+  std::sort(works.begin(), works.end(),
+            [](const FetchWork* a, const FetchWork* b) {
+              return std::tie(a->partial_idx, a->owner) <
+                     std::tie(b->partial_idx, b->owner);
+            });
+  std::vector<std::vector<FetchWork*>> by_owner(sys_->num_nodes());
+  for (FetchWork* w : works) by_owner[w->owner].push_back(w);
+  std::vector<int> owners;
+  for (int n = 0; n < sys_->num_nodes(); ++n) {
+    if (!by_owner[n].empty()) owners.push_back(n);
+  }
+
+  // Phase 2: every owning node fetches its rid lists on its own worker.
+  PJVM_RETURN_NOT_OK(
+      sys_->executor().RunOnNodes(owners, [&](int owner) -> Status {
+        TableFragment* frag = sys_->node(owner)->fragment(target_def.name);
+        if (frag == nullptr) {
+          return Status::NotFound("GI step: missing fragment '" +
+                                  target_def.name + "'");
+        }
+        for (FetchWork* w : by_owner[owner]) {
+          const Partial& p = in[w->partial_idx];
+          const Value& key = p.working[key_idx];
+          size_t fetched_rows = 0;
+          for (LocalRowId rid : w->rids) {
+            const Row* row = frag->Get(rid);
+            if (row == nullptr || !((*row)[step.target_col] == key)) {
+              return Status::Internal("GI step: stale global index entry " +
+                                      GlobalRowId{owner, rid}.ToString() +
+                                      " for key " + key.ToString());
+            }
+            ++fetched_rows;
+            // Global indexes cover all rows; selections apply post-fetch.
+            if (!bound().RowPassesSelections(step.target_base, *row)) continue;
+            Row needed = bound().ProjectNeeded(step.target_base, *row);
+            PJVM_RETURN_NOT_OK(Extend(step, p, needed, owner, &w->out));
+          }
+          // Distributed clustered: one key's matches at a node share a page
+          // (the paper's assumption), so the whole rid list costs one FETCH.
+          // Distributed non-clustered: one FETCH per row.
+          sys_->cost().ChargeFetch(
+              owner, dist_clustered ? (fetched_rows > 0 ? 1 : 0) : fetched_rows);
+        }
+        return Status::OK();
+      }));
+
+  for (FetchWork* w : works) {
+    out.insert(out.end(), std::make_move_iterator(w->out.begin()),
+               std::make_move_iterator(w->out.end()));
   }
   return out;
 }

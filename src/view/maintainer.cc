@@ -1,5 +1,6 @@
 #include "view/maintainer.h"
 
+#include <iterator>
 #include <map>
 
 #include "exec/join_chooser.h"
@@ -262,9 +263,19 @@ Result<std::vector<Maintainer::Partial>> Maintainer::BroadcastStep(
   std::vector<const Partial*> group;
   group.reserve(in.size());
   for (const Partial& p : in) group.push_back(&p);
+  // Every node probes its own fragment on its worker thread. Outputs and
+  // probe counts land in per-node buffers and merge in node order, so the
+  // result is identical to the former sequential node loop.
+  std::vector<std::vector<Partial>> node_out(sys_->num_nodes());
+  std::vector<MaintenanceReport> node_rep(sys_->num_nodes());
+  PJVM_RETURN_NOT_OK(sys_->executor().RunOnAllNodes([&](int node) {
+    return ProbeGroupAtNode(txn, step, target, node, group, key_idx, per_tuple,
+                            &node_rep[node], &node_out[node]);
+  }));
   for (int node = 0; node < sys_->num_nodes(); ++node) {
-    PJVM_RETURN_NOT_OK(ProbeGroupAtNode(txn, step, target, node, group, key_idx,
-                                        per_tuple, report, &out));
+    *report += node_rep[node];
+    out.insert(out.end(), std::make_move_iterator(node_out[node].begin()),
+               std::make_move_iterator(node_out[node].end()));
   }
   return out;
 }
@@ -290,13 +301,25 @@ Result<std::vector<Maintainer::Partial>> Maintainer::RoutedStep(
     }
     by_dest[dest].push_back(&p);
   }
-  for (auto& [dest, group] : by_dest) {
-    // The probed structure is partitioned (and clustered) on the join
-    // attribute: one search per tuple, no extra fetches.
-    PJVM_RETURN_NOT_OK(ProbeGroupAtNode(txn, step, target, dest,
-                                        std::move(group), key_idx,
-                                        /*per_tuple_index_io=*/1.0, report,
-                                        &out));
+  std::vector<int> dests;
+  dests.reserve(by_dest.size());
+  for (const auto& [dest, group] : by_dest) dests.push_back(dest);
+  // Each destination probes its fragment on its own worker. The probed
+  // structure is partitioned (and clustered) on the join attribute: one
+  // search per tuple, no extra fetches. Merging in ascending destination
+  // order reproduces the former map-iteration loop.
+  std::vector<std::vector<Partial>> dest_out(sys_->num_nodes());
+  std::vector<MaintenanceReport> dest_rep(sys_->num_nodes());
+  PJVM_RETURN_NOT_OK(sys_->executor().RunOnNodes(dests, [&](int dest) {
+    return ProbeGroupAtNode(txn, step, target, dest,
+                            std::move(by_dest.find(dest)->second), key_idx,
+                            /*per_tuple_index_io=*/1.0, &dest_rep[dest],
+                            &dest_out[dest]);
+  }));
+  for (int dest : dests) {
+    *report += dest_rep[dest];
+    out.insert(out.end(), std::make_move_iterator(dest_out[dest].begin()),
+               std::make_move_iterator(dest_out[dest].end()));
   }
   return out;
 }

@@ -316,10 +316,12 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta) {
       PJVM_RETURN_NOT_OK(sys_->DeleteExact(delta.table, row, txn));
     }
     delta.insert_gids.clear();
-    for (const Row& row : delta.inserts) {
-      PJVM_ASSIGN_OR_RETURN(GlobalRowId gid,
-                            sys_->InsertReturningId(delta.table, row, txn));
-      delta.insert_gids.push_back(gid);
+    if (!delta.inserts.empty()) {
+      // Batch insert: rows are grouped by home node and applied by each
+      // node's worker in parallel, with gids in delta order.
+      PJVM_ASSIGN_OR_RETURN(
+          delta.insert_gids,
+          sys_->InsertManyReturningIds(delta.table, delta.inserts, txn));
     }
     // 2. Update the auxiliary structures (shared across views, so done once).
     PJVM_ASSIGN_OR_RETURN(size_t ar_writes, ars_.ApplyDelta(txn, delta));
