@@ -58,6 +58,9 @@ int main() {
       "Plain join view vs aggregate join view: 256-tuple delta, N=8");
   std::printf("%-14s %-10s %12s %12s %12s\n", "method", "view", "TW (I/Os)",
               "view rows", "view bytes");
+  bench::BenchReport report("ablation_aggregate");
+  bench::JsonWriter rows;
+  rows.BeginArray();
   for (MaintenanceMethod method :
        {MaintenanceMethod::kNaive, MaintenanceMethod::kAuxRelation,
         MaintenanceMethod::kGlobalIndex}) {
@@ -68,7 +71,21 @@ int main() {
                 plain.view_rows, plain.view_bytes);
     std::printf("%-14s %-10s %12.0f %12zu %12zu\n", "", "aggregate", agg.tw,
                 agg.view_rows, agg.view_bytes);
+    auto emit = [&](const char* kind, const Outcome& out) {
+      rows.BeginObject()
+          .Key("method").Str(MaintenanceMethodToString(method))
+          .Key("view").Str(kind)
+          .Key("tw_io").Num(out.tw)
+          .Key("view_rows").Uint(out.view_rows)
+          .Key("view_bytes").Uint(out.view_bytes)
+          .EndObject();
+    };
+    emit("plain", plain);
+    emit("aggregate", agg);
   }
+  rows.EndArray();
+  report.Add("rows", rows.str());
+  report.Write();
   std::printf(
       "\nAggregate views trade per-contribution read-modify-writes for a\n"
       "group-sized footprint; the delta-join (method-dependent) cost is\n"

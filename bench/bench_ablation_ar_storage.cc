@@ -94,6 +94,19 @@ int main() {
               "global index (same attribute)", gi_bytes,
               double(gi_bytes) / lineitem_bytes);
 
+  bench::BenchReport report("ablation_ar_storage");
+  {
+    bench::JsonWriter storage;
+    storage.BeginObject()
+        .Key("lineitem_base_bytes").Uint(lineitem_bytes)
+        .Key("full_copy_ar_bytes").Uint(full_bytes)
+        .Key("projected_ar_bytes").Uint(proj_bytes)
+        .Key("filtered_ar_bytes").Uint(filt_bytes)
+        .Key("global_index_bytes").Uint(gi_bytes)
+        .EndObject();
+    report.Add("lineitem_structure", storage.str());
+  }
+
   // Sharing: JV2 plus a second view joining lineitem on the same attribute.
   {
     Setup s = Build();
@@ -113,6 +126,15 @@ int main() {
                 two_views, s.manager->ars().TableNames().size());
     std::printf("growth factor:         %.2fx (unshared would be ~2x)\n",
                 double(two_views) / one_view);
+    bench::JsonWriter sharing;
+    sharing.BeginObject()
+        .Key("one_view_ar_bytes").Uint(one_view)
+        .Key("two_view_ar_bytes").Uint(two_views)
+        .Key("ar_tables").Uint(s.manager->ars().TableNames().size())
+        .Key("growth_factor").Num(double(two_views) / one_view)
+        .EndObject();
+    report.Add("ar_sharing", sharing.str());
   }
+  report.Write();
   return 0;
 }

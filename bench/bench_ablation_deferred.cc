@@ -53,6 +53,9 @@ int main() {
       "+ (deferred) one refresh");
   std::printf("%8s %16s %16s %16s %16s\n", "txns", "imm_naive", "imm_aux",
               "deferred", "io_per_txn_aux");
+  bench::BenchReport report("ablation_deferred");
+  bench::JsonWriter points;
+  points.BeginArray();
   for (int txns : {1, 4, 16, 64, 256}) {
     Outcome naive = Run(MaintenanceTiming::kImmediate,
                         MaintenanceMethod::kNaive, txns);
@@ -62,7 +65,17 @@ int main() {
                            MaintenanceMethod::kAuxRelation, txns);
     std::printf("%8d %16.0f %16.0f %16.0f %16.1f\n", txns, naive.io, aux.io,
                 deferred.io, aux.io / txns);
+    points.BeginObject()
+        .Key("txns").Int(txns)
+        .Key("immediate_naive_io").Num(naive.io)
+        .Key("immediate_aux_io").Num(aux.io)
+        .Key("deferred_io").Num(deferred.io)
+        .Key("io_per_txn_aux").Num(aux.io / txns)
+        .EndObject();
   }
+  points.EndArray();
+  report.Add("points", points.str());
+  report.Write();
   std::printf(
       "\nDeferred amortizes its scans over the interval (winning for long\n"
       "intervals) but the view is stale the whole time; the paper's\n"

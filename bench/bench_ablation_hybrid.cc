@@ -49,6 +49,9 @@ int main() {
   bench::PrintHeader("Advisor sweep: txn size x storage budget (L=8, N=4)");
   std::printf("%10s %12s | %10s %10s %10s | %s\n", "txn_tuples", "budget",
               "naive_tw", "aux_tw", "gi_tw", "choice");
+  bench::BenchReport report("ablation_hybrid");
+  bench::JsonWriter sweep;
+  sweep.BeginArray();
   for (double tuples : {1.0, 16.0, 128.0, 1024.0, 8192.0}) {
     for (double budget : {0.0, 40000.0, 200000.0}) {
       WorkloadProfile p = base;
@@ -58,22 +61,44 @@ int main() {
       std::printf("%10.0f %12.0f | %10.1f %10.1f %10.1f | %s\n", tuples,
                   budget, advice.naive_io, advice.aux_io, advice.gi_io,
                   MaintenanceMethodToString(advice.method));
+      sweep.BeginObject()
+          .Key("txn_tuples").Num(tuples)
+          .Key("storage_budget_bytes").Num(budget)
+          .Key("naive_io").Num(advice.naive_io)
+          .Key("aux_io").Num(advice.aux_io)
+          .Key("gi_io").Num(advice.gi_io)
+          .Key("choice").Str(MaintenanceMethodToString(advice.method))
+          .EndObject();
     }
   }
+  sweep.EndArray();
+  report.Add("advisor_sweep", sweep.str());
 
   bench::PrintHeader("Advice vs measured engine TW (budget unconstrained)");
   std::printf("%10s %14s %14s %14s | advice\n", "txn_tuples", "naive_meas",
               "aux_meas", "gi_meas");
+  bench::JsonWriter spot;
+  spot.BeginArray();
   for (int tuples : {1, 64, 2048}) {
     WorkloadProfile p = base;
     p.tuples_per_txn = tuples;
     p.storage_budget_bytes = 1e12;
     Advice advice = ChooseMethod(p);
-    std::printf("%10d %14.1f %14.1f %14.1f | %s\n", tuples,
-                MeasuredTw(MaintenanceMethod::kNaive, tuples),
-                MeasuredTw(MaintenanceMethod::kAuxRelation, tuples),
-                MeasuredTw(MaintenanceMethod::kGlobalIndex, tuples),
+    double naive = MeasuredTw(MaintenanceMethod::kNaive, tuples);
+    double aux = MeasuredTw(MaintenanceMethod::kAuxRelation, tuples);
+    double gi = MeasuredTw(MaintenanceMethod::kGlobalIndex, tuples);
+    std::printf("%10d %14.1f %14.1f %14.1f | %s\n", tuples, naive, aux, gi,
                 MaintenanceMethodToString(advice.method));
+    spot.BeginObject()
+        .Key("txn_tuples").Int(tuples)
+        .Key("naive_measured_tw").Num(naive)
+        .Key("aux_measured_tw").Num(aux)
+        .Key("gi_measured_tw").Num(gi)
+        .Key("advice").Str(MaintenanceMethodToString(advice.method))
+        .EndObject();
   }
+  spot.EndArray();
+  report.Add("advice_vs_measured", spot.str());
+  report.Write();
   return 0;
 }

@@ -86,21 +86,54 @@ int main() {
     return base == 0 ? 1.0 : (base == 2 ? 16.0 : 1.0);
   };
   bench::PrintHeader("All maintenance plans for a delta on B (Section 2.2)");
+  bench::BenchReport report("ablation_multiway_plan");
+  bench::JsonWriter plans;
+  plans.BeginArray();
   for (const MaintenancePlan& plan : EnumerateAllPlans(reg->bound, 1)) {
+    double cost = EstimatePlanCost(reg->bound, plan, fanout);
     std::printf("%-46s est. cost %8.1f\n", plan.ToString(reg->bound).c_str(),
-                EstimatePlanCost(reg->bound, plan, fanout));
+                cost);
+    plans.BeginObject()
+        .Key("plan").Str(plan.ToString(reg->bound))
+        .Key("estimated_cost").Num(cost)
+        .EndObject();
   }
+  plans.EndArray();
+  report.Add("plans", plans.str());
   auto greedy = PlanMaintenance(reg->bound, 1, fanout);
   greedy.status().Check();
   std::printf("greedy choice: %s\n", greedy->ToString(reg->bound).c_str());
+  {
+    bench::JsonWriter choice;
+    choice.Str(greedy->ToString(reg->bound));
+    report.Add("greedy_choice", choice.str());
+  }
 
   // Part 2: measured effect — the same delta against mirrored skews. The
   // greedy planner always joins the fanout-1 neighbour first, so total work
   // stays low regardless of which side is the expensive one.
   bench::PrintHeader("Measured TW for 32-tuple delta on B (greedy planner)");
-  std::printf("A-fanout=1,  C-fanout=16 : %8.1f I/Os\n", MeasureDeltaOnB(1, 16));
-  std::printf("A-fanout=16, C-fanout=1  : %8.1f I/Os\n", MeasureDeltaOnB(16, 1));
+  double tw_1_16 = MeasureDeltaOnB(1, 16);
+  double tw_16_1 = MeasureDeltaOnB(16, 1);
+  double tw_16_16 = MeasureDeltaOnB(16, 16);
+  std::printf("A-fanout=1,  C-fanout=16 : %8.1f I/Os\n", tw_1_16);
+  std::printf("A-fanout=16, C-fanout=1  : %8.1f I/Os\n", tw_16_1);
   std::printf("A-fanout=16, C-fanout=16 : %8.1f I/Os (no cheap side exists)\n",
-              MeasureDeltaOnB(16, 16));
+              tw_16_16);
+  bench::JsonWriter measured;
+  measured.BeginArray();
+  auto emit = [&](int a_fan, int c_fan, double tw) {
+    measured.BeginObject()
+        .Key("a_fanout").Int(a_fan)
+        .Key("c_fanout").Int(c_fan)
+        .Key("tw_io").Num(tw)
+        .EndObject();
+  };
+  emit(1, 16, tw_1_16);
+  emit(16, 1, tw_16_1);
+  emit(16, 16, tw_16_16);
+  measured.EndArray();
+  report.Add("measured_tw", measured.str());
+  report.Write();
   return 0;
 }

@@ -79,14 +79,25 @@ int main() {
   for (const Row& row : sys->ScanAll("A")) values.push_back(row[1]);
   EquiDepthHistogram hist = EquiDepthHistogram::Build(values, 16);
   std::printf("%8s %12s %12s\n", "key", "exact", "histogram");
+  bench::BenchReport report("ablation_skew");
+  bench::JsonWriter estimates;
+  estimates.BeginArray();
   for (int64_t key : {0, 1, 4, 16, 63}) {
     size_t exact = 0;
     for (const Row& row : sys->ScanAll("A")) {
       if (row[1] == Value{key}) ++exact;
     }
+    double est = hist.EstimateEq(Value{key});
     std::printf("%8lld %12zu %12.1f\n", static_cast<long long>(key), exact,
-                hist.EstimateEq(Value{key}));
+                est);
+    estimates.BeginObject()
+        .Key("key").Int(key)
+        .Key("exact").Uint(exact)
+        .Key("histogram_estimate").Num(est)
+        .EndObject();
   }
+  estimates.EndArray();
+  report.Add("histogram_vs_exact", estimates.str());
 
   // Mirrored hot/cold batches through the real (delta-aware) maintainer.
   // The view-output size is fixed by the key fanouts; what the plan controls
@@ -95,6 +106,8 @@ int main() {
   // which is where a wrong order would pay the hot side's fanout early.
   bench::PrintHeader(
       "16-tuple deltas on B: join-compute I/O under delta-aware plans");
+  bench::JsonWriter batches;
+  batches.BeginArray();
   auto run = [&](int64_t a_key, int64_t c_key, const char* label) {
     std::vector<Row> rows;
     static int64_t next = 100000;
@@ -109,10 +122,20 @@ int main() {
     }
     std::printf("%-46s %9.0f compute I/Os  (%.0f total)\n", label, compute,
                 sys->cost().TotalWorkload());
+    batches.BeginObject()
+        .Key("label").Str(label)
+        .Key("a_key").Int(a_key)
+        .Key("c_key").Int(c_key)
+        .Key("compute_io").Num(compute)
+        .Key("total_io").Num(sys->cost().TotalWorkload())
+        .EndObject();
   };
   run(0, 0, "A hot (654 matches), C cold (~11): C joined 1st");
   run(63, 63, "A cold (~14), C hot (654): A joined 1st");
   run(32, 32, "both moderate");
+  batches.EndArray();
+  report.Add("delta_batches", batches.str());
+  report.Write();
   manager.CheckAllConsistent().Check();
   std::printf(
       "\nThe two mirrored batches cost within ~2x of each other; a fixed "

@@ -5,9 +5,12 @@
 
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "model/figures.h"
 
 int main() {
-  pjvm::model::PrintFigure(pjvm::model::MakeFigure10(), std::cout);
+  pjvm::model::Figure fig = pjvm::model::MakeFigure10();
+  pjvm::model::PrintFigure(fig, std::cout);
+  pjvm::bench::WriteFigureJson("fig10_large_txn", fig);
   return 0;
 }

@@ -5,9 +5,12 @@
 
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "model/figures.h"
 
 int main() {
-  pjvm::model::PrintFigure(pjvm::model::MakeFigure11(), std::cout);
+  pjvm::model::Figure fig = pjvm::model::MakeFigure11();
+  pjvm::model::PrintFigure(fig, std::cout);
+  pjvm::bench::WriteFigureJson("fig11_sweep", fig);
   return 0;
 }

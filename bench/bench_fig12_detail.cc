@@ -4,9 +4,12 @@
 
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "model/figures.h"
 
 int main() {
-  pjvm::model::PrintFigure(pjvm::model::MakeFigure12(), std::cout);
+  pjvm::model::Figure fig = pjvm::model::MakeFigure12();
+  pjvm::model::PrintFigure(fig, std::cout);
+  pjvm::bench::WriteFigureJson("fig12_detail", fig);
   return 0;
 }

@@ -8,19 +8,34 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "model/figures.h"
 
 int main() {
+  using namespace pjvm;
   using namespace pjvm::model;
-  PrintFigure(MakeFigure13(), std::cout);
+  Figure fig = MakeFigure13();
+  PrintFigure(fig, std::cout);
 
   TpcrExperimentParams p;
   std::printf("\nspeedup of AR over naive (predicted):\n");
   std::printf("%8s %12s %12s\n", "nodes", "JV1", "JV2");
+  bench::BenchReport report("fig13_predicted");
+  report.AddFigure("figure", fig);
+  bench::JsonWriter speedups;
+  speedups.BeginArray();
   for (int l : {2, 4, 8}) {
-    std::printf("%8d %11.1fx %11.1fx\n", l,
-                PredictJv1(l, p, false) / PredictJv1(l, p, true),
-                PredictJv2(l, p, false) / PredictJv2(l, p, true));
+    double jv1 = PredictJv1(l, p, false) / PredictJv1(l, p, true);
+    double jv2 = PredictJv2(l, p, false) / PredictJv2(l, p, true);
+    std::printf("%8d %11.1fx %11.1fx\n", l, jv1, jv2);
+    speedups.BeginObject()
+        .Key("nodes").Int(l)
+        .Key("jv1_ar_speedup").Num(jv1)
+        .Key("jv2_ar_speedup").Num(jv2)
+        .EndObject();
   }
+  speedups.EndArray();
+  report.Add("ar_over_naive_speedup", speedups.str());
+  report.Write();
   return 0;
 }

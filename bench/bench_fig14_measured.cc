@@ -56,6 +56,28 @@ int main(int argc, char** argv) {
   using namespace pjvm;
   int64_t customers = argc > 1 ? std::atoll(argv[1]) : 20000;
 
+  // One measurement pass; both tables and the JSON report read from it.
+  struct RowOfCells {
+    int nodes;
+    Cell cells[6];  // AR_JV1, naive_JV1, GI_JV1, AR_JV2, naive_JV2, GI_JV2
+  };
+  const char* labels[] = {"AR_JV1",  "naive_JV1", "GI_JV1",
+                          "AR_JV2", "naive_JV2", "GI_JV2"};
+  std::vector<RowOfCells> grid;
+  for (int l : {2, 4, 8}) {
+    RowOfCells row;
+    row.nodes = l;
+    int c = 0;
+    for (bool jv2 : {false, true}) {
+      for (MaintenanceMethod m :
+           {MaintenanceMethod::kAuxRelation, MaintenanceMethod::kNaive,
+            MaintenanceMethod::kGlobalIndex}) {
+        row.cells[c++] = MeasureOne(l, m, jv2, customers);
+      }
+    }
+    grid.push_back(row);
+  }
+
   bench::PrintHeader(
       "Figure 14: measured delta-join time, 128 customer inserts "
       "(per-node I/Os, step 2 only)");
@@ -63,18 +85,13 @@ int main(int argc, char** argv) {
               "naive_JV1", "GI_JV1", "AR_JV2", "naive_JV2", "GI_JV2");
   double prev_ratio1 = 0.0, prev_ratio2 = 0.0;
   bool speedup_grows = true;
-  for (int l : {2, 4, 8}) {
-    Cell ar1 = MeasureOne(l, MaintenanceMethod::kAuxRelation, false, customers);
-    Cell nv1 = MeasureOne(l, MaintenanceMethod::kNaive, false, customers);
-    Cell gi1 = MeasureOne(l, MaintenanceMethod::kGlobalIndex, false, customers);
-    Cell ar2 = MeasureOne(l, MaintenanceMethod::kAuxRelation, true, customers);
-    Cell nv2 = MeasureOne(l, MaintenanceMethod::kNaive, true, customers);
-    Cell gi2 = MeasureOne(l, MaintenanceMethod::kGlobalIndex, true, customers);
-    std::printf("%6d %14.0f %14.0f %14.0f %14.0f %14.0f %14.0f\n", l,
-                ar1.compute_io, nv1.compute_io, gi1.compute_io, ar2.compute_io,
-                nv2.compute_io, gi2.compute_io);
-    double ratio1 = nv1.compute_io / ar1.compute_io;
-    double ratio2 = nv2.compute_io / ar2.compute_io;
+  for (const RowOfCells& row : grid) {
+    std::printf("%6d %14.0f %14.0f %14.0f %14.0f %14.0f %14.0f\n", row.nodes,
+                row.cells[0].compute_io, row.cells[1].compute_io,
+                row.cells[2].compute_io, row.cells[3].compute_io,
+                row.cells[4].compute_io, row.cells[5].compute_io);
+    double ratio1 = row.cells[1].compute_io / row.cells[0].compute_io;
+    double ratio2 = row.cells[4].compute_io / row.cells[3].compute_io;
     speedup_grows &= ratio1 > prev_ratio1 && ratio2 > prev_ratio2;
     prev_ratio1 = ratio1;
     prev_ratio2 = ratio2;
@@ -88,16 +105,42 @@ int main(int argc, char** argv) {
       "Figure 14: wall-clock of the full maintenance transaction (ms)");
   std::printf("%6s %14s %14s %14s %14s %14s %14s\n", "nodes", "AR_JV1",
               "naive_JV1", "GI_JV1", "AR_JV2", "naive_JV2", "GI_JV2");
-  for (int l : {2, 4, 8}) {
-    Cell ar1 = MeasureOne(l, MaintenanceMethod::kAuxRelation, false, customers);
-    Cell nv1 = MeasureOne(l, MaintenanceMethod::kNaive, false, customers);
-    Cell gi1 = MeasureOne(l, MaintenanceMethod::kGlobalIndex, false, customers);
-    Cell ar2 = MeasureOne(l, MaintenanceMethod::kAuxRelation, true, customers);
-    Cell nv2 = MeasureOne(l, MaintenanceMethod::kNaive, true, customers);
-    Cell gi2 = MeasureOne(l, MaintenanceMethod::kGlobalIndex, true, customers);
-    std::printf("%6d %14.2f %14.2f %14.2f %14.2f %14.2f %14.2f\n", l,
-                ar1.wall_ms, nv1.wall_ms, gi1.wall_ms, ar2.wall_ms, nv2.wall_ms,
-                gi2.wall_ms);
+  for (const RowOfCells& row : grid) {
+    std::printf("%6d %14.2f %14.2f %14.2f %14.2f %14.2f %14.2f\n", row.nodes,
+                row.cells[0].wall_ms, row.cells[1].wall_ms, row.cells[2].wall_ms,
+                row.cells[3].wall_ms, row.cells[4].wall_ms,
+                row.cells[5].wall_ms);
   }
+
+  bench::BenchReport report("fig14_measured");
+  {
+    bench::JsonWriter config;
+    config.BeginObject()
+        .Key("customers").Int(customers)
+        .Key("delta_customers").Int(128)
+        .EndObject();
+    report.Add("config", config.str());
+  }
+  bench::JsonWriter points;
+  points.BeginArray();
+  for (const RowOfCells& row : grid) {
+    points.BeginObject().Key("nodes").Int(row.nodes);
+    for (int c = 0; c < 6; ++c) {
+      points.Key(labels[c])
+          .BeginObject()
+          .Key("compute_io").Num(row.cells[c].compute_io)
+          .Key("wall_ms").Num(row.cells[c].wall_ms)
+          .EndObject();
+    }
+    points.EndObject();
+  }
+  points.EndArray();
+  report.Add("points", points.str());
+  {
+    bench::JsonWriter trend;
+    trend.Bool(speedup_grows);
+    report.Add("ar_speedup_grows_with_nodes", trend.str());
+  }
+  report.Write();
   return 0;
 }

@@ -39,16 +39,33 @@ double MeasuredTw(MaintenanceMethod method, int nodes, bool clustered) {
 
 int main() {
   using namespace pjvm;
-  model::PrintFigure(model::MakeFigure7(), std::cout);
+  model::Figure fig = model::MakeFigure7();
+  model::PrintFigure(fig, std::cout);
 
   bench::PrintHeader("Figure 7 measured overlay (engine, N=10)");
   std::printf("%8s %14s %14s %14s\n", "nodes", "aux_measured",
               "naive_nc_meas", "gi_nc_meas");
+  model::Figure measured;
+  measured.title = "Figure 7 measured overlay (engine, N=10)";
+  measured.xlabel = fig.xlabel;
+  measured.ylabel = fig.ylabel;
+  measured.series = {{"aux_measured", {}, {}},
+                     {"naive_nc_measured", {}, {}},
+                     {"gi_nc_measured", {}, {}}};
   for (int l : {2, 4, 8, 16, 32}) {
-    std::printf("%8d %14.1f %14.1f %14.1f\n", l,
-                MeasuredTw(MaintenanceMethod::kAuxRelation, l, true),
-                MeasuredTw(MaintenanceMethod::kNaive, l, false),
-                MeasuredTw(MaintenanceMethod::kGlobalIndex, l, false));
+    double aux = MeasuredTw(MaintenanceMethod::kAuxRelation, l, true);
+    double naive = MeasuredTw(MaintenanceMethod::kNaive, l, false);
+    double gi = MeasuredTw(MaintenanceMethod::kGlobalIndex, l, false);
+    std::printf("%8d %14.1f %14.1f %14.1f\n", l, aux, naive, gi);
+    double ys[] = {aux, naive, gi};
+    for (int s = 0; s < 3; ++s) {
+      measured.series[s].xs.push_back(l);
+      measured.series[s].ys.push_back(ys[s]);
+    }
   }
+  bench::BenchReport report("fig7_tw_vs_nodes");
+  report.AddFigure("model", fig);
+  report.AddFigure("measured", measured);
+  report.Write();
   return 0;
 }

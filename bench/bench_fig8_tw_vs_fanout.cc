@@ -35,16 +35,34 @@ double MeasuredTw(MaintenanceMethod method, int64_t fanout) {
 
 int main() {
   using namespace pjvm;
-  model::PrintFigure(model::MakeFigure8(), std::cout);
+  model::Figure fig = model::MakeFigure8();
+  model::PrintFigure(fig, std::cout);
 
   bench::PrintHeader("Figure 8 measured overlay (engine, L=32)");
   std::printf("%8s %14s %14s %14s\n", "fanout", "aux_measured",
               "naive_nc_meas", "gi_nc_meas");
+  model::Figure measured;
+  measured.title = "Figure 8 measured overlay (engine, L=32)";
+  measured.xlabel = fig.xlabel;
+  measured.ylabel = fig.ylabel;
+  measured.series = {{"aux_measured", {}, {}},
+                     {"naive_nc_measured", {}, {}},
+                     {"gi_nc_measured", {}, {}}};
   for (int64_t n : {1, 5, 10, 20, 40}) {
-    std::printf("%8lld %14.1f %14.1f %14.1f\n", static_cast<long long>(n),
-                MeasuredTw(MaintenanceMethod::kAuxRelation, n),
-                MeasuredTw(MaintenanceMethod::kNaive, n),
-                MeasuredTw(MaintenanceMethod::kGlobalIndex, n));
+    double aux = MeasuredTw(MaintenanceMethod::kAuxRelation, n);
+    double naive = MeasuredTw(MaintenanceMethod::kNaive, n);
+    double gi = MeasuredTw(MaintenanceMethod::kGlobalIndex, n);
+    std::printf("%8lld %14.1f %14.1f %14.1f\n", static_cast<long long>(n), aux,
+                naive, gi);
+    double ys[] = {aux, naive, gi};
+    for (int s = 0; s < 3; ++s) {
+      measured.series[s].xs.push_back(static_cast<double>(n));
+      measured.series[s].ys.push_back(ys[s]);
+    }
   }
+  bench::BenchReport report("fig8_tw_vs_fanout");
+  report.AddFigure("model", fig);
+  report.AddFigure("measured", measured);
+  report.Write();
   return 0;
 }

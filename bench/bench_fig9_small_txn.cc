@@ -4,9 +4,12 @@
 
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "model/figures.h"
 
 int main() {
-  pjvm::model::PrintFigure(pjvm::model::MakeFigure9(), std::cout);
+  pjvm::model::Figure fig = pjvm::model::MakeFigure9();
+  pjvm::model::PrintFigure(fig, std::cout);
+  pjvm::bench::WriteFigureJson("fig9_small_txn", fig);
   return 0;
 }

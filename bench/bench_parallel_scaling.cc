@@ -9,16 +9,17 @@
 // workload is the naive method's all-node broadcast probe phase plus the
 // batched base insert — the two fan-out paths with per-node balanced work.
 //
-// Emits BENCH_parallel_scaling.json with per-L wall times, the speedup, and
-// whether the two modes' cost counters matched exactly.
+// Each (nodes, mode) cell runs kIterations times into a log-bucketed latency
+// histogram; BENCH_parallel_scaling.json reports p50/p95/p99 per cell (ns),
+// the p50 speedup, and whether the two modes' cost counters matched exactly.
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "obs/metrics_registry.h"
 #include "workload/twotable.h"
 
 namespace pjvm {
@@ -26,9 +27,10 @@ namespace {
 
 constexpr uint64_t kStallNs = 50 * 1000;  // 50us per weighted I/O unit.
 constexpr int kDeltaRows = 240;
+constexpr int kIterations = 5;
 
-/// One metered run; returns wall ms and a counter fingerprint via `out`.
-double RunOnce(int nodes, bool parallel, std::string* fingerprint) {
+/// One metered run; returns wall ns and a counter fingerprint via `out`.
+uint64_t RunOnce(int nodes, bool parallel, std::string* fingerprint) {
   SystemConfig cfg;
   cfg.num_nodes = nodes;
   cfg.rows_per_page = 4;
@@ -64,15 +66,17 @@ double RunOnce(int nodes, bool parallel, std::string* fingerprint) {
   os << "TW=" << r.total_workload_io << " RT=" << r.response_time_io
      << " sends=" << r.sends << " touched=" << r.nodes_touched;
   *fingerprint = os.str();
-  return r.wall_ms;
+  return static_cast<uint64_t>(r.wall_ms * 1e6);
 }
 
 struct Sample {
   int nodes = 0;
-  double seq_ms = 0.0;
-  double par_ms = 0.0;
+  HistogramData seq;
+  HistogramData par;
   bool counters_match = false;
-  double Speedup() const { return par_ms > 0.0 ? seq_ms / par_ms : 0.0; }
+  double Speedup() const {
+    return par.P50() > 0.0 ? seq.P50() / par.P50() : 0.0;
+  }
 };
 
 }  // namespace
@@ -81,32 +85,49 @@ struct Sample {
 int main() {
   using namespace pjvm;
   bench::PrintHeader("Parallel scaling: wall clock, sequential vs executor");
-  std::printf("%8s %12s %12s %10s %10s\n", "nodes", "seq_ms", "par_ms",
-              "speedup", "identical");
+  std::printf("%8s %12s %12s %12s %10s %10s\n", "nodes", "seq_p50_ms",
+              "par_p50_ms", "par_p95_ms", "speedup", "identical");
   std::vector<Sample> samples;
   for (int l : {1, 2, 4, 8}) {
     Sample s;
     s.nodes = l;
-    std::string seq_fp, par_fp;
-    s.seq_ms = RunOnce(l, /*parallel=*/false, &seq_fp);
-    s.par_ms = RunOnce(l, /*parallel=*/true, &par_fp);
-    s.counters_match = seq_fp == par_fp;
-    std::printf("%8d %12.1f %12.1f %9.2fx %10s\n", l, s.seq_ms, s.par_ms,
-                s.Speedup(), s.counters_match ? "yes" : "NO");
+    s.counters_match = true;
+    for (int it = 0; it < kIterations; ++it) {
+      std::string seq_fp, par_fp;
+      s.seq.Add(RunOnce(l, /*parallel=*/false, &seq_fp));
+      s.par.Add(RunOnce(l, /*parallel=*/true, &par_fp));
+      s.counters_match &= seq_fp == par_fp;
+    }
+    std::printf("%8d %12.1f %12.1f %12.1f %9.2fx %10s\n", l, s.seq.P50() / 1e6,
+                s.par.P50() / 1e6, s.par.P95() / 1e6, s.Speedup(),
+                s.counters_match ? "yes" : "NO");
     samples.push_back(s);
   }
 
-  std::ofstream json("BENCH_parallel_scaling.json");
-  json << "{\n  \"io_stall_ns\": " << kStallNs
-       << ",\n  \"delta_rows\": " << kDeltaRows << ",\n  \"points\": [\n";
-  for (size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    json << "    {\"nodes\": " << s.nodes << ", \"seq_wall_ms\": " << s.seq_ms
-         << ", \"par_wall_ms\": " << s.par_ms << ", \"speedup\": "
-         << s.Speedup() << ", \"counters_identical\": "
-         << (s.counters_match ? "true" : "false") << "}"
-         << (i + 1 < samples.size() ? "," : "") << "\n";
+  bench::BenchReport report("parallel_scaling");
+  {
+    bench::JsonWriter config;
+    config.BeginObject()
+        .Key("io_stall_ns").Uint(kStallNs)
+        .Key("delta_rows").Int(kDeltaRows)
+        .Key("iterations").Int(kIterations)
+        .Key("latency_unit").Str("ns")
+        .EndObject();
+    report.Add("config", config.str());
   }
-  json << "  ]\n}\n";
+  bench::JsonWriter points;
+  points.BeginArray();
+  for (const Sample& s : samples) {
+    points.BeginObject()
+        .Key("nodes").Int(s.nodes)
+        .Key("seq_wall").Raw(bench::LatencyJson(s.seq))
+        .Key("par_wall").Raw(bench::LatencyJson(s.par))
+        .Key("speedup_p50").Num(s.Speedup())
+        .Key("counters_identical").Bool(s.counters_match)
+        .EndObject();
+  }
+  points.EndArray();
+  report.Add("points", points.str());
+  report.Write();
   return 0;
 }

@@ -30,11 +30,24 @@ int main(int argc, char** argv) {
               "paper_rows");
   const char* paper_rows[] = {"0.15M", "1.5M", "6M"};
   int i = 0;
+  bench::BenchReport report("table1_dataset");
+  bench::JsonWriter relations;
+  relations.BeginArray();
   for (const TableSizeRow& row : TableSizes(sys)) {
     std::printf("%-12s %12zu %14zu %14s\n", row.name.c_str(), row.rows,
-                row.bytes, paper_rows[i++]);
+                row.bytes, paper_rows[i]);
+    relations.BeginObject()
+        .Key("relation").Str(row.name)
+        .Key("rows").Uint(row.rows)
+        .Key("bytes").Uint(row.bytes)
+        .Key("paper_rows").Str(paper_rows[i])
+        .EndObject();
+    ++i;
   }
+  relations.EndArray();
   std::printf("\nfanouts: 1 order/customer key, 4 lineitems/order "
               "(as in Section 3.3)\n");
+  report.Add("relations", relations.str());
+  report.Write();
   return 0;
 }

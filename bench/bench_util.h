@@ -2,18 +2,225 @@
 #define PJVM_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/system.h"
+#include "model/figures.h"
+#include "obs/metrics_registry.h"
 #include "view/maintainer.h"
 #include "view/view_manager.h"
 #include "workload/tpcr.h"
 #include "workload/twotable.h"
 
 namespace pjvm::bench {
+
+// --------------------------------------------------------------- JSON output
+//
+// Every bench_* target emits its results as BENCH_<name>.json through the
+// same writer, so downstream tooling parses one schema: a top-level object
+// with "bench" plus named sections (figures, latency summaries, raw tables).
+// The output directory defaults to the working directory and is overridden
+// with PJVM_BENCH_DIR.
+
+/// \brief Minimal streaming JSON writer: explicit Begin/End with automatic
+/// comma placement. No dependency, no DOM.
+class JsonWriter {
+ public:
+  JsonWriter() { os_.precision(12); }
+
+  JsonWriter& BeginObject() {
+    Comma();
+    os_ << "{";
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    os_ << "}";
+    first_.pop_back();
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Comma();
+    os_ << "[";
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    os_ << "]";
+    first_.pop_back();
+    return *this;
+  }
+  /// Writes `"key":`; the next value belongs to it.
+  JsonWriter& Key(const std::string& k) {
+    Comma();
+    os_ << Quote(k) << ":";
+    pending_key_ = true;
+    return *this;
+  }
+  /// Non-finite doubles (the advisor uses inf for "excluded by budget")
+  /// become null — JSON has no inf/nan literals.
+  JsonWriter& Num(double v) {
+    Comma();
+    if (std::isfinite(v)) {
+      os_ << v;
+    } else {
+      os_ << "null";
+    }
+    return *this;
+  }
+  JsonWriter& Int(int64_t v) {
+    Comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& Uint(uint64_t v) {
+    Comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& Bool(bool v) {
+    Comma();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& Str(const std::string& s) {
+    Comma();
+    os_ << Quote(s);
+    return *this;
+  }
+  /// Splices pre-rendered JSON (e.g. another writer's output) as one value.
+  JsonWriter& Raw(const std::string& json) {
+    Comma();
+    os_ << json;
+    return *this;
+  }
+
+  std::string str() const { return os_.str(); }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+ private:
+  void Comma() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) os_ << ",";
+      first_.back() = false;
+    }
+  }
+
+  std::ostringstream os_;
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+/// A latency summary (count/mean/min/max and the log-bucket quantiles) as a
+/// JSON object. Unit is whatever the histogram recorded (benches record ns).
+inline std::string LatencyJson(const HistogramData& d) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("count").Uint(d.count)
+      .Key("sum").Uint(d.sum)
+      .Key("mean").Num(d.Mean())
+      .Key("min").Uint(d.count > 0 ? d.min : 0)
+      .Key("max").Uint(d.count > 0 ? d.max : 0)
+      .Key("p50").Num(d.P50())
+      .Key("p95").Num(d.P95())
+      .Key("p99").Num(d.P99())
+      .EndObject();
+  return w.str();
+}
+
+/// A model::Figure as {title, xlabel, ylabel, series: [{label, xs, ys}]}.
+inline std::string FigureJson(const model::Figure& fig) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("title").Str(fig.title)
+      .Key("xlabel").Str(fig.xlabel)
+      .Key("ylabel").Str(fig.ylabel)
+      .Key("series").BeginArray();
+  for (const model::Series& s : fig.series) {
+    w.BeginObject().Key("label").Str(s.label).Key("xs").BeginArray();
+    for (double x : s.xs) w.Num(x);
+    w.EndArray().Key("ys").BeginArray();
+    for (double y : s.ys) w.Num(y);
+    w.EndArray().EndObject();
+  }
+  w.EndArray().EndObject();
+  return w.str();
+}
+
+/// \brief Collects named JSON sections and writes BENCH_<name>.json.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Output directory: PJVM_BENCH_DIR, or the working directory.
+  static std::string OutputDir() {
+    const char* dir = std::getenv("PJVM_BENCH_DIR");
+    return (dir != nullptr && dir[0] != '\0') ? dir : ".";
+  }
+
+  void Add(const std::string& key, std::string raw_json) {
+    sections_.emplace_back(key, std::move(raw_json));
+  }
+  void AddFigure(const std::string& key, const model::Figure& fig) {
+    Add(key, FigureJson(fig));
+  }
+  void AddLatency(const std::string& key, const HistogramData& d) {
+    Add(key, LatencyJson(d));
+  }
+
+  /// Writes the report; prints the path (or the error) to stdout.
+  void Write() const {
+    JsonWriter w;
+    w.BeginObject().Key("bench").Str(name_);
+    for (const auto& [key, json] : sections_) w.Key(key).Raw(json);
+    w.EndObject();
+    std::string path = OutputDir() + "/BENCH_" + name_ + ".json";
+    std::ofstream file(path);
+    file << w.str() << "\n";
+    if (file.good()) {
+      std::cout << "\nwrote " << path << "\n";
+    } else {
+      std::cout << "\nFAILED to write " << path << "\n";
+    }
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// One-call export for the pure model-figure benches.
+inline void WriteFigureJson(const std::string& bench_name,
+                            const model::Figure& fig) {
+  BenchReport report(bench_name);
+  report.AddFigure("figure", fig);
+  report.Write();
+}
 
 /// Cost and wall-time of one measured maintenance run.
 struct RunResult {

@@ -1,5 +1,7 @@
 #include "engine/executor.h"
 
+#include "obs/trace.h"
+
 namespace pjvm {
 
 NodeExecutor::NodeExecutor(int num_nodes, bool inline_mode)
@@ -14,6 +16,10 @@ NodeExecutor::NodeExecutor(int num_nodes, bool inline_mode)
 NodeExecutor::~NodeExecutor() { Shutdown(); }
 
 void NodeExecutor::WorkerLoop(int node) {
+  if (Tracer::Global().enabled()) {
+    Tracer::Global().SetCurrentThreadName("node-" + std::to_string(node) +
+                                          " worker");
+  }
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock,

@@ -1,11 +1,30 @@
 #include "engine/system.h"
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/trace.h"
+
 namespace pjvm {
 
 ParallelSystem::ParallelSystem(SystemConfig config)
     : config_(config),
       cost_(config.num_nodes, config.weights),
       network_(config.num_nodes, &cost_) {
+  // PJVM_TRACE=1 enables tracing; any other non-"0" value is also taken as
+  // the export path, so `PJVM_TRACE=/tmp/run.trace.json ./bench_x` needs no
+  // code changes. Config fields win over the environment when set.
+  if (const char* env = std::getenv("PJVM_TRACE");
+      env != nullptr && env[0] != '\0' && std::string(env) != "0") {
+    config_.trace_enabled = true;
+    if (std::string(env) != "1" && config_.trace_path.empty()) {
+      config_.trace_path = env;
+    }
+  }
+  if (config_.trace_enabled) {
+    Tracer::Global().Enable();
+    Tracer::Global().SetCurrentThreadName("coordinator");
+  }
   cost_.SetIoStallNanos(config_.io_stall_ns);
   nodes_.reserve(config_.num_nodes);
   LockManager* locks = config_.enable_locking ? &locks_ : nullptr;
@@ -16,7 +35,15 @@ ParallelSystem::ParallelSystem(SystemConfig config)
       config_.num_nodes, /*inline_mode=*/!config_.parallel_execution);
 }
 
-ParallelSystem::~ParallelSystem() { executor_->Shutdown(); }
+ParallelSystem::~ParallelSystem() {
+  executor_->Shutdown();
+  // Workers are joined: the trace is quiescent and safe to export. An
+  // unwritable path is not worth aborting a teardown over.
+  if (config_.trace_enabled && !config_.trace_path.empty()) {
+    Status st = Tracer::Global().ExportChromeTrace(config_.trace_path);
+    if (!st.ok()) std::fprintf(stderr, "pjvm: %s\n", st.ToString().c_str());
+  }
+}
 
 Status ParallelSystem::CreateTable(TableDef def) {
   PJVM_RETURN_NOT_OK(catalog_.AddTable(def));
@@ -125,6 +152,8 @@ Result<std::vector<GlobalRowId>> ParallelSystem::InsertManyReturningIds(
   // the sequential run.
   std::vector<GlobalRowId> gids(rows.size());
   Status st = executor_->RunOnNodes(targets, [&](int n) -> Status {
+    SpanGuard span("insert_batch", "task", n, &cost_);
+    span.set_detail(table + " x" + std::to_string(by_node[n].size()));
     for (size_t i : by_node[n]) {
       PJVM_ASSIGN_OR_RETURN(LocalRowId lrid,
                             nodes_[n]->Insert(txn_id, table, rows[i]));
@@ -223,8 +252,10 @@ Result<std::vector<Row>> ParallelSystem::SelectEq(const std::string& table,
   // Fan-out: every node probes its fragment on its own worker; results are
   // concatenated in node order, matching the sequential loop exactly.
   std::vector<std::vector<Row>> per_node(config_.num_nodes);
-  PJVM_RETURN_NOT_OK(executor_->RunOnAllNodes(
-      [&](int i) { return probe_node(i, &per_node[i]); }));
+  PJVM_RETURN_NOT_OK(executor_->RunOnAllNodes([&](int i) {
+    SpanGuard span("select_eq", "task", i, &cost_);
+    return probe_node(i, &per_node[i]);
+  }));
   std::vector<Row> out;
   for (std::vector<Row>& part : per_node) {
     out.insert(out.end(), std::make_move_iterator(part.begin()),
@@ -245,6 +276,7 @@ Result<std::vector<Row>> ParallelSystem::SelectRange(const std::string& table,
   // fragment on its worker thread.
   std::vector<std::vector<Row>> per_node(config_.num_nodes);
   PJVM_RETURN_NOT_OK(executor_->RunOnAllNodes([&](int i) -> Status {
+    SpanGuard span("select_range", "task", i, &cost_);
     std::vector<Row>& local = per_node[i];
     TableFragment* frag = nodes_[i]->fragment(table);
     const LocalIndex* index = frag->FindIndex(col);
@@ -275,6 +307,8 @@ Result<std::vector<Row>> ParallelSystem::SelectRange(const std::string& table,
 
 Status ParallelSystem::Commit(uint64_t txn_id) {
   if (txn_id == kAutoCommitTxnId) return Status::OK();
+  SpanGuard span("commit_2pc", "txn");
+  span.set_detail("txn " + std::to_string(txn_id));
   if (txns_.ShouldFailAt(FailurePoint::kBeforePrepare)) {
     Crash();
     return Status::Aborted("injected crash before prepare");

@@ -43,6 +43,12 @@ struct SystemConfig {
   /// and S locks on the keys they probe, released at commit/abort.
   /// Autocommit operations are not locked (they are atomic by themselves).
   bool enable_locking = false;
+  /// Turns on the global Tracer for this system's lifetime. Also switched on
+  /// by the PJVM_TRACE environment variable ("1", or an output path).
+  bool trace_enabled = false;
+  /// Where the system exports the Chrome trace on destruction; empty = no
+  /// export. A path-valued PJVM_TRACE sets this too.
+  std::string trace_path;
 };
 
 /// \brief The shared-nothing parallel RDBMS: L nodes, an interconnect, a

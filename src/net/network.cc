@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace pjvm {
 
 Network::Network(int num_nodes, CostTracker* tracker)
@@ -30,6 +32,10 @@ void Network::EnqueueLocked(Message msg, bool charge_self) {
   total_bytes_ += bytes;
   if ((charge_self || msg.from != msg.to) && tracker_ != nullptr) {
     tracker_->ChargeSend(msg.from, bytes);
+  }
+  if (Tracer::Global().enabled()) {
+    TraceInstant("send", "net", msg.from, bytes,
+                 std::to_string(msg.from) + "->" + std::to_string(msg.to));
   }
   queues_[msg.to].push_back(std::move(msg));
 }

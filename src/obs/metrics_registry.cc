@@ -1,0 +1,227 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace pjvm {
+
+int HistogramData::BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  return 64 - std::countl_zero(v);  // floor(log2(v)) + 1, in [1, 64]
+}
+
+uint64_t HistogramData::BucketLo(int i) {
+  if (i <= 0) return 0;
+  return uint64_t{1} << (i - 1);
+}
+
+uint64_t HistogramData::BucketHi(int i) {
+  if (i <= 0) return 0;
+  if (i >= 64) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+void HistogramData::Add(uint64_t v) {
+  ++buckets[BucketIndex(v)];
+  ++count;
+  sum += v;
+  if (count == 1) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  for (int i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(count - 1);
+  uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (static_cast<double>(cum + buckets[i]) > rank) {
+      double within = (rank - static_cast<double>(cum)) /
+                      static_cast<double>(buckets[i]);
+      double lo = static_cast<double>(BucketLo(i));
+      double hi = static_cast<double>(BucketHi(i));
+      double v = lo + within * (hi - lo);
+      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+    }
+    cum += buckets[i];
+  }
+  return static_cast<double>(max);
+}
+
+void LatencyHistogram::Record(uint64_t v) {
+  buckets_[HistogramData::BucketIndex(v)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData LatencyHistogram::Snapshot() const {
+  HistogramData d;
+  for (int i = 0; i < HistogramData::kNumBuckets; ++i) {
+    d.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  d.count = count_.load(std::memory_order_relaxed);
+  d.sum = sum_.load(std::memory_order_relaxed);
+  d.min = d.count > 0 ? min_.load(std::memory_order_relaxed) : 0;
+  d.max = max_.load(std::memory_order_relaxed);
+  return d;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+namespace {
+
+/// Splits "base{a="b"}" into ("base", "a=\"b\"").
+std::pair<std::string, std::string> SplitLabels(const std::string& name) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) return {name, ""};
+  std::string labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.pop_back();
+  return {name.substr(0, brace), labels};
+}
+
+std::string WithLabels(const std::string& base, const std::string& labels,
+                       const std::string& extra = "") {
+  std::string all = labels;
+  if (!extra.empty()) {
+    if (!all.empty()) all += ",";
+    all += extra;
+  }
+  if (all.empty()) return base;
+  return base + "{" + all + "}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    auto [base, labels] = SplitLabels(name);
+    os << "# TYPE " << base << " counter\n";
+    os << WithLabels(base, labels) << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    auto [base, labels] = SplitLabels(name);
+    os << "# TYPE " << base << " gauge\n";
+    os << WithLabels(base, labels) << " " << gauge->value() << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    auto [base, labels] = SplitLabels(name);
+    HistogramData d = hist->Snapshot();
+    os << "# TYPE " << base << " histogram\n";
+    uint64_t cum = 0;
+    for (int i = 0; i < HistogramData::kNumBuckets; ++i) {
+      if (d.buckets[i] == 0) continue;
+      cum += d.buckets[i];
+      os << WithLabels(base + "_bucket", labels,
+                       "le=\"" + std::to_string(HistogramData::BucketHi(i)) +
+                           "\"")
+         << " " << cum << "\n";
+    }
+    os << WithLabels(base + "_bucket", labels, "le=\"+Inf\"") << " " << d.count
+       << "\n";
+    os << WithLabels(base + "_sum", labels) << " " << d.sum << "\n";
+    os << WithLabels(base + "_count", labels) << " " << d.count << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  const char* sep = "";
+  for (const auto& [name, counter] : counters_) {
+    os << sep << "\n    \"" << name << "\": " << counter->value();
+    sep = ",";
+  }
+  os << "\n  },\n  \"gauges\": {";
+  sep = "";
+  for (const auto& [name, gauge] : gauges_) {
+    os << sep << "\n    \"" << name << "\": " << gauge->value();
+    sep = ",";
+  }
+  os << "\n  },\n  \"histograms\": {";
+  sep = "";
+  for (const auto& [name, hist] : histograms_) {
+    HistogramData d = hist->Snapshot();
+    os << sep << "\n    \"" << name << "\": {\"count\": " << d.count
+       << ", \"sum\": " << d.sum << ", \"mean\": " << d.Mean()
+       << ", \"min\": " << d.min << ", \"max\": " << d.max
+       << ", \"p50\": " << d.P50() << ", \"p95\": " << d.P95()
+       << ", \"p99\": " << d.P99() << "}";
+    sep = ",";
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace pjvm

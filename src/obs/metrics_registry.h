@@ -1,0 +1,126 @@
+#ifndef PJVM_OBS_METRICS_REGISTRY_H_
+#define PJVM_OBS_METRICS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace pjvm {
+
+/// \brief Merged, non-atomic view of a latency histogram: what callers
+/// aggregate across nodes/runs and compute quantiles from.
+///
+/// Buckets are log2-spaced: bucket 0 holds the value 0, bucket i (i >= 1)
+/// holds values in [2^(i-1), 2^i - 1]. Any two HistogramData share the same
+/// layout, so Merge is element-wise addition — per-node or per-run
+/// histograms combine exactly (count/sum are lossless; quantiles are
+/// bucket-resolution approximations clamped to the merged [min, max]).
+struct HistogramData {
+  static constexpr int kNumBuckets = 65;
+
+  std::array<uint64_t, kNumBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< Valid only when count > 0.
+  uint64_t max = 0;  ///< Valid only when count > 0.
+
+  /// Bucket index a value lands in.
+  static int BucketIndex(uint64_t v);
+  /// Inclusive value range [BucketLo(i), BucketHi(i)] of bucket i.
+  static uint64_t BucketLo(int i);
+  static uint64_t BucketHi(int i);
+
+  void Add(uint64_t v);
+  void Merge(const HistogramData& other);
+
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count); }
+  /// Quantile q in [0, 1]: linear interpolation inside the containing
+  /// bucket, clamped to the observed [min, max]. 0 when empty; exact when
+  /// all recorded values were equal.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+};
+
+/// \brief Thread-safe log-bucketed latency histogram (lock-free: relaxed
+/// atomic bucket counts; min/max via CAS).
+class LatencyHistogram {
+ public:
+  void Record(uint64_t v);
+  HistogramData Snapshot() const;
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, HistogramData::kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// \brief Monotonic counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// \brief Last-write-wins gauge.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// \brief Named metrics with Prometheus text exposition and a JSON dump.
+///
+/// Metric handles are stable for the registry's lifetime; lookup takes a
+/// mutex (cold path — call sites cache the returned pointer), updates on the
+/// handle are lock-free. Names may carry Prometheus labels inline:
+/// `pjvm_maintain_ns{method="NAIVE"}` — exposition splices histogram `le`
+/// labels into the given label set.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the engine records into.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  LatencyHistogram* histogram(const std::string& name);
+
+  /// Prometheus text exposition format (counters, gauges, and cumulative
+  /// histogram buckets with _sum/_count).
+  std::string PrometheusText() const;
+  /// One JSON object: counters/gauges verbatim, histograms as
+  /// {count, sum, mean, min, max, p50, p95, p99}.
+  std::string ToJson() const;
+
+  /// Zeroes every metric (registrations and handles survive).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,243 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pjvm {
+
+namespace {
+
+/// Escapes a string for embedding in a JSON literal.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+thread_local Tracer::ThreadBuffer* Tracer::tl_buffer_ = nullptr;
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives every thread
+  return *tracer;
+}
+
+uint64_t Tracer::NowNs() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+Tracer::ThreadBuffer* Tracer::LocalBuffer() {
+  if (tl_buffer_ == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<int>(buffers_.size());
+    buffer->head = std::make_unique<Chunk>();
+    buffer->tail = buffer->head.get();
+    tl_buffer_ = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  return tl_buffer_;
+}
+
+void Tracer::Record(TraceSpan span) {
+  ThreadBuffer* buffer = LocalBuffer();
+  span.tid = buffer->tid;
+  Chunk* tail = buffer->tail;
+  size_t count = tail->count.load(std::memory_order_relaxed);
+  if (count == Chunk::kCapacity) {
+    Chunk* next = new Chunk();
+    // Publish the link before ever publishing a count > 0 in it.
+    tail->next.store(next, std::memory_order_release);
+    buffer->tail = tail = next;
+    count = 0;
+  }
+  tail->spans[count] = std::move(span);
+  tail->count.store(count + 1, std::memory_order_release);
+}
+
+int Tracer::OpenSpan() { return LocalBuffer()->depth++; }
+
+void Tracer::CloseSpan() { --LocalBuffer()->depth; }
+
+void Tracer::SetCurrentThreadName(std::string name) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer->name = std::move(name);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buffer : buffers_) {
+    // Quiescence is a precondition, so no owner is appending: drop every
+    // chunk past the head and rewind. The owner's cached tail is the shared
+    // field reset here.
+    delete buffer->head->next.exchange(nullptr, std::memory_order_acq_rel);
+    buffer->head->count.store(0, std::memory_order_release);
+    buffer->tail = buffer->head.get();
+  }
+}
+
+std::vector<TraceSpan> Tracer::Snapshot() const {
+  std::vector<TraceSpan> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    for (const Chunk* chunk = buffer->head.get(); chunk != nullptr;
+         chunk = chunk->next.load(std::memory_order_acquire)) {
+      size_t count = chunk->count.load(std::memory_order_acquire);
+      for (size_t i = 0; i < count; ++i) out.push_back(chunk->spans[i]);
+    }
+  }
+  return out;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"pjvm\"}}";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::string name = buffer->name.empty()
+                             ? "thread-" + std::to_string(buffer->tid)
+                             : buffer->name;
+      os << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":" << buffer->tid
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+         << JsonEscape(name) << "\"}}";
+    }
+  }
+  for (const TraceSpan& span : Snapshot()) {
+    os << ",\n{\"name\":\"" << JsonEscape(span.name) << "\",\"cat\":\""
+       << JsonEscape(span.category) << "\",\"pid\":1,\"tid\":" << span.tid
+       << ",\"ts\":" << static_cast<double>(span.start_ns) / 1000.0;
+    if (span.kind == TraceSpan::Kind::kComplete) {
+      os << ",\"ph\":\"X\",\"dur\":"
+         << static_cast<double>(span.dur_ns) / 1000.0;
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    os << ",\"args\":{";
+    const char* sep = "";
+    if (span.node >= 0) {
+      os << sep << "\"node\":" << span.node;
+      sep = ",";
+    }
+    if (span.method != nullptr) {
+      os << sep << "\"method\":\"" << JsonEscape(span.method) << "\"";
+      sep = ",";
+    }
+    if (!span.detail.empty()) {
+      os << sep << "\"detail\":\"" << JsonEscape(span.detail) << "\"";
+      sep = ",";
+    }
+    if (span.has_cost) {
+      os << sep << "\"searches\":" << span.cost.searches
+         << ",\"fetches\":" << span.cost.fetches
+         << ",\"inserts\":" << span.cost.inserts
+         << ",\"sends\":" << span.cost.sends;
+      sep = ",";
+    }
+    if (span.bytes > 0) {
+      os << sep << "\"bytes\":" << span.bytes;
+      sep = ",";
+    }
+    (void)sep;
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+Status Tracer::ExportChromeTrace(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::Internal("cannot open trace output file '" + path + "'");
+  }
+  file << ChromeTraceJson();
+  if (!file.good()) {
+    return Status::Internal("failed writing trace to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+SpanGuard::SpanGuard(const char* name, const char* category, int node,
+                     CostTracker* cost, const char* method) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  span_.name = name;
+  span_.category = category;
+  span_.node = node;
+  span_.method = method;
+  span_.depth = tracer.OpenSpan();
+  if (cost != nullptr && node >= 0) {
+    cost_ = cost;
+    start_cost_ = cost->node(node);
+  }
+  span_.start_ns = Tracer::NowNs();
+}
+
+SpanGuard::~SpanGuard() {
+  if (!active_) return;
+  span_.dur_ns = Tracer::NowNs() - span_.start_ns;
+  if (cost_ != nullptr) {
+    span_.cost = cost_->node(span_.node) - start_cost_;
+    span_.has_cost = true;
+  }
+  Tracer& tracer = Tracer::Global();
+  tracer.CloseSpan();
+  tracer.Record(std::move(span_));
+}
+
+void SpanGuard::set_detail(std::string detail) {
+  if (active_) span_.detail = std::move(detail);
+}
+
+void TraceInstant(const char* name, const char* category, int node,
+                  uint64_t bytes, std::string detail) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  TraceSpan span;
+  span.kind = TraceSpan::Kind::kInstant;
+  span.name = name;
+  span.category = category;
+  span.node = node;
+  span.bytes = bytes;
+  span.detail = std::move(detail);
+  span.start_ns = Tracer::NowNs();
+  tracer.Record(std::move(span));
+}
+
+}  // namespace pjvm

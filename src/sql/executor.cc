@@ -121,6 +121,16 @@ Status Executor::Run(const ParsedStatement& stmt, std::ostream& os) {
       os << "dropped view " << stmt.table << "\n";
       return Status::OK();
     }
+    case StatementKind::kExplainAnalyze: {
+      DeltaBatch delta = stmt.analyze_delete
+                             ? DeltaBatch::Deletes(stmt.table, stmt.rows)
+                             : DeltaBatch::Inserts(stmt.table, stmt.rows);
+      MaintenanceAnalysis analysis;
+      PJVM_RETURN_NOT_OK(
+          manager_->ApplyDelta(std::move(delta), &analysis).status());
+      os << analysis.ToString();
+      return Status::OK();
+    }
     case StatementKind::kExplain: {
       if (!sys->catalog().Has(stmt.table)) {
         return Status::NotFound("no table '" + stmt.table + "'");

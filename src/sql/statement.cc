@@ -273,6 +273,21 @@ class StatementParser {
     ParsedStatement out;
     out.kind = StatementKind::kExplain;
     Advance();  // EXPLAIN
+    if (Peek().type == TokenType::kIdent && Upper(Peek().text) == "ANALYZE") {
+      Advance();  // ANALYZE
+      // The analyzed statement is a real INSERT/DELETE: it executes.
+      if (Peek().type == TokenType::kIdent && Upper(Peek().text) == "INSERT") {
+        PJVM_ASSIGN_OR_RETURN(out, ParseInsert());
+      } else if (Peek().type == TokenType::kIdent &&
+                 Upper(Peek().text) == "DELETE") {
+        PJVM_ASSIGN_OR_RETURN(out, ParseDelete());
+        out.analyze_delete = true;
+      } else {
+        return Err("EXPLAIN ANALYZE expects INSERT INTO or DELETE FROM");
+      }
+      out.kind = StatementKind::kExplainAnalyze;
+      return out;
+    }
     PJVM_ASSIGN_OR_RETURN(out.table, ExpectIdent("table name"));
     PJVM_RETURN_NOT_OK(EndOfStatement());
     return out;

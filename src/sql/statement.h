@@ -36,6 +36,10 @@ enum class StatementKind {
   /// maintenance method, the statistics-driven plan a delta on that table
   /// would use, and its estimated cost.
   kExplain,
+  /// EXPLAIN ANALYZE INSERT INTO ... | EXPLAIN ANALYZE DELETE FROM ... —
+  /// actually runs the maintenance transaction and reports the measured
+  /// per-node I/O breakdown, messages, and nodes touched.
+  kExplainAnalyze,
   /// DROP VIEW name — unregisters the view and releases its structures.
   kDropView,
 };
@@ -50,6 +54,8 @@ struct ParsedStatement {
 
   std::string table;                           // kInsert/kDelete/kSelect
   std::vector<Row> rows;                       // kInsert/kDelete
+  /// kExplainAnalyze: the analyzed statement deletes rows (else inserts).
+  bool analyze_delete = false;
   /// SELECT ... WHERE col = literal.
   std::optional<std::pair<std::string, Value>> where;
   /// SELECT ... WHERE col BETWEEN lo AND hi (inclusive).

@@ -16,6 +16,11 @@ namespace pjvm {
 /// where it matters. Used by the maintenance planner to estimate join
 /// fanouts under skew (the flat rows/distinct average the paper's
 /// statistics discussion implies is misleading for Zipfian data).
+///
+/// Not to be confused with the *latency* histogram in
+/// obs/metrics_registry.h: that one is log2-bucketed over durations and
+/// feeds p50/p95/p99 metrics; this one is a planner statistic over column
+/// values.
 class EquiDepthHistogram {
  public:
   /// Builds a histogram with about `num_buckets` buckets from `values`

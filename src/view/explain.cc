@@ -1,0 +1,96 @@
+#include "view/explain.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pjvm {
+
+int CountTouchedNodes(const std::vector<NodeCounters>& deltas) {
+  int touched = 0;
+  for (const NodeCounters& c : deltas) {
+    if (c.searches + c.fetches + c.inserts + c.sends > 0) ++touched;
+  }
+  return touched;
+}
+
+std::string MaintenanceAnalysis::ToString() const {
+  std::ostringstream os;
+  char line[256];
+  os << "EXPLAIN ANALYZE maintenance of '" << table << "' (+"
+     << base_inserts << "/-" << base_deletes << " base rows)\n";
+  std::snprintf(line, sizeof(line),
+                "  %-5s %9s %9s %9s %7s | %6s %6s %6s | %10s\n", "node",
+                "searches", "fetches", "inserts", "sends", "base_w", "struct",
+                "view_w", "IO");
+  os << line;
+  for (size_t i = 0; i < per_node.size(); ++i) {
+    const NodeCounters& c = per_node[i];
+    if (c.searches + c.fetches + c.inserts + c.sends == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "  %-5zu %9llu %9llu %9llu %7llu | %6llu %6llu %6llu | "
+                  "%10.1f\n",
+                  i, static_cast<unsigned long long>(c.searches),
+                  static_cast<unsigned long long>(c.fetches),
+                  static_cast<unsigned long long>(c.inserts),
+                  static_cast<unsigned long long>(c.sends),
+                  static_cast<unsigned long long>(c.base_writes),
+                  static_cast<unsigned long long>(c.structure_writes),
+                  static_cast<unsigned long long>(c.view_writes), c.IO(weights));
+    os << line;
+  }
+  for (const ViewPhase& phase : views) {
+    std::snprintf(line, sizeof(line),
+                  "  view %s [%s]: +%zu/-%zu rows, %zu probes, %d node(s), "
+                  "%.3f ms\n",
+                  phase.view.c_str(), MaintenanceMethodToString(phase.method),
+                  phase.rows_inserted, phase.rows_deleted, phase.probes,
+                  phase.nodes_touched, phase.wall_ms);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  TW=%.1f RT=%.1f messages=%llu bytes=%llu "
+                "nodes_touched=%d/%zu structure_writes=%zu wall=%.3f ms\n",
+                total_workload, response_time,
+                static_cast<unsigned long long>(messages),
+                static_cast<unsigned long long>(bytes_sent), nodes_touched,
+                per_node.size(), report.structure_writes, wall_ms);
+  os << line;
+  if (!report.notes.empty()) os << "  notes: " << report.notes << "\n";
+  return os.str();
+}
+
+std::string MaintenanceAnalysis::ToJson() const {
+  std::ostringstream os;
+  os << "{\"table\":\"" << table << "\",\"base_inserts\":" << base_inserts
+     << ",\"base_deletes\":" << base_deletes << ",\"per_node\":[";
+  for (size_t i = 0; i < per_node.size(); ++i) {
+    const NodeCounters& c = per_node[i];
+    if (i > 0) os << ",";
+    os << "{\"node\":" << i << ",\"searches\":" << c.searches
+       << ",\"fetches\":" << c.fetches << ",\"inserts\":" << c.inserts
+       << ",\"sends\":" << c.sends << ",\"base_writes\":" << c.base_writes
+       << ",\"structure_writes\":" << c.structure_writes
+       << ",\"view_writes\":" << c.view_writes << ",\"io\":" << c.IO(weights)
+       << "}";
+  }
+  os << "],\"views\":[";
+  for (size_t i = 0; i < views.size(); ++i) {
+    const ViewPhase& phase = views[i];
+    if (i > 0) os << ",";
+    os << "{\"view\":\"" << phase.view << "\",\"method\":\""
+       << MaintenanceMethodToString(phase.method)
+       << "\",\"rows_inserted\":" << phase.rows_inserted
+       << ",\"rows_deleted\":" << phase.rows_deleted
+       << ",\"probes\":" << phase.probes
+       << ",\"nodes_touched\":" << phase.nodes_touched
+       << ",\"wall_ms\":" << phase.wall_ms << "}";
+  }
+  os << "],\"total_workload\":" << total_workload
+     << ",\"response_time\":" << response_time << ",\"messages\":" << messages
+     << ",\"bytes_sent\":" << bytes_sent
+     << ",\"nodes_touched\":" << nodes_touched << ",\"wall_ms\":" << wall_ms
+     << "}";
+  return os.str();
+}
+
+}  // namespace pjvm

@@ -7,6 +7,8 @@
 #include <set>
 #include <tuple>
 
+#include "obs/trace.h"
+
 namespace pjvm {
 
 namespace {
@@ -130,8 +132,14 @@ Result<std::vector<Maintainer::Partial>> GlobalIndexMaintainer::GlobalIndexStep(
   }
   std::vector<std::vector<FetchWork>> home_work(sys_->num_nodes());
   std::vector<MaintenanceReport> home_rep(sys_->num_nodes());
+  {
+  SpanGuard lookup_span("gi_lookup", "phase", -1, nullptr,
+                        MaintenanceMethodToString(method()));
+  lookup_span.set_detail(gi_table);
   PJVM_RETURN_NOT_OK(
       sys_->executor().RunOnNodes(homes, [&](int gi_home) -> Status {
+        SpanGuard span("gi_probe_node", "task", gi_home, &sys_->cost(),
+                       MaintenanceMethodToString(method()));
         for (size_t i : at_home[gi_home]) {
           const Partial& p = in[i];
           const Value& key = p.working[key_idx];
@@ -164,6 +172,7 @@ Result<std::vector<Maintainer::Partial>> GlobalIndexMaintainer::GlobalIndexStep(
         }
         return Status::OK();
       }));
+  }
 
   // Deterministic output order: the sequential implementation emitted per
   // partial (batch order), then per owner ascending within a partial.
@@ -185,8 +194,13 @@ Result<std::vector<Maintainer::Partial>> GlobalIndexMaintainer::GlobalIndexStep(
   }
 
   // Phase 2: every owning node fetches its rid lists on its own worker.
+  SpanGuard fetch_span("gi_fetch", "phase", -1, nullptr,
+                       MaintenanceMethodToString(method()));
+  fetch_span.set_detail(target_def.name);
   PJVM_RETURN_NOT_OK(
       sys_->executor().RunOnNodes(owners, [&](int owner) -> Status {
+        SpanGuard span("gi_fetch_node", "task", owner, &sys_->cost(),
+                       MaintenanceMethodToString(method()));
         TableFragment* frag = sys_->node(owner)->fragment(target_def.name);
         if (frag == nullptr) {
           return Status::NotFound("GI step: missing fragment '" +

@@ -5,6 +5,7 @@
 
 #include "exec/join_chooser.h"
 #include "exec/local_join.h"
+#include "obs/trace.h"
 #include "storage/stats.h"
 
 namespace pjvm {
@@ -240,6 +241,9 @@ Result<std::vector<Maintainer::Partial>> Maintainer::BroadcastStep(
     MaintenanceReport* report) {
   std::vector<Partial> out;
   if (in.empty()) return out;
+  SpanGuard phase_span("broadcast_step", "phase", -1, nullptr,
+                       MaintenanceMethodToString(method()));
+  phase_span.set_detail(bound().base_def(step.target_base).name);
   PJVM_ASSIGN_OR_RETURN(int key_idx,
                         bound().WorkingIndex(step.source_base, step.source_col));
   // Every partial is shipped to every node: the paper's L*SEND per tuple.
@@ -269,6 +273,8 @@ Result<std::vector<Maintainer::Partial>> Maintainer::BroadcastStep(
   std::vector<std::vector<Partial>> node_out(sys_->num_nodes());
   std::vector<MaintenanceReport> node_rep(sys_->num_nodes());
   PJVM_RETURN_NOT_OK(sys_->executor().RunOnAllNodes([&](int node) {
+    SpanGuard span("probe_node", "task", node, &sys_->cost(),
+                   MaintenanceMethodToString(method()));
     return ProbeGroupAtNode(txn, step, target, node, group, key_idx, per_tuple,
                             &node_rep[node], &node_out[node]);
   }));
@@ -285,6 +291,9 @@ Result<std::vector<Maintainer::Partial>> Maintainer::RoutedStep(
     const std::vector<Partial>& in, MaintenanceReport* report) {
   std::vector<Partial> out;
   if (in.empty()) return out;
+  SpanGuard phase_span("routed_step", "phase", -1, nullptr,
+                       MaintenanceMethodToString(method()));
+  phase_span.set_detail(target.table);
   PJVM_ASSIGN_OR_RETURN(int key_idx,
                         bound().WorkingIndex(step.source_base, step.source_col));
   std::map<int, std::vector<const Partial*>> by_dest;
@@ -311,6 +320,8 @@ Result<std::vector<Maintainer::Partial>> Maintainer::RoutedStep(
   std::vector<std::vector<Partial>> dest_out(sys_->num_nodes());
   std::vector<MaintenanceReport> dest_rep(sys_->num_nodes());
   PJVM_RETURN_NOT_OK(sys_->executor().RunOnNodes(dests, [&](int dest) {
+    SpanGuard span("probe_node", "task", dest, &sys_->cost(),
+                   MaintenanceMethodToString(method()));
     return ProbeGroupAtNode(txn, step, target, dest,
                             std::move(by_dest.find(dest)->second), key_idx,
                             /*per_tuple_index_io=*/1.0, &dest_rep[dest],

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "net/message.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "view/aux_relation_maintainer.h"
 #include "view/global_index_maintainer.h"
 #include "view/naive_maintainer.h"
@@ -293,7 +295,8 @@ Status ViewManager::RegisterView(const JoinViewDef& def,
   return Status::OK();
 }
 
-Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta) {
+Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
+                                                  MaintenanceAnalysis* analysis) {
   if (!sys_->catalog().Has(delta.table)) {
     return Status::NotFound("no base table '" + delta.table + "'");
   }
@@ -304,29 +307,48 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta) {
   }
   delta.updates.clear();
 
+  // Before/after snapshots bracket the whole transaction; everything here
+  // only *reads* the cost and network meters, so the charges are identical
+  // whether or not anyone is watching.
+  const std::vector<NodeCounters> txn_before = sys_->cost().Snapshot();
+  const uint64_t msgs_before = sys_->network().TotalMessages();
+  const uint64_t bytes_before = sys_->network().TotalBytes();
+  const uint64_t t0 = Tracer::NowNs();
+
+  SpanGuard txn_span("maintain_txn", "view");
+  txn_span.set_detail(delta.table + " +" + std::to_string(delta.inserts.size()) +
+                      "/-" + std::to_string(delta.deletes.size()));
+
   uint64_t txn = sys_->Begin();
   auto run = [&]() -> Result<MaintenanceReport> {
     MaintenanceReport total;
-    // 1. Update the base relation, capturing each row's global row id.
-    //    Deletes must be located before removal (GIs reference their rids).
-    delta.delete_gids.clear();
-    for (const Row& row : delta.deletes) {
-      PJVM_ASSIGN_OR_RETURN(GlobalRowId gid, sys_->LocateExact(delta.table, row));
-      delta.delete_gids.push_back(gid);
-      PJVM_RETURN_NOT_OK(sys_->DeleteExact(delta.table, row, txn));
+    {
+      // 1. Update the base relation, capturing each row's global row id.
+      //    Deletes must be located before removal (GIs reference their rids).
+      SpanGuard span("base_update", "view");
+      delta.delete_gids.clear();
+      for (const Row& row : delta.deletes) {
+        PJVM_ASSIGN_OR_RETURN(GlobalRowId gid,
+                              sys_->LocateExact(delta.table, row));
+        delta.delete_gids.push_back(gid);
+        PJVM_RETURN_NOT_OK(sys_->DeleteExact(delta.table, row, txn));
+      }
+      delta.insert_gids.clear();
+      if (!delta.inserts.empty()) {
+        // Batch insert: rows are grouped by home node and applied by each
+        // node's worker in parallel, with gids in delta order.
+        PJVM_ASSIGN_OR_RETURN(
+            delta.insert_gids,
+            sys_->InsertManyReturningIds(delta.table, delta.inserts, txn));
+      }
     }
-    delta.insert_gids.clear();
-    if (!delta.inserts.empty()) {
-      // Batch insert: rows are grouped by home node and applied by each
-      // node's worker in parallel, with gids in delta order.
-      PJVM_ASSIGN_OR_RETURN(
-          delta.insert_gids,
-          sys_->InsertManyReturningIds(delta.table, delta.inserts, txn));
+    {
+      // 2. Update the auxiliary structures (shared across views, done once).
+      SpanGuard span("structure_update", "view");
+      PJVM_ASSIGN_OR_RETURN(size_t ar_writes, ars_.ApplyDelta(txn, delta));
+      PJVM_ASSIGN_OR_RETURN(size_t gi_writes, gis_.ApplyDelta(txn, delta));
+      total.structure_writes = ar_writes + gi_writes;
     }
-    // 2. Update the auxiliary structures (shared across views, so done once).
-    PJVM_ASSIGN_OR_RETURN(size_t ar_writes, ars_.ApplyDelta(txn, delta));
-    PJVM_ASSIGN_OR_RETURN(size_t gi_writes, gis_.ApplyDelta(txn, delta));
-    total.structure_writes = ar_writes + gi_writes;
     // 3. Maintain every dependent view.
     for (auto& [name, reg] : views_) {
       auto base_idx = [&]() -> int {
@@ -340,8 +362,34 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta) {
         reg.stale = true;  // Brought current later by RefreshView().
         continue;
       }
+      const char* method_str = MaintenanceMethodToString(reg.method);
+      std::vector<NodeCounters> view_before;
+      if (analysis != nullptr) view_before = sys_->cost().Snapshot();
+      const uint64_t view_t0 = Tracer::NowNs();
+      SpanGuard view_span("maintain_view", "view", -1, nullptr, method_str);
+      view_span.set_detail(name);
       PJVM_ASSIGN_OR_RETURN(MaintenanceReport report,
                             reg.maintainer->ApplyDelta(txn, base_idx, delta));
+      uint64_t view_ns = Tracer::NowNs() - view_t0;
+      MetricsRegistry::Global()
+          .histogram(std::string("pjvm_maintain_view_ns{method=\"") +
+                     method_str + "\"}")
+          ->Record(view_ns);
+      if (analysis != nullptr) {
+        std::vector<NodeCounters> view_after = sys_->cost().Snapshot();
+        for (size_t i = 0; i < view_after.size(); ++i) {
+          view_after[i] = view_after[i] - view_before[i];
+        }
+        MaintenanceAnalysis::ViewPhase phase;
+        phase.view = name;
+        phase.method = reg.method;
+        phase.wall_ms = static_cast<double>(view_ns) / 1e6;
+        phase.rows_inserted = report.view_rows_inserted;
+        phase.rows_deleted = report.view_rows_deleted;
+        phase.probes = report.probes;
+        phase.nodes_touched = CountTouchedNodes(view_after);
+        analysis->views.push_back(std::move(phase));
+      }
       total += report;
     }
     return total;
@@ -349,9 +397,36 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta) {
   Result<MaintenanceReport> result = run();
   if (!result.ok()) {
     sys_->Abort(txn).Check();
+    MetricsRegistry::Global().counter("pjvm_maintain_txns_aborted")->Increment();
     return result;
   }
   PJVM_RETURN_NOT_OK(sys_->Commit(txn));
+
+  const uint64_t txn_ns = Tracer::NowNs() - t0;
+  MetricsRegistry::Global().counter("pjvm_maintain_txns")->Increment();
+  MetricsRegistry::Global().histogram("pjvm_maintain_txn_ns")->Record(txn_ns);
+  if (analysis != nullptr) {
+    analysis->table = delta.table;
+    analysis->base_inserts = delta.inserts.size();
+    analysis->base_deletes = delta.deletes.size();
+    analysis->weights = sys_->cost().weights();
+    analysis->per_node = sys_->cost().Snapshot();
+    for (size_t i = 0; i < analysis->per_node.size(); ++i) {
+      analysis->per_node[i] = analysis->per_node[i] - txn_before[i];
+    }
+    analysis->total_workload = 0.0;
+    analysis->response_time = 0.0;
+    for (const NodeCounters& c : analysis->per_node) {
+      double io = c.IO(analysis->weights);
+      analysis->total_workload += io;
+      analysis->response_time = std::max(analysis->response_time, io);
+    }
+    analysis->messages = sys_->network().TotalMessages() - msgs_before;
+    analysis->bytes_sent = sys_->network().TotalBytes() - bytes_before;
+    analysis->nodes_touched = CountTouchedNodes(analysis->per_node);
+    analysis->wall_ms = static_cast<double>(txn_ns) / 1e6;
+    analysis->report = *result;
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 
 #include "engine/system.h"
 #include "view/ar_minimizer.h"
+#include "view/explain.h"
 #include "view/maintainer.h"
 #include "view/materialized_view.h"
 #include "view/view_def.h"
@@ -124,7 +125,13 @@ class ViewManager : public StructureResolver {
   /// Applies a batch of base-table changes and maintains every dependent
   /// view, all in one distributed transaction. Updates in `delta.updates`
   /// are normalized to delete+insert. Returns the aggregate report.
-  Result<MaintenanceReport> ApplyDelta(DeltaBatch delta);
+  ///
+  /// When `analysis` is non-null it is filled with the transaction's
+  /// EXPLAIN ANALYZE: per-node CostTracker deltas, message/byte counts, and
+  /// a per-view phase breakdown. Collecting it only reads counters, so the
+  /// charged costs are identical with or without it.
+  Result<MaintenanceReport> ApplyDelta(DeltaBatch delta,
+                                       MaintenanceAnalysis* analysis = nullptr);
 
   /// Single-row conveniences (each a full maintenance transaction).
   Result<MaintenanceReport> InsertRow(const std::string& table, Row row) {

@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace pjvm {
+namespace {
+
+// ------------------------------------------------------------ HistogramData
+
+TEST(HistogramDataTest, EmptyIsAllZero) {
+  HistogramData d;
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.sum, 0u);
+  EXPECT_EQ(d.Mean(), 0.0);
+  EXPECT_EQ(d.P50(), 0.0);
+  EXPECT_EQ(d.P95(), 0.0);
+  EXPECT_EQ(d.P99(), 0.0);
+  EXPECT_EQ(d.Quantile(0.0), 0.0);
+  EXPECT_EQ(d.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramDataTest, SingleValueIsExactAtEveryQuantile) {
+  HistogramData d;
+  d.Add(37);
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_EQ(d.sum, 37u);
+  EXPECT_EQ(d.min, 37u);
+  EXPECT_EQ(d.max, 37u);
+  // The clamp to [min, max] makes a single value exact despite the
+  // bucket's [32, 63] resolution.
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), 37.0);
+  EXPECT_DOUBLE_EQ(d.P50(), 37.0);
+  EXPECT_DOUBLE_EQ(d.P99(), 37.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 37.0);
+}
+
+TEST(HistogramDataTest, RepeatedEqualValuesStayExact) {
+  HistogramData d;
+  for (int i = 0; i < 1000; ++i) d.Add(100);
+  EXPECT_DOUBLE_EQ(d.P50(), 100.0);
+  EXPECT_DOUBLE_EQ(d.P95(), 100.0);
+  EXPECT_DOUBLE_EQ(d.P99(), 100.0);
+}
+
+TEST(HistogramDataTest, BucketLayout) {
+  // Bucket 0 holds only the value 0; bucket i holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(HistogramData::BucketIndex(0), 0);
+  EXPECT_EQ(HistogramData::BucketIndex(1), 1);
+  EXPECT_EQ(HistogramData::BucketIndex(2), 2);
+  EXPECT_EQ(HistogramData::BucketIndex(3), 2);
+  EXPECT_EQ(HistogramData::BucketIndex(4), 3);
+  EXPECT_EQ(HistogramData::BucketIndex(UINT64_MAX), 64);
+  for (int i = 1; i < HistogramData::kNumBuckets; ++i) {
+    EXPECT_EQ(HistogramData::BucketIndex(HistogramData::BucketLo(i)), i);
+    EXPECT_EQ(HistogramData::BucketIndex(HistogramData::BucketHi(i)), i);
+  }
+  EXPECT_EQ(HistogramData::BucketHi(1) + 1, HistogramData::BucketLo(2));
+}
+
+TEST(HistogramDataTest, QuantilesMonotoneAndBounded) {
+  HistogramData d;
+  for (uint64_t v = 1; v <= 1000; ++v) d.Add(v);
+  double p50 = d.P50(), p95 = d.P95(), p99 = d.P99();
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, static_cast<double>(d.min));
+  EXPECT_LE(p99, static_cast<double>(d.max));
+  // Log buckets are coarse, but the median of 1..1000 must land in the
+  // right bucket: [256, 1000].
+  EXPECT_GE(p50, 256.0);
+}
+
+TEST(HistogramDataTest, MergeIsExactForCountSumMinMax) {
+  HistogramData a, b;
+  for (uint64_t v : {1u, 5u, 9u}) a.Add(v);
+  for (uint64_t v : {100u, 200u}) b.Add(v);
+  HistogramData merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.count, 5u);
+  EXPECT_EQ(merged.sum, 315u);
+  EXPECT_EQ(merged.min, 1u);
+  EXPECT_EQ(merged.max, 200u);
+  // Element-wise bucket addition: merging equals recording everything into
+  // one histogram.
+  HistogramData direct;
+  for (uint64_t v : {1u, 5u, 9u, 100u, 200u}) direct.Add(v);
+  EXPECT_EQ(merged.buckets, direct.buckets);
+  EXPECT_DOUBLE_EQ(merged.P50(), direct.P50());
+}
+
+TEST(HistogramDataTest, MergeWithEmptyIsIdentityBothWays) {
+  HistogramData a, empty;
+  a.Add(42);
+  HistogramData m1 = a;
+  m1.Merge(empty);
+  EXPECT_EQ(m1.count, 1u);
+  EXPECT_EQ(m1.min, 42u);
+  HistogramData m2 = empty;
+  m2.Merge(a);
+  EXPECT_EQ(m2.count, 1u);
+  EXPECT_EQ(m2.min, 42u);
+  EXPECT_EQ(m2.max, 42u);
+}
+
+// --------------------------------------------------------- LatencyHistogram
+
+TEST(LatencyHistogramTest, ConcurrentRecordLosesNothing) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  HistogramData d = hist.Snapshot();
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(d.count, kTotal);
+  EXPECT_EQ(d.sum, kTotal * (kTotal - 1) / 2);
+  EXPECT_EQ(d.min, 0u);
+  EXPECT_EQ(d.max, kTotal - 1);
+}
+
+TEST(LatencyHistogramTest, ResetZeroes) {
+  LatencyHistogram hist;
+  hist.Record(7);
+  hist.Reset();
+  HistogramData d = hist.Snapshot();
+  EXPECT_EQ(d.count, 0u);
+  hist.Record(3);
+  d = hist.Snapshot();
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_EQ(d.min, 3u);
+  EXPECT_EQ(d.max, 3u);
+}
+
+// ---------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("txns");
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(reg.counter("txns"), c);  // same handle on re-lookup
+  EXPECT_EQ(reg.counter("txns")->value(), 5u);
+  reg.gauge("depth")->Set(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("depth")->value(), 2.5);
+  reg.histogram("lat")->Record(8);
+  EXPECT_EQ(reg.histogram("lat")->Snapshot().count, 1u);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextSplicesLabels) {
+  MetricsRegistry reg;
+  reg.counter("pjvm_txns_total{method=\"NAIVE\"}")->Increment(3);
+  reg.histogram("pjvm_lat_ns{method=\"AUX\"}")->Record(5);
+  std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("# TYPE pjvm_txns_total counter"), std::string::npos);
+  EXPECT_NE(text.find("pjvm_txns_total{method=\"NAIVE\"} 3"),
+            std::string::npos);
+  // Histogram `le` labels merge with the metric's own labels.
+  EXPECT_NE(text.find("pjvm_lat_ns_bucket{method=\"AUX\",le=\"7\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("pjvm_lat_ns_bucket{method=\"AUX\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("pjvm_lat_ns_sum{method=\"AUX\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("pjvm_lat_ns_count{method=\"AUX\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetClearsValuesButKeepsHandles) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("n");
+  c->Increment(9);
+  reg.histogram("h")->Record(4);
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(reg.counter("n"), c);
+  EXPECT_EQ(reg.histogram("h")->Snapshot().count, 0u);
+}
+
+// ---------------------------------------- CostTracker snapshots under load
+
+TEST(NodeCountersTest, DiffCoversEveryField) {
+  NodeCounters after;
+  after.searches = 10;
+  after.fetches = 20;
+  after.inserts = 30;
+  after.sends = 40;
+  after.bytes_sent = 50;
+  after.base_writes = 6;
+  after.structure_writes = 7;
+  after.view_writes = 8;
+  NodeCounters before;
+  before.searches = 1;
+  before.fetches = 2;
+  before.inserts = 3;
+  before.sends = 4;
+  before.bytes_sent = 5;
+  before.base_writes = 1;
+  before.structure_writes = 2;
+  before.view_writes = 3;
+  NodeCounters d = after - before;
+  EXPECT_EQ(d.searches, 9u);
+  EXPECT_EQ(d.fetches, 18u);
+  EXPECT_EQ(d.inserts, 27u);
+  EXPECT_EQ(d.sends, 36u);
+  EXPECT_EQ(d.bytes_sent, 45u);
+  EXPECT_EQ(d.base_writes, 5u);
+  EXPECT_EQ(d.structure_writes, 5u);
+  EXPECT_EQ(d.view_writes, 5u);
+}
+
+TEST(CostTrackerTest, SnapshotDiffIsExactUnderConcurrentCharging) {
+  constexpr int kNodes = 4;
+  constexpr int kRounds = 5000;
+  CostTracker tracker(kNodes);
+  // Pre-existing charges the diff must subtract away.
+  tracker.ChargeSearch(0, 100);
+  tracker.ChargeWrite(2, CostTracker::WriteKind::kView);
+  std::vector<NodeCounters> before = tracker.Snapshot();
+
+  std::vector<std::thread> threads;
+  for (int n = 0; n < kNodes; ++n) {
+    threads.emplace_back([&tracker, n] {
+      for (int i = 0; i < kRounds; ++i) {
+        tracker.ChargeSearch(n);
+        tracker.ChargeFetch(n, 2);
+        tracker.ChargeWrite(n, CostTracker::WriteKind::kStructure);
+        tracker.ChargeSend(n, 16);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<NodeCounters> after = tracker.Snapshot();
+  ASSERT_EQ(before.size(), static_cast<size_t>(kNodes));
+  ASSERT_EQ(after.size(), static_cast<size_t>(kNodes));
+  for (int n = 0; n < kNodes; ++n) {
+    NodeCounters d = after[n] - before[n];
+    EXPECT_EQ(d.searches, static_cast<uint64_t>(kRounds)) << "node " << n;
+    EXPECT_EQ(d.fetches, static_cast<uint64_t>(2 * kRounds));
+    EXPECT_EQ(d.inserts, static_cast<uint64_t>(kRounds));
+    EXPECT_EQ(d.structure_writes, static_cast<uint64_t>(kRounds));
+    EXPECT_EQ(d.base_writes, 0u);
+    EXPECT_EQ(d.view_writes, 0u);
+    EXPECT_EQ(d.sends, static_cast<uint64_t>(kRounds));
+    EXPECT_EQ(d.bytes_sent, static_cast<uint64_t>(16 * kRounds));
+  }
+}
+
+// ------------------------------------------------------------------ Tracer
+
+/// The process-global tracer carries state across tests: each test clears
+/// recorded spans up front (quiescent here) and disables tracing on exit.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TracerTest, DisabledSpanGuardRecordsNothing) {
+  size_t before = Tracer::Global().Snapshot().size();
+  {
+    SpanGuard span("noop", "test");
+    span.set_detail("ignored");
+  }
+  TraceInstant("noop", "test", 0, 0, "");
+  EXPECT_EQ(Tracer::Global().Snapshot().size(), before);
+}
+
+TEST_F(TracerTest, SpansNestAndCaptureCostDeltas) {
+  Tracer::Global().Enable();
+  CostTracker cost(2);
+  cost.ChargeSearch(1, 50);  // pre-span charge the delta must exclude
+  {
+    SpanGuard outer("txn", "test");
+    {
+      SpanGuard inner("probe", "test", /*node=*/1, &cost, "NAIVE");
+      cost.ChargeSearch(1, 3);
+      cost.ChargeFetch(1, 2);
+    }
+  }
+  std::vector<TraceSpan> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner closes (and records) first.
+  const TraceSpan& inner = spans[0];
+  const TraceSpan& outer = spans[1];
+  EXPECT_STREQ(inner.name, "probe");
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(inner.node, 1);
+  ASSERT_TRUE(inner.has_cost);
+  EXPECT_EQ(inner.cost.searches, 3u);
+  EXPECT_EQ(inner.cost.fetches, 2u);
+  EXPECT_STREQ(outer.name, "txn");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_FALSE(outer.has_cost);
+  EXPECT_LE(outer.start_ns, inner.start_ns);
+  EXPECT_GE(outer.start_ns + outer.dur_ns, inner.start_ns + inner.dur_ns);
+}
+
+TEST_F(TracerTest, ConcurrentRecordAndSnapshotLoseNothing) {
+  Tracer::Global().Enable();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 2000;  // > Chunk capacity: exercises links
+  std::atomic<bool> stop{false};
+  std::thread reader([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Every observed span must be fully formed (name always set).
+      for (const TraceSpan& s : Tracer::Global().Snapshot()) {
+        EXPECT_STREQ(s.name, "worker_span");
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  size_t base = Tracer::Global().Snapshot().size();
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        SpanGuard span("worker_span", "test");
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(Tracer::Global().Snapshot().size(),
+            base + static_cast<size_t>(kThreads) * kSpansPerThread);
+}
+
+TEST_F(TracerTest, ChromeTraceJsonEscapesAndTags) {
+  Tracer::Global().Enable();
+  Tracer::Global().SetCurrentThreadName("test \"main\"");
+  {
+    SpanGuard span("quoted", "test", /*node=*/3, nullptr, "NAIVE");
+    span.set_detail("a\"b\nc");
+  }
+  TraceInstant("send", "net", 1, 64, "1->2");
+  std::string json = Tracer::Global().ChromeTraceJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test \\\"main\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"a\\\"b\\nc\""), std::string::npos);
+  EXPECT_NE(json.find("\"node\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"method\":\"NAIVE\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":64"), std::string::npos);
+  // No raw control characters may survive escaping.
+  for (char c : json) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n');
+  }
+}
+
+TEST_F(TracerTest, ClearDropsSpansButKeepsThreadNames) {
+  Tracer::Global().Enable();
+  { SpanGuard span("gone", "test"); }
+  EXPECT_GE(Tracer::Global().Snapshot().size(), 1u);
+  Tracer::Global().Clear();
+  EXPECT_EQ(Tracer::Global().Snapshot().size(), 0u);
+  { SpanGuard span("kept", "test"); }
+  EXPECT_EQ(Tracer::Global().Snapshot().size(), 1u);
+}
+
+}  // namespace
+}  // namespace pjvm

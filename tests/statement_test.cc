@@ -81,6 +81,22 @@ TEST(StatementParseTest, DeleteByValues) {
   ASSERT_EQ(stmt->rows.size(), 1u);
 }
 
+TEST(StatementParseTest, ExplainAnalyzeWrapsInsertOrDelete) {
+  auto ins = ParseStatement("EXPLAIN ANALYZE INSERT INTO t VALUES (1, 2)");
+  ASSERT_TRUE(ins.ok()) << ins.status();
+  EXPECT_EQ(ins->kind, StatementKind::kExplainAnalyze);
+  EXPECT_FALSE(ins->analyze_delete);
+  EXPECT_EQ(ins->table, "t");
+  ASSERT_EQ(ins->rows.size(), 1u);
+  auto del = ParseStatement("EXPLAIN ANALYZE DELETE FROM t VALUES (1, 2);");
+  ASSERT_TRUE(del.ok()) << del.status();
+  EXPECT_EQ(del->kind, StatementKind::kExplainAnalyze);
+  EXPECT_TRUE(del->analyze_delete);
+  // Only the two DML forms can be analyzed; plain EXPLAIN still works.
+  EXPECT_FALSE(ParseStatement("EXPLAIN ANALYZE SELECT * FROM t").ok());
+  EXPECT_EQ(ParseStatement("EXPLAIN t")->kind, StatementKind::kExplain);
+}
+
 TEST(StatementParseTest, SelectWithAndWithoutWhere) {
   auto all = ParseStatement("SELECT * FROM t");
   ASSERT_TRUE(all.ok());
