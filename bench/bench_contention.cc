@@ -1,0 +1,206 @@
+// Multi-client contention bench: N concurrent updater threads drive
+// single-row maintenance transactions against one shared join view, with
+// join keys drawn from a small pool so transactions collide on the AR's
+// clustered-index key locks.
+//
+// Two lock policies run over the same workload:
+//  - no-wait: a conflicting acquire aborts the transaction immediately and
+//    the abort is client-visible (maintain_max_attempts = 1); the client
+//    must re-submit until its transaction commits.
+//  - wait-die: conflicting acquires park (older waits, younger dies) and
+//    the ViewManager absorbs deadlock-avoidance kills in its bounded retry
+//    loop, so the client sees no aborts at all.
+//
+// Reported per policy: committed throughput, client-visible latency
+// (p50/p95/p99 over the full submit-to-commit interval, retries included),
+// client-visible aborts, wait-die deadlock kills, lock waits, and internal
+// maintenance retries. Each run ends with the from-scratch consistency
+// oracle: under either policy the view must match its bases exactly.
+//
+// Usage: bench_contention [threads] [txns_per_thread] [key_pool] [nodes]
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "txn/lock_manager.h"
+
+namespace pjvm::bench {
+namespace {
+
+struct ContentionConfig {
+  int threads = 8;
+  int txns_per_thread = 50;
+  // Distinct join keys shared by all updaters. The default of one hot key is
+  // the worst case for no-wait: every pair of concurrent transactions
+  // conflicts on the same AR index-key lock.
+  int64_t key_pool = 1;
+  int nodes = 4;
+};
+
+struct PolicyResult {
+  std::string policy;
+  uint64_t committed = 0;
+  uint64_t client_aborts = 0;
+  double wall_ms = 0.0;
+  double committed_per_sec = 0.0;
+  uint64_t deadlock_kills = 0;
+  uint64_t lock_waits = 0;
+  uint64_t lock_wait_timeouts = 0;
+  uint64_t maintain_retries = 0;
+  HistogramData latency;
+};
+
+PolicyResult RunPolicy(const ContentionConfig& cc, LockPolicy policy) {
+  PolicyResult result;
+  result.policy = policy == LockPolicy::kWaitDie ? "wait_die" : "no_wait";
+
+  SystemConfig cfg;
+  cfg.num_nodes = cc.nodes;
+  cfg.rows_per_page = 8;
+  cfg.enable_locking = true;
+  cfg.lock_policy = policy;
+  cfg.lock_wait_timeout_ms = 500;
+  // Under no-wait every conflict surfaces to the client; under wait-die the
+  // maintenance retry loop absorbs them.
+  cfg.maintain_max_attempts = policy == LockPolicy::kWaitDie ? 8 : 1;
+  cfg.maintain_retry_base_us = 100;
+  ParallelSystem sys(cfg);
+
+  // The paper's two-relation setup, with a tiny B key domain so concurrent
+  // updaters collide on the same AR index-key locks.
+  TwoTableConfig tt;
+  tt.b_join_keys = cc.key_pool;
+  tt.fanout = 2;
+  LoadTwoTable(&sys, tt).Check();
+  ViewManager manager(&sys);
+  manager.RegisterView(MakeModelView(), MaintenanceMethod::kAuxRelation)
+      .Check();
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  const uint64_t kills0 = metrics.counter("pjvm_lock_deadlock_kills")->value();
+  const uint64_t waits0 = metrics.counter("pjvm_lock_waits")->value();
+  const uint64_t touts0 = metrics.counter("pjvm_lock_wait_timeouts")->value();
+  const uint64_t retries0 = metrics.counter("pjvm_maintain_retries")->value();
+
+  LatencyHistogram latency;
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> client_aborts{0};
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> updaters;
+  updaters.reserve(cc.threads);
+  for (int t = 0; t < cc.threads; ++t) {
+    updaters.emplace_back([&, t] {
+      for (int i = 0; i < cc.txns_per_thread; ++i) {
+        // Unique A key per logical transaction; the join attribute cycles
+        // through B's small key pool, so concurrent transactions hit the
+        // same AR index-key locks.
+        Row row = MakeDeltaA(tt, static_cast<int64_t>(t) * 1000000 + i);
+        auto t0 = std::chrono::steady_clock::now();
+        // The client's contract is "this update happens": a client-visible
+        // abort means re-submitting the whole transaction.
+        for (;;) {
+          auto report = manager.InsertRow("A", row);
+          if (report.ok()) break;
+          if (!report.status().IsAborted()) report.status().Check();
+          client_aborts.fetch_add(1);
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        committed.fetch_add(1);
+        latency.Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+      }
+    });
+  }
+  for (auto& th : updaters) th.join();
+  auto end = std::chrono::steady_clock::now();
+
+  result.committed = committed.load();
+  result.client_aborts = client_aborts.load();
+  result.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          end - start)
+          .count();
+  result.committed_per_sec =
+      result.wall_ms > 0.0 ? 1000.0 * result.committed / result.wall_ms : 0.0;
+  result.deadlock_kills =
+      metrics.counter("pjvm_lock_deadlock_kills")->value() - kills0;
+  result.lock_waits = metrics.counter("pjvm_lock_waits")->value() - waits0;
+  result.lock_wait_timeouts =
+      metrics.counter("pjvm_lock_wait_timeouts")->value() - touts0;
+  result.maintain_retries =
+      metrics.counter("pjvm_maintain_retries")->value() - retries0;
+  result.latency = latency.Snapshot();
+
+  // The whole point of running maintenance inside the transaction: however
+  // the interleaving went, the view must equal the from-scratch join.
+  manager.CheckAllConsistent().Check();
+  if (sys.locks().TotalLocks() != 0) {
+    Status::Internal("lock table not empty after quiesce").Check();
+  }
+  return result;
+}
+
+std::string PolicyJson(const PolicyResult& r) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("policy").Str(r.policy)
+      .Key("committed").Uint(r.committed)
+      .Key("client_visible_aborts").Uint(r.client_aborts)
+      .Key("wall_ms").Num(r.wall_ms)
+      .Key("committed_per_sec").Num(r.committed_per_sec)
+      .Key("deadlock_kills").Uint(r.deadlock_kills)
+      .Key("lock_waits").Uint(r.lock_waits)
+      .Key("lock_wait_timeouts").Uint(r.lock_wait_timeouts)
+      .Key("maintain_retries").Uint(r.maintain_retries)
+      .Key("client_latency_ns").Raw(LatencyJson(r.latency))
+      .EndObject();
+  return w.str();
+}
+
+void Run(const ContentionConfig& cc) {
+  PrintHeader("contention: " + std::to_string(cc.threads) + " updaters x " +
+              std::to_string(cc.txns_per_thread) + " txns, " +
+              std::to_string(cc.key_pool) + " join keys, " +
+              std::to_string(cc.nodes) + " nodes");
+  BenchReport report("contention");
+  {
+    JsonWriter w;
+    w.BeginObject()
+        .Key("threads").Int(cc.threads)
+        .Key("txns_per_thread").Int(cc.txns_per_thread)
+        .Key("key_pool").Int(cc.key_pool)
+        .Key("nodes").Int(cc.nodes)
+        .EndObject();
+    report.Add("config", w.str());
+  }
+  for (LockPolicy policy : {LockPolicy::kNoWait, LockPolicy::kWaitDie}) {
+    PolicyResult r = RunPolicy(cc, policy);
+    std::cout << r.policy << ": committed=" << r.committed
+              << " aborts=" << r.client_aborts
+              << " throughput=" << r.committed_per_sec << "/s"
+              << " p95=" << r.latency.P95() / 1e6 << "ms"
+              << " kills=" << r.deadlock_kills << " waits=" << r.lock_waits
+              << " retries=" << r.maintain_retries << "\n";
+    report.Add(r.policy, PolicyJson(r));
+  }
+  report.Write();
+}
+
+}  // namespace
+}  // namespace pjvm::bench
+
+int main(int argc, char** argv) {
+  pjvm::bench::ContentionConfig cc;
+  if (argc > 1) cc.threads = std::stoi(argv[1]);
+  if (argc > 2) cc.txns_per_thread = std::stoi(argv[2]);
+  if (argc > 3) cc.key_pool = std::stoll(argv[3]);
+  if (argc > 4) cc.nodes = std::stoi(argv[4]);
+  pjvm::bench::Run(cc);
+  return 0;
+}

@@ -1,20 +1,22 @@
 #!/usr/bin/env bash
 # Builds the repo under ThreadSanitizer (PJVM_SANITIZE=thread) in a separate
 # build tree and runs the concurrency-sensitive suites: the executor's own
-# tests, the maintenance property tests that drive every parallel phase, and
-# the observability suites (lock-free tracer buffers, concurrent histogram
-# recording, tracing-on maintenance runs).
+# tests, the maintenance property tests that drive every parallel phase, the
+# wait-die lock manager + maintenance-retry tests, and the observability
+# suites (lock-free tracer buffers, concurrent histogram recording,
+# tracing-on maintenance runs).
 #
 # Usage: scripts/run_tsan.sh [extra ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-FILTER="${1:-NodeExecutor|ParallelEquivalence|NetworkTest|Maintenance|MethodEquivalence|Tracer|LatencyHistogram|CostTracker|TraceMaintenance}"
+FILTER="${1:-NodeExecutor|ParallelEquivalence|NetworkTest|Maintenance|MethodEquivalence|Tracer|LatencyHistogram|CostTracker|TraceMaintenance|WaitDie|MaintenanceRetry|LockManager|EngineLocking}"
 
 cmake -B "$BUILD_DIR" -S . -G Ninja -DPJVM_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target executor_test maintenance_test obs_test trace_maintenance_test
+  --target executor_test maintenance_test obs_test trace_maintenance_test \
+  lock_test
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$BUILD_DIR" -R "$FILTER" --output-on-failure
 echo "TSan run clean."

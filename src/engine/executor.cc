@@ -1,5 +1,6 @@
 #include "engine/executor.h"
 
+#include "common/worker_context.h"
 #include "obs/trace.h"
 
 namespace pjvm {
@@ -16,6 +17,11 @@ NodeExecutor::NodeExecutor(int num_nodes, bool inline_mode)
 NodeExecutor::~NodeExecutor() { Shutdown(); }
 
 void NodeExecutor::WorkerLoop(int node) {
+  // Tasks drained by this thread must never park on a transaction lock: a
+  // parked task blocks the node's whole FIFO queue, possibly including
+  // tasks of the very transaction that holds the contended lock. The lock
+  // manager consults this flag and aborts instead of waiting.
+  WorkerContext::is_executor_worker = true;
   if (Tracer::Global().enabled()) {
     Tracer::Global().SetCurrentThreadName("node-" + std::to_string(node) +
                                           " worker");
@@ -71,28 +77,45 @@ void NodeExecutor::WaitAll() {
   done_cv_.wait(lock, [&] { return pending_ == 0; });
 }
 
-Status NodeExecutor::RunOnAllNodes(const std::function<Status(int)>& fn) {
-  std::vector<Status> statuses(num_nodes_, Status::OK());
-  SubmitToAll([&statuses, &fn](int node) { statuses[node] = fn(node); });
-  WaitAll();
+Status NodeExecutor::RunBatch(const std::vector<int>& nodes,
+                              const std::function<Status(int)>& fn) {
+  std::vector<Status> statuses(nodes.size(), Status::OK());
+  if (inline_mode_) {
+    for (size_t i = 0; i < nodes.size(); ++i) statuses[i] = fn(nodes[i]);
+  } else {
+    // Shared with the worker-side wrappers: the batch must outlive this
+    // frame if a worker is still finishing its decrement when we wake.
+    auto batch = std::make_shared<Batch>();
+    batch->remaining = nodes.size();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      int node = nodes[i];
+      SubmitToNode(node, [&statuses, &fn, batch, node, i] {
+        statuses[i] = fn(node);
+        {
+          std::lock_guard<std::mutex> lock(batch->mu);
+          --batch->remaining;
+        }
+        batch->cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&] { return batch->remaining == 0; });
+  }
   for (Status& st : statuses) {
     if (!st.ok()) return std::move(st);
   }
   return Status::OK();
 }
 
+Status NodeExecutor::RunOnAllNodes(const std::function<Status(int)>& fn) {
+  std::vector<int> nodes(num_nodes_);
+  for (int i = 0; i < num_nodes_; ++i) nodes[i] = i;
+  return RunBatch(nodes, fn);
+}
+
 Status NodeExecutor::RunOnNodes(const std::vector<int>& nodes,
                                 const std::function<Status(int)>& fn) {
-  std::vector<Status> statuses(nodes.size(), Status::OK());
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    int node = nodes[i];
-    SubmitToNode(node, [&statuses, &fn, node, i] { statuses[i] = fn(node); });
-  }
-  WaitAll();
-  for (Status& st : statuses) {
-    if (!st.ok()) return std::move(st);
-  }
-  return Status::OK();
+  return RunBatch(nodes, fn);
 }
 
 void NodeExecutor::Shutdown() {

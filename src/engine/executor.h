@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -16,11 +17,11 @@ namespace pjvm {
 ///
 /// One worker thread is pinned to each data server node, so per-node work in
 /// fan-out phases (SelectEq/SelectRange broadcasts, InsertMany, the
-/// maintainers' probe phases) runs with real parallelism while each node's
-/// fragments, indexes, and WAL stay single-writer: only node i's worker (or
-/// the orchestrating caller while no tasks are in flight) ever touches node
-/// i's structures. Shared-nothing isolation is preserved by construction,
-/// without per-structure locks.
+/// maintainers' probe phases) runs with real parallelism. Each node's
+/// fragments, indexes, and WAL are additionally guarded by the node's
+/// physical latch (see Node::latch()): node i's worker is the common writer,
+/// but client threads running concurrent transactions may read or write a
+/// node's structures directly under the latch.
 ///
 /// In `inline_mode` no threads are spawned and every submitted task runs
 /// immediately in the caller's thread, in submission order — the sequential
@@ -28,11 +29,15 @@ namespace pjvm {
 /// makes cost accounting provably identical between them (see
 /// tests/executor_test.cc).
 ///
-/// Orchestration protocol: only one coordinating thread submits tasks and
-/// waits; tasks themselves must never submit or wait (no nesting). Between a
-/// WaitAll() and the next submission the caller may touch any node's state
-/// directly — the barrier's mutex hand-off orders those accesses after all
-/// worker writes.
+/// Orchestration protocol: **multiple coordinating threads may call
+/// RunOnNodes/RunOnAllNodes concurrently** — each call waits on its own
+/// completion record, not on a global barrier, so one client's fan-out never
+/// blocks on another's. Tasks themselves must never submit or wait (no
+/// nesting), and must never block on transaction locks (a parked task stalls
+/// the node's whole FIFO queue — the lock manager enforces this through
+/// WorkerContext). The raw SubmitTo*/WaitAll interface keeps the legacy
+/// single-coordinator semantics: WaitAll is a global barrier over *all*
+/// outstanding tasks and is only meaningful when one thread orchestrates.
 class NodeExecutor {
  public:
   explicit NodeExecutor(int num_nodes, bool inline_mode = false);
@@ -50,12 +55,14 @@ class NodeExecutor {
   /// Enqueues `fn(node)` for every node's worker.
   void SubmitToAll(const std::function<void(int)>& fn);
 
-  /// Barrier: returns once every submitted task has finished.
+  /// Global barrier: returns once every submitted task has finished —
+  /// including tasks submitted by other threads. Single-coordinator use.
   void WaitAll();
 
-  /// Runs `fn(node)` on every node's worker and waits. Every node runs even
-  /// if another fails; the first non-OK status in node order is returned, so
-  /// the outcome is deterministic regardless of scheduling.
+  /// Runs `fn(node)` on every node's worker and waits for *this call's*
+  /// tasks. Every node runs even if another fails; the first non-OK status
+  /// in node order is returned, so the outcome is deterministic regardless
+  /// of scheduling. Safe to call from multiple client threads concurrently.
   Status RunOnAllNodes(const std::function<Status(int)>& fn);
 
   /// Same, restricted to `nodes` (first failure in the listed order).
@@ -68,7 +75,17 @@ class NodeExecutor {
   void Shutdown();
 
  private:
+  /// Per-call completion record for RunOnNodes/RunOnAllNodes: each
+  /// coordinating thread waits for its own batch, never for another's.
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+  };
+
   void WorkerLoop(int node);
+  Status RunBatch(const std::vector<int>& nodes,
+                  const std::function<Status(int)>& fn);
 
   const int num_nodes_;
   const bool inline_mode_;

@@ -72,7 +72,10 @@ Result<LocalRowId> Node::Insert(uint64_t txn_id, const std::string& table,
     return Status::NotFound("node " + std::to_string(id_) +
                             " has no fragment '" + table + "'");
   }
+  // Transaction locks first — a blocking wait must never happen under the
+  // latch (the lock holder may need the latch to make progress).
   PJVM_RETURN_NOT_OK(LockForWrite(txn_id, table, *frag, row));
+  NodeLatchGuard latch(*this);
   wal_.Append(LogRecord{0, txn_id, LogRecordType::kInsert, table, row});
   if (txn_id != kAutoCommitTxnId) {
     txns_->AddParticipant(txn_id, id_);
@@ -91,6 +94,11 @@ Status Node::DeleteExact(uint64_t txn_id, const std::string& table,
     return Status::NotFound("node " + std::to_string(id_) +
                             " has no fragment '" + table + "'");
   }
+  // Lock before latch (see Insert). The X locks cover the row whether or
+  // not it turns out to exist, which also stabilizes the existence check
+  // against a concurrent writer of the same row.
+  PJVM_RETURN_NOT_OK(LockForWrite(txn_id, table, *frag, row));
+  NodeLatchGuard latch(*this);
   // Locating the victim costs a search, charged whether or not it is found.
   tracker_->ChargeSearch(id_);
   // Confirm existence before logging so the WAL only records deletes that
@@ -99,7 +107,6 @@ Status Node::DeleteExact(uint64_t txn_id, const std::string& table,
     return Status::NotFound("no row " + RowToString(row) + " in '" + table +
                             "' at node " + std::to_string(id_));
   }
-  PJVM_RETURN_NOT_OK(LockForWrite(txn_id, table, *frag, row));
   wal_.Append(LogRecord{0, txn_id, LogRecordType::kDelete, table, row});
   if (txn_id != kAutoCommitTxnId) {
     txns_->AddParticipant(txn_id, id_);
@@ -119,15 +126,18 @@ Result<ProbeResult> Node::IndexProbe(const std::string& table, int column,
     return Status::NotFound("node " + std::to_string(id_) +
                             " has no fragment '" + table + "'");
   }
+  // Lock before latch: the S lock may block (wait-die) on a client thread;
+  // under a latch or on a worker the lock manager aborts instead.
+  if (locks_ != nullptr && txn_id != kAutoCommitTxnId) {
+    PJVM_RETURN_NOT_OK(locks_->Acquire(
+        txn_id, LockId::IndexKey(id_, table, column, key), LockMode::kShared));
+  }
+  NodeLatchGuard latch(*this);
   const LocalIndex* index = frag->FindIndex(column);
   if (index == nullptr) {
     return Status::InvalidArgument("no index on column " +
                                    std::to_string(column) + " of '" + table +
                                    "' at node " + std::to_string(id_));
-  }
-  if (locks_ != nullptr && txn_id != kAutoCommitTxnId) {
-    PJVM_RETURN_NOT_OK(locks_->Acquire(
-        txn_id, LockId::IndexKey(id_, table, column, key), LockMode::kShared));
   }
   tracker_->ChargeSearch(id_);
   PJVM_ASSIGN_OR_RETURN(ProbeResult result, frag->Probe(column, key));
@@ -140,6 +150,21 @@ Result<ProbeResult> Node::IndexProbe(const std::string& table, int column,
 Status Node::AcquireTableShared(uint64_t txn_id, const std::string& table) {
   if (locks_ == nullptr || txn_id == kAutoCommitTxnId) return Status::OK();
   return locks_->Acquire(txn_id, LockId::Table(id_, table), LockMode::kShared);
+}
+
+Status Node::ApplyUndo(const UndoOp& op) {
+  TableFragment* frag = fragment(op.table);
+  if (frag == nullptr) {
+    return Status::Internal("abort: missing fragment '" + op.table + "'");
+  }
+  NodeLatchGuard latch(*this);
+  switch (op.kind) {
+    case UndoOp::Kind::kDeleteInserted:
+      return frag->DeleteExact(op.row).status();
+    case UndoOp::Kind::kReinsertDeleted:
+      return frag->Insert(op.row).status();
+  }
+  return Status::Internal("abort: unknown undo kind");
 }
 
 Status Node::ApplyLogRecord(const LogRecord& record) {

@@ -3,11 +3,13 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/metrics.h"
 #include "common/row.h"
 #include "common/status.h"
+#include "common/worker_context.h"
 #include "engine/catalog.h"
 #include "storage/table_fragment.h"
 #include "txn/lock_manager.h"
@@ -23,6 +25,17 @@ namespace pjvm {
 /// transactions, paired with a compensating undo action in the TxnManager.
 /// Every operation charges the paper's primitive costs (SEARCH, FETCH,
 /// INSERT) to this node in the shared CostTracker.
+///
+/// **Physical latch.** The node's worker thread is the common writer of its
+/// fragments, but concurrent client transactions also read and write them
+/// directly (LocateExact, undo application, the maintainers' estimation
+/// scans). All fragment and index access therefore goes through the node's
+/// recursive latch — the Node methods take it themselves; external callers
+/// touching `fragment(...)` directly must hold a NodeLatchGuard. Latches
+/// order *after* transaction locks: a blocking lock acquire must never
+/// happen while a latch is held (the lock manager degrades to non-blocking
+/// in that case, see common/worker_context.h), so latch hold times are
+/// bounded by local work and cannot deadlock.
 class Node {
  public:
   Node(int id, CostTracker* tracker, TxnManager* txns,
@@ -35,6 +48,12 @@ class Node {
   int id() const { return id_; }
   Wal& wal() { return wal_; }
   const Wal& wal() const { return wal_; }
+
+  /// The node's physical latch. Recursive so a latched caller can invoke
+  /// Node methods (which latch again) without self-deadlock. Prefer
+  /// NodeLatchGuard over locking it directly — the guard also maintains the
+  /// thread's latch-depth context for the lock manager.
+  std::recursive_mutex& latch() const { return latch_; }
 
   /// Creates this node's fragment of `def`, including its local indexes.
   /// Row-content lookup is always enabled so content deletes are O(1).
@@ -64,6 +83,11 @@ class Node {
   /// S-locks this node's whole fragment of `table` for a scanning read
   /// (sort-merge joins). No-op without locking or for autocommit.
   Status AcquireTableShared(uint64_t txn_id, const std::string& table);
+
+  /// Applies one compensating action during transaction rollback: mutates
+  /// the fragment under the latch without logging or cost charging (the
+  /// forward operation already paid; recovery replays only committed work).
+  Status ApplyUndo(const UndoOp& op);
 
   /// Applies a WAL record during recovery: no logging, no cost charging.
   Status ApplyLogRecord(const LogRecord& record);
@@ -96,12 +120,29 @@ class Node {
   CostTracker* tracker_;
   TxnManager* txns_;
   LockManager* locks_;
+  mutable std::recursive_mutex latch_;
   Wal wal_;
   std::map<std::string, std::unique_ptr<TableFragment>> fragments_;
   std::map<std::string, TableKind> kinds_;
   // Simulated durable checkpoint: survives Crash() like the WAL does.
   bool has_checkpoint_ = false;
   std::map<std::string, std::vector<Row>> checkpoint_;
+};
+
+/// \brief RAII latch scope over one node: takes the node's recursive latch
+/// and marks the thread as latched (so the lock manager refuses to park it
+/// on a transaction lock). Use for any direct fragment/index access outside
+/// the Node methods.
+class NodeLatchGuard {
+ public:
+  explicit NodeLatchGuard(const Node& node) : guard_(node.latch()) {}
+
+  NodeLatchGuard(const NodeLatchGuard&) = delete;
+  NodeLatchGuard& operator=(const NodeLatchGuard&) = delete;
+
+ private:
+  std::lock_guard<std::recursive_mutex> guard_;
+  LatchDepthScope depth_;
 };
 
 }  // namespace pjvm

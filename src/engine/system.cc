@@ -26,6 +26,8 @@ ParallelSystem::ParallelSystem(SystemConfig config)
     Tracer::Global().SetCurrentThreadName("coordinator");
   }
   cost_.SetIoStallNanos(config_.io_stall_ns);
+  locks_.set_policy(config_.lock_policy);
+  locks_.set_wait_timeout_ms(config_.lock_wait_timeout_ms);
   nodes_.reserve(config_.num_nodes);
   LockManager* locks = config_.enable_locking ? &locks_ : nullptr;
   for (int i = 0; i < config_.num_nodes; ++i) {
@@ -62,7 +64,10 @@ Status ParallelSystem::DropTable(const std::string& name) {
   for (auto& node : nodes_) {
     PJVM_RETURN_NOT_OK(node->DropFragment(name));
   }
-  round_robin_.erase(name);
+  {
+    std::lock_guard<std::mutex> lock(round_robin_mu_);
+    round_robin_.erase(name);
+  }
   return Status::OK();
 }
 
@@ -71,6 +76,7 @@ int ParallelSystem::HomeNodeForRow(const TableDef& def, const Row& row) {
     int col = def.PartitionColumn();
     return HomeNodeForKey(row[col]);
   }
+  std::lock_guard<std::mutex> lock(round_robin_mu_);
   uint64_t& counter = round_robin_[def.name];
   return static_cast<int>(counter++ % config_.num_nodes);
 }
@@ -95,6 +101,7 @@ Result<GlobalRowId> ParallelSystem::LocateExact(const std::string& table,
                                                 const Row& row) {
   PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
   auto try_node = [&](int i) -> Result<GlobalRowId> {
+    NodeLatchGuard latch(*nodes_[i]);
     const TableFragment* frag = nodes_[i]->fragment(table);
     cost_.ChargeSearch(i);
     PJVM_ASSIGN_OR_RETURN(LocalRowId lrid, frag->FindExact(row));
@@ -185,6 +192,7 @@ Status ParallelSystem::DeleteExact(const std::string& table, const Row& row,
 std::vector<Row> ParallelSystem::ScanAll(const std::string& table) const {
   std::vector<std::vector<Row>> per_node(config_.num_nodes);
   executor_->RunOnAllNodes([&](int i) -> Status {
+    NodeLatchGuard latch(*nodes_[i]);
     const TableFragment* frag = nodes_[i]->fragment(table);
     if (frag != nullptr) per_node[i] = frag->AllRows();
     return Status::OK();
@@ -200,6 +208,7 @@ std::vector<Row> ParallelSystem::ScanAll(const std::string& table) const {
 size_t ParallelSystem::RowCount(const std::string& table) const {
   size_t count = 0;
   for (const auto& node : nodes_) {
+    NodeLatchGuard latch(*node);
     const TableFragment* frag = node->fragment(table);
     if (frag != nullptr) count += frag->num_rows();
   }
@@ -209,6 +218,7 @@ size_t ParallelSystem::RowCount(const std::string& table) const {
 size_t ParallelSystem::TableBytes(const std::string& table) const {
   size_t bytes = 0;
   for (const auto& node : nodes_) {
+    NodeLatchGuard latch(*node);
     const TableFragment* frag = node->fragment(table);
     if (frag != nullptr) bytes += frag->byte_size();
   }
@@ -218,6 +228,7 @@ size_t ParallelSystem::TableBytes(const std::string& table) const {
 size_t ParallelSystem::TablePages(const std::string& table) const {
   size_t pages = 0;
   for (const auto& node : nodes_) {
+    NodeLatchGuard latch(*node);
     const TableFragment* frag = node->fragment(table);
     if (frag != nullptr) pages += frag->num_pages();
   }
@@ -230,6 +241,7 @@ Result<std::vector<Row>> ParallelSystem::SelectEq(const std::string& table,
   PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
   PJVM_ASSIGN_OR_RETURN(int col, def->schema.ColumnIndex(column));
   auto probe_node = [&](int i, std::vector<Row>* out) -> Status {
+    NodeLatchGuard latch(*nodes_[i]);
     TableFragment* frag = nodes_[i]->fragment(table);
     if (frag->HasIndexOn(col)) {
       PJVM_ASSIGN_OR_RETURN(ProbeResult r, nodes_[i]->IndexProbe(table, col, key));
@@ -277,6 +289,7 @@ Result<std::vector<Row>> ParallelSystem::SelectRange(const std::string& table,
   std::vector<std::vector<Row>> per_node(config_.num_nodes);
   PJVM_RETURN_NOT_OK(executor_->RunOnAllNodes([&](int i) -> Status {
     SpanGuard span("select_range", "task", i, &cost_);
+    NodeLatchGuard latch(*nodes_[i]);
     std::vector<Row>& local = per_node[i];
     TableFragment* frag = nodes_[i]->fragment(table);
     const LocalIndex* index = frag->FindIndex(col);
@@ -336,6 +349,9 @@ Status ParallelSystem::Commit(uint64_t txn_id) {
   }
   txns_.DiscardUndo(txn_id);
   locks_.ReleaseAll(txn_id);  // Strict 2PL: everything released at commit.
+  // Working state is done; the durable commit decision survives in the
+  // TxnManager's decision set until a checkpoint prunes it.
+  txns_.Forget(txn_id);
   return Status::OK();
 }
 
@@ -345,24 +361,14 @@ Status ParallelSystem::Abort(uint64_t txn_id) {
   }
   PJVM_RETURN_NOT_OK(txns_.MarkAborted(txn_id));
   for (const UndoOp& op : txns_.TakeUndoReversed(txn_id)) {
-    TableFragment* frag = nodes_[op.node]->fragment(op.table);
-    if (frag == nullptr) {
-      return Status::Internal("abort: missing fragment '" + op.table + "'");
-    }
-    switch (op.kind) {
-      case UndoOp::Kind::kDeleteInserted:
-        PJVM_RETURN_NOT_OK(frag->DeleteExact(op.row).status());
-        break;
-      case UndoOp::Kind::kReinsertDeleted:
-        PJVM_RETURN_NOT_OK(frag->Insert(op.row).status());
-        break;
-    }
+    PJVM_RETURN_NOT_OK(nodes_[op.node]->ApplyUndo(op));
   }
   for (int node_id : txns_.participants(txn_id)) {
     nodes_[node_id]->wal().Append(
         LogRecord{0, txn_id, LogRecordType::kAbort, "", {}});
   }
   locks_.ReleaseAll(txn_id);
+  txns_.Forget(txn_id);
   return Status::OK();
 }
 
@@ -372,6 +378,10 @@ Status ParallelSystem::Checkpoint() {
         "checkpoint refused: transactions are in flight (quiesce first)");
   }
   for (auto& node : nodes_) node->Checkpoint();
+  // Every WAL is truncated: no surviving record can mention a pre-checkpoint
+  // txn id, so the commit-decision set is prunable up to the id low-water
+  // mark — the durable-state analogue of TxnManager::Forget.
+  txns_.PruneCommittedBelow(txns_.next_txn_id());
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,11 +39,28 @@ struct SystemConfig {
   /// Simulated device latency in nanoseconds per weighted I/O unit charged
   /// (0 = off). See CostTracker::SetIoStallNanos.
   uint64_t io_stall_ns = 0;
-  /// Strict two-phase locking with no-wait conflict handling. Explicit
-  /// transactions then take X locks on the index keys and rows they write
-  /// and S locks on the keys they probe, released at commit/abort.
-  /// Autocommit operations are not locked (they are atomic by themselves).
+  /// Strict two-phase locking. Explicit transactions then take X locks on
+  /// the index keys and rows they write and S locks on the keys they probe,
+  /// released at commit/abort. Autocommit operations are not locked (they
+  /// are atomic by themselves).
   bool enable_locking = false;
+  /// Conflict handling when locking is enabled. kWaitDie (default) parks an
+  /// older requester until the conflict clears and kills a younger one;
+  /// kNoWait is the legacy abort-on-conflict policy (kept for comparison —
+  /// see bench_contention).
+  LockPolicy lock_policy = LockPolicy::kWaitDie;
+  /// Upper bound on one blocking lock wait under kWaitDie; expiry aborts
+  /// the requester. Values <= 0 disable waiting (wait-die degenerates to
+  /// no-wait with ordered kills).
+  int lock_wait_timeout_ms = 500;
+  /// Maximum attempts for one maintenance transaction in
+  /// ViewManager::ApplyDelta (>= 1): aborted attempts (wait-die kills,
+  /// timeouts, no-wait conflicts) are retried with exponential backoff
+  /// until this budget is exhausted.
+  int maintain_max_attempts = 8;
+  /// Base backoff before attempt k+1: base * 2^(k-1) microseconds, with
+  /// uniform jitter in [0, base) to break retry convoys.
+  int maintain_retry_base_us = 100;
   /// Turns on the global Tracer for this system's lifetime. Also switched on
   /// by the PJVM_TRACE environment variable ("1", or an output path).
   bool trace_enabled = false;
@@ -188,6 +206,10 @@ class ParallelSystem {
   LockManager locks_;
   Network network_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Round-robin placement counters, bumped by every client thread routing a
+  // row — guarded, unlike the rest of the catalog, because placement happens
+  // on the hot write path.
+  std::mutex round_robin_mu_;
   std::map<std::string, uint64_t> round_robin_;
   // Declared last: destroyed (joined) first, while nodes are still alive.
   std::unique_ptr<NodeExecutor> executor_;

@@ -31,8 +31,10 @@ Result<std::vector<JoinedPair>> SortMergeJoinFragment(
     return Status::NotFound("sort-merge: node " + std::to_string(node->id()) +
                             " has no fragment '" + table + "'");
   }
-  // A scan reads the whole fragment: one shared fragment lock.
+  // A scan reads the whole fragment: one shared fragment lock. The lock (which
+  // may block) comes before the physical latch that covers the reads below.
   PJVM_RETURN_NOT_OK(node->AcquireTableShared(txn_id, table));
+  NodeLatchGuard latch(*node);
   const LocalIndex* index = frag->FindIndex(inner_col);
   bool inner_sorted = index != nullptr && index->clustered;
 

@@ -70,6 +70,25 @@ Status Network::Broadcast(int from, Message msg) {
   return Status::OK();
 }
 
+Result<Message> Network::SendAndDeliver(Message msg) {
+  PJVM_RETURN_NOT_OK(Validate(msg));
+  std::lock_guard<std::mutex> lock(mu_);
+  // Same accounting as EnqueueLocked, minus the queue: the hop is consumed
+  // by the calling thread at the destination.
+  size_t bytes = msg.ByteSize();
+  pair_counts_[msg.from * num_nodes_ + msg.to] += 1;
+  total_messages_ += 1;
+  total_bytes_ += bytes;
+  if (msg.from != msg.to && tracker_ != nullptr) {
+    tracker_->ChargeSend(msg.from, bytes);
+  }
+  if (Tracer::Global().enabled()) {
+    TraceInstant("send", "net", msg.from, bytes,
+                 std::to_string(msg.from) + "->" + std::to_string(msg.to));
+  }
+  return msg;
+}
+
 std::optional<Message> Network::Poll(int node) {
   std::lock_guard<std::mutex> lock(mu_);
   if (queues_[node].empty()) return std::nullopt;

@@ -51,6 +51,14 @@ class Network {
   /// Dequeues the next pending message for `node`, if any.
   std::optional<Message> Poll(int node);
 
+  /// A synchronous hop: charges and counts the message exactly like
+  /// Send()+Poll(msg.to) but hands the payload straight back to the caller
+  /// instead of routing it through the destination queue. Use when the
+  /// sending thread itself consumes the message at the destination — under
+  /// concurrent transactions a Send/Poll pair can dequeue *another*
+  /// transaction's message from the shared queue.
+  Result<Message> SendAndDeliver(Message msg);
+
   /// Blocking Poll: waits until a message for `node` is available. The
   /// deadline guards against a peer that never sends (returns nullopt).
   std::optional<Message> PollWait(int node, uint64_t timeout_ms = 1000);

@@ -1,5 +1,12 @@
 #include "txn/lock_manager.h"
 
+#include <chrono>
+#include <optional>
+
+#include "common/worker_context.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
 namespace pjvm {
 
 const char* LockModeToString(LockMode mode) {
@@ -22,26 +29,20 @@ std::string LockId::ToString() const {
   return out;
 }
 
-Status LockManager::CheckConflicts(uint64_t txn_id, const LockId& id,
-                                   LockMode mode) const {
-  auto conflicts_with = [&](const LockId& other_id) -> Status {
+void LockManager::CollectConflicts(uint64_t txn_id, const LockId& id,
+                                   LockMode mode,
+                                   std::set<uint64_t>* out) const {
+  auto collect_from = [&](const LockId& other_id) {
     auto it = locks_.find(other_id);
-    if (it == locks_.end()) return Status::OK();
+    if (it == locks_.end()) return;
     for (const auto& [holder, held_mode] : it->second.holders) {
       if (holder == txn_id) continue;
-      if (!Compatible(held_mode, mode)) {
-        return Status::Aborted("lock conflict on " + other_id.ToString() +
-                               ": txn " + std::to_string(txn_id) + " wants " +
-                               LockModeToString(mode) + ", txn " +
-                               std::to_string(holder) + " holds " +
-                               LockModeToString(held_mode));
-      }
+      if (!Compatible(held_mode, mode)) out->insert(holder);
     }
-    return Status::OK();
   };
 
   // Direct conflicts on the same resource.
-  PJVM_RETURN_NOT_OK(conflicts_with(id));
+  collect_from(id);
   if (id.whole_table) {
     // A table lock conflicts with any key lock of the fragment held by
     // someone else (scan the fragment's key entries).
@@ -49,17 +50,44 @@ Status LockManager::CheckConflicts(uint64_t txn_id, const LockId& id,
     for (auto it = locks_.lower_bound(lo); it != locks_.end(); ++it) {
       if (it->first.node != id.node || it->first.table != id.table) break;
       if (it->first.whole_table) continue;
-      PJVM_RETURN_NOT_OK(conflicts_with(it->first));
+      collect_from(it->first);
     }
   } else {
     // A key lock conflicts with a fragment-level lock.
-    PJVM_RETURN_NOT_OK(conflicts_with(LockId::Table(id.node, id.table)));
+    collect_from(LockId::Table(id.node, id.table));
   }
-  return Status::OK();
+}
+
+Status LockManager::ConflictAborted(uint64_t txn_id, const LockId& id,
+                                    LockMode mode,
+                                    const std::set<uint64_t>& holders,
+                                    const char* why) const {
+  std::string msg = std::string("lock conflict on ") + id.ToString() +
+                    ": txn " + std::to_string(txn_id) + " wants " +
+                    LockModeToString(mode) + ", held by txn " +
+                    std::to_string(*holders.begin()) + " (" + why + ")";
+  return Status::Aborted(std::move(msg));
+}
+
+void LockManager::Grant(uint64_t txn_id, const LockId& id, LockMode mode) {
+  Entry& entry = locks_[id];
+  LockMode& held = entry.holders[txn_id];
+  held = (held == LockMode::kExclusive) ? LockMode::kExclusive : mode;
+  if (mode == LockMode::kExclusive) held = LockMode::kExclusive;
+  by_txn_[txn_id].insert(id);
 }
 
 Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  static Counter* waits =
+      MetricsRegistry::Global().counter("pjvm_lock_waits");
+  static Counter* kills =
+      MetricsRegistry::Global().counter("pjvm_lock_deadlock_kills");
+  static Counter* timeouts =
+      MetricsRegistry::Global().counter("pjvm_lock_wait_timeouts");
+  static LatencyHistogram* wait_ns =
+      MetricsRegistry::Global().histogram("pjvm_lock_wait_ns");
+
+  std::unique_lock<std::mutex> lock(mu_);
   // Already held at sufficient strength?
   auto it = locks_.find(id);
   if (it != locks_.end()) {
@@ -68,17 +96,90 @@ Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
       if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
         return Status::OK();
       }
-      // Upgrade request: allowed only if sole holder of anything
-      // conflicting.
+      // Upgrade request: proceeds through the same conflict loop; grantable
+      // once no *other* transaction holds a conflicting mode.
     }
   }
-  PJVM_RETURN_NOT_OK(CheckConflicts(txn_id, id, mode));
-  Entry& entry = locks_[id];
-  LockMode& held = entry.holders[txn_id];
-  held = (held == LockMode::kExclusive) ? LockMode::kExclusive : mode;
-  if (mode == LockMode::kExclusive) held = LockMode::kExclusive;
-  by_txn_[txn_id].insert(id);
-  return Status::OK();
+
+  const bool may_block = policy_ == LockPolicy::kWaitDie &&
+                         wait_timeout_ms_ > 0 && !WorkerContext::MustNotBlock();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(wait_timeout_ms_);
+  std::optional<SpanGuard> wait_span;
+  uint64_t wait_start_ns = 0;
+  bool waited = false;
+
+  auto finish_wait = [&](bool /*granted*/) {
+    if (!waited) return;
+    wait_ns->Record(Tracer::NowNs() - wait_start_ns);
+    wait_span.reset();
+  };
+
+  std::set<uint64_t> conflicts;
+  for (;;) {
+    conflicts.clear();
+    CollectConflicts(txn_id, id, mode, &conflicts);
+    if (conflicts.empty()) {
+      Grant(txn_id, id, mode);
+      finish_wait(true);
+      return Status::OK();
+    }
+    if (policy_ == LockPolicy::kNoWait) {
+      return ConflictAborted(txn_id, id, mode, conflicts, "no-wait");
+    }
+    // Wait-die: die if ANY conflicting holder is older (smaller id) — the
+    // re-check after each wakeup means a newly arrived older holder kills a
+    // sleeping waiter too.
+    if (*conflicts.begin() < txn_id) {
+      kills->Increment();
+      finish_wait(false);
+      return ConflictAborted(txn_id, id, mode, conflicts, "wait-die kill");
+    }
+    if (!may_block) {
+      finish_wait(false);
+      return ConflictAborted(txn_id, id, mode, conflicts,
+                             "would-wait in non-blocking context");
+    }
+    if (!waited) {
+      waited = true;
+      waits->Increment();
+      wait_start_ns = Tracer::NowNs();
+      if (Tracer::Global().enabled()) {
+        wait_span.emplace("lock_wait", "txn", id.node);
+        wait_span->set_detail(id.ToString());
+      }
+    }
+    // Park on the entry's condition variable. The shared_ptr keeps the cv
+    // alive even if the entry is erased while we sleep (Clear, or the last
+    // holder of a covering entry releasing).
+    Entry& entry = locks_[id];
+    if (!entry.waiters) {
+      entry.waiters = std::make_shared<std::condition_variable>();
+    }
+    std::shared_ptr<std::condition_variable> cv = entry.waiters;
+    ++entry.waiter_count;
+    std::cv_status wake = cv->wait_until(lock, deadline);
+    // The map may have changed while parked; re-find before bookkeeping.
+    auto it2 = locks_.find(id);
+    if (it2 != locks_.end() && it2->second.waiters == cv) {
+      --it2->second.waiter_count;
+      if (it2->second.holders.empty() && it2->second.waiter_count == 0) {
+        locks_.erase(it2);
+      }
+    }
+    if (wake == std::cv_status::timeout) {
+      conflicts.clear();
+      CollectConflicts(txn_id, id, mode, &conflicts);
+      if (conflicts.empty()) {
+        Grant(txn_id, id, mode);
+        finish_wait(true);
+        return Status::OK();
+      }
+      timeouts->Increment();
+      finish_wait(false);
+      return ConflictAborted(txn_id, id, mode, conflicts, "wait timeout");
+    }
+  }
 }
 
 void LockManager::ReleaseAll(uint64_t txn_id) {
@@ -87,11 +188,35 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
   if (it == by_txn_.end()) return;
   for (const LockId& id : it->second) {
     auto entry = locks_.find(id);
-    if (entry == locks_.end()) continue;
-    entry->second.holders.erase(txn_id);
-    if (entry->second.holders.empty()) locks_.erase(entry);
+    if (entry != locks_.end()) {
+      entry->second.holders.erase(txn_id);
+      if (entry->second.holders.empty() && entry->second.waiter_count == 0) {
+        locks_.erase(entry);
+      }
+    }
+    // Wake waiters of every entry on this (node, table): releasing a key
+    // lock can unblock a fragment-lock waiter and vice versa, and waiters
+    // park on the entry they requested, not the one they conflicted with.
+    LockId lo{id.node, id.table, 0, false};
+    for (auto w = locks_.lower_bound(lo); w != locks_.end(); ++w) {
+      if (w->first.node != id.node || w->first.table != id.table) break;
+      if (w->second.waiter_count > 0 && w->second.waiters) {
+        w->second.waiters->notify_all();
+      }
+    }
   }
   by_txn_.erase(it);
+}
+
+void LockManager::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, entry] : locks_) {
+    if (entry.waiter_count > 0 && entry.waiters) {
+      entry.waiters->notify_all();
+    }
+  }
+  locks_.clear();
+  by_txn_.clear();
 }
 
 size_t LockManager::HeldCount(uint64_t txn_id) const {

@@ -1,8 +1,10 @@
 #ifndef PJVM_TXN_LOCK_MANAGER_H_
 #define PJVM_TXN_LOCK_MANAGER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -18,6 +20,18 @@ namespace pjvm {
 enum class LockMode { kShared = 0, kExclusive };
 
 const char* LockModeToString(LockMode mode);
+
+/// \brief How a conflicting Acquire is resolved.
+enum class LockPolicy {
+  /// Conflicts fail immediately with Aborted; the caller rolls back and
+  /// retries. Deadlock-free by construction, but every conflict is a
+  /// client-visible abort.
+  kNoWait = 0,
+  /// Wait-die deadlock avoidance: an *older* requester (smaller txn id)
+  /// parks on the entry's condition variable until the conflict clears or
+  /// a timeout fires; a *younger* requester dies (Aborted) immediately.
+  kWaitDie,
+};
 
 /// \brief Identity of a lockable resource: a key of a table's fragment at
 /// one node, or the whole fragment (key_hash absent).
@@ -49,15 +63,30 @@ struct LockId {
   std::string ToString() const;
 };
 
-/// \brief Strict two-phase locking with a *no-wait* policy.
+/// \brief Strict two-phase locking with a configurable conflict policy.
 ///
-/// A request that conflicts with a lock held by another transaction fails
-/// immediately with Aborted (the caller rolls back and may retry), which
-/// makes deadlock impossible without a waits-for graph — the right trade
-/// for the paper's short maintenance transactions, whose lock footprints
-/// are a handful of keys. Locks are held until ReleaseAll at commit/abort
-/// (strictness). A transaction's own locks never conflict with it, and a
-/// shared lock it holds upgrades to exclusive when it is the only holder.
+/// Under the default **wait-die** policy a conflicting Acquire blocks when
+/// the requester is older (smaller txn id) than every conflicting holder —
+/// it parks on the contended entry's condition variable until ReleaseAll
+/// wakes it or `wait_timeout_ms` fires — and dies with Aborted when any
+/// conflicting holder is older. Because a transaction only ever waits for
+/// younger transactions, every waits-for edge points old → young and cycles
+/// are impossible; no waits-for graph is needed. Timeouts also return
+/// Aborted, so the caller's abort-and-retry path handles both uniformly.
+/// The legacy **no-wait** policy (every conflict aborts instantly) remains
+/// available for comparison runs — bench_contention measures both.
+///
+/// Two execution contexts must never block regardless of policy (see
+/// common/worker_context.h): node-executor workers, whose FIFO queues would
+/// suffer head-of-line scheduling deadlocks, and threads holding a node
+/// latch, which the lock holder may need to make progress. For them a
+/// would-wait decision degrades to an immediate Aborted.
+///
+/// Locks are held until ReleaseAll at commit/abort (strictness). A
+/// transaction's own locks never conflict with it, and a shared lock it
+/// holds upgrades to exclusive when it is the only conflicting holder.
+/// The wait-die test is re-evaluated on every wakeup: a new older holder
+/// arriving while we slept kills the waiter.
 ///
 /// Table-granularity locks conflict with every key of that fragment, so a
 /// sort-merge scan can take one fragment lock instead of thousands of key
@@ -65,13 +94,18 @@ struct LockId {
 ///
 /// The lock table is shared by all nodes, so every public method takes one
 /// internal mutex — required now that the thread-per-node executor acquires
-/// locks from per-node workers during parallel probe phases.
+/// locks from per-node workers during parallel probe phases. Waiters park
+/// on per-entry condition variables so a release only wakes the relevant
+/// queue.
 class LockManager {
  public:
-  /// Acquires (or upgrades) a lock; Aborted on conflict with another txn.
+  /// Acquires (or upgrades) a lock. Aborted when the conflict policy kills
+  /// the request (no-wait conflict, wait-die death, wait timeout, or a
+  /// would-wait in a context that must not block).
   Status Acquire(uint64_t txn_id, const LockId& id, LockMode mode);
 
-  /// Releases everything the transaction holds (commit or abort).
+  /// Releases everything the transaction holds (commit or abort) and wakes
+  /// waiters parked on the released entries.
   void ReleaseAll(uint64_t txn_id);
 
   /// Number of distinct resources the transaction holds locks on.
@@ -82,22 +116,36 @@ class LockManager {
   /// Total live lock entries (tests / introspection).
   size_t TotalLocks() const;
 
-  /// Drops every lock (crash recovery: all in-flight txns are aborted).
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
-    locks_.clear();
-    by_txn_.clear();
-  }
+  /// Drops every lock (crash recovery: all in-flight txns are aborted) and
+  /// wakes all waiters; their conflicts are gone, so they acquire.
+  void Clear();
+
+  LockPolicy policy() const { return policy_; }
+  void set_policy(LockPolicy policy) { policy_ = policy; }
+  /// Upper bound on one blocking wait; expiry returns Aborted.
+  void set_wait_timeout_ms(int ms) { wait_timeout_ms_ = ms; }
+  int wait_timeout_ms() const { return wait_timeout_ms_; }
 
  private:
   struct Entry {
     // Holders by txn with their strongest mode.
     std::map<uint64_t, LockMode> holders;
+    // Present while any txn is parked on this entry. Owned by shared_ptr so
+    // a waiter can keep it alive across entry erasure (last holder released
+    // while others still wait).
+    std::shared_ptr<std::condition_variable> waiters;
+    int waiter_count = 0;
   };
 
-  /// Conflict against holders other than `txn_id`, considering table-vs-key
-  /// coverage (a table lock covers all keys and vice versa).
-  Status CheckConflicts(uint64_t txn_id, const LockId& id, LockMode mode) const;
+  /// Collects holders (other than `txn_id`) conflicting with the request,
+  /// considering table-vs-key coverage (a table lock covers all keys and
+  /// vice versa). Empty means the lock is grantable.
+  void CollectConflicts(uint64_t txn_id, const LockId& id, LockMode mode,
+                        std::set<uint64_t>* out) const;
+  Status ConflictAborted(uint64_t txn_id, const LockId& id, LockMode mode,
+                         const std::set<uint64_t>& holders,
+                         const char* why) const;
+  void Grant(uint64_t txn_id, const LockId& id, LockMode mode);
   static bool Compatible(LockMode held, LockMode wanted) {
     return held == LockMode::kShared && wanted == LockMode::kShared;
   }
@@ -105,6 +153,8 @@ class LockManager {
   mutable std::mutex mu_;
   std::map<LockId, Entry> locks_;
   std::map<uint64_t, std::set<LockId>> by_txn_;
+  LockPolicy policy_ = LockPolicy::kNoWait;
+  int wait_timeout_ms_ = 500;
 };
 
 }  // namespace pjvm

@@ -11,6 +11,9 @@ uint64_t TxnManager::Begin() {
 
 TxnState TxnManager::state(uint64_t txn_id) const {
   std::lock_guard<std::mutex> lock(mu_);
+  // The durable decision outlives the working state: a forgotten committed
+  // transaction still reads as committed.
+  if (committed_ids_.count(txn_id) > 0) return TxnState::kCommitted;
   auto it = states_.find(txn_id);
   if (it == states_.end()) return TxnState::kAborted;
   return it->second;
@@ -57,8 +60,9 @@ Status TxnManager::LogCommitDecision(uint64_t txn_id) {
 
 Status TxnManager::MarkAborted(uint64_t txn_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = states_.find(txn_id);
-  if (it != states_.end() && it->second == TxnState::kCommitted) {
+  // Check the durable decision set, not states_: the working state of a
+  // committed transaction may already have been forgotten.
+  if (committed_ids_.count(txn_id) > 0) {
     return Status::Internal("txn " + std::to_string(txn_id) +
                             " already committed; cannot abort");
   }
@@ -91,9 +95,36 @@ void TxnManager::AddParticipant(uint64_t txn_id, int node) {
   participants_[txn_id].insert(node);
 }
 
-const std::set<int>& TxnManager::participants(uint64_t txn_id) {
+std::set<int> TxnManager::participants(uint64_t txn_id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return participants_[txn_id];
+  auto it = participants_.find(txn_id);
+  if (it == participants_.end()) return {};
+  return it->second;
+}
+
+void TxnManager::Forget(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  states_.erase(txn_id);
+  undo_.erase(txn_id);
+  participants_.erase(txn_id);
+}
+
+size_t TxnManager::PruneCommittedBelow(uint64_t low_water) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t before = committed_ids_.size();
+  committed_ids_.erase(committed_ids_.begin(),
+                       committed_ids_.lower_bound(low_water));
+  return before - committed_ids_.size();
+}
+
+uint64_t TxnManager::next_txn_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_txn_id_;
+}
+
+size_t TxnManager::TrackedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_.size();
 }
 
 bool TxnManager::ShouldFailAt(FailurePoint point) {
@@ -107,10 +138,11 @@ bool TxnManager::ShouldFailAt(FailurePoint point) {
 
 void TxnManager::CrashAndRecover() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [id, state] : states_) {
-    if (state != TxnState::kCommitted) state = TxnState::kAborted;
-  }
+  // Presumed abort: in-flight transactions simply vanish (state() reports
+  // kAborted for untracked ids); participants and undo lists die with them.
+  states_.clear();
   undo_.clear();
+  participants_.clear();
   failure_ = FailurePoint::kNone;
 }
 

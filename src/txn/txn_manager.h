@@ -57,16 +57,28 @@ struct UndoOp {
 /// The execution engine (ParallelSystem) drives the 2PC protocol; this class
 /// holds the authoritative state it reads during recovery.
 ///
-/// All methods are guarded by one internal mutex: per-node executor workers
-/// record participants and undo actions concurrently during parallel write
-/// fan-outs. The 2PC driver itself stays single-threaded; `participants()`
-/// and `committed_ids()` return references that are only stable while no
-/// transaction is being started or written to from another thread.
+/// All methods are guarded by one internal mutex: multiple client threads
+/// begin/commit transactions concurrently while per-node executor workers
+/// record participants and undo actions during parallel write fan-outs.
+/// Accessors return copies, never references into the guarded maps.
+///
+/// **Lifetime of per-transaction state.** Working state (`states_`, undo
+/// lists, participant sets) is dropped by `Forget()` once the engine
+/// finishes commit or abort processing — memory stays bounded under a
+/// sustained workload. The durable commit-decision set (`committed_ids_`)
+/// must outlive that: WAL replay after a crash asks `IsCommitted()` about
+/// any txn id appearing in a surviving log record. It is pruned only behind
+/// the durable low-water mark — `PruneCommittedBelow()` at checkpoint, when
+/// every node's WAL has been truncated and no id below the mark can appear
+/// in a future replay. `state()` reports `kCommitted` for any id in the
+/// decision set and `kAborted` for ids it no longer tracks, so forgetting a
+/// finished transaction never changes the answer an observer sees.
 class TxnManager {
  public:
   TxnManager() = default;
 
-  /// Starts a transaction and returns its id (> 0).
+  /// Starts a transaction and returns its id (> 0). Ids increase
+  /// monotonically; wait-die uses them as transaction age (smaller = older).
   uint64_t Begin();
 
   TxnState state(uint64_t txn_id) const;
@@ -93,9 +105,31 @@ class TxnManager {
   /// Drops the undo list (on commit).
   void DiscardUndo(uint64_t txn_id);
 
-  /// Participants that executed writes for this transaction.
+  /// Records that `node` executed a write for this transaction (it must be
+  /// included in the 2PC vote round). Safe from concurrent node workers.
   void AddParticipant(uint64_t txn_id, int node);
-  const std::set<int>& participants(uint64_t txn_id);
+
+  /// Participants that executed writes for this transaction. Returns a
+  /// copy: the set mutates concurrently during parallel write fan-outs, and
+  /// a reference into the map would dangle once the transaction is
+  /// forgotten.
+  std::set<int> participants(uint64_t txn_id) const;
+
+  /// Drops the working state (lifecycle entry, undo list, participant set)
+  /// of a finished transaction. Call after commit/abort processing is
+  /// complete. The durable commit decision survives, so `state()` /
+  /// `IsCommitted()` keep answering correctly.
+  void Forget(uint64_t txn_id);
+
+  /// Erases commit decisions for txn ids `< low_water`. Only call when no
+  /// WAL can still hold records of those transactions (i.e., right after a
+  /// checkpoint truncated every node's log). Returns how many were pruned.
+  size_t PruneCommittedBelow(uint64_t low_water);
+
+  /// The id the next Begin() will assign — the exclusive upper bound on all
+  /// ids handed out so far (a valid `PruneCommittedBelow` low-water mark at
+  /// a quiescent checkpoint).
+  uint64_t next_txn_id() const;
 
   /// Failure injection for tests; consumed on first trigger.
   void InjectFailure(FailurePoint point) { failure_ = point; }
@@ -103,11 +137,18 @@ class TxnManager {
   bool ShouldFailAt(FailurePoint point);
 
   /// Ids of all transactions whose decision log says commit.
-  const std::set<uint64_t>& committed_ids() const { return committed_ids_; }
+  std::set<uint64_t> committed_ids() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return committed_ids_;
+  }
 
-  /// Simulated coordinator crash: every non-decided transaction becomes
-  /// aborted (presumed abort); undo lists are dropped (state is rebuilt from
-  /// logs, not undone live).
+  /// Number of transactions with live working state (tests / introspection:
+  /// verifies Forget() keeps memory bounded).
+  size_t TrackedCount() const;
+
+  /// Simulated coordinator crash: all working state of in-flight
+  /// transactions is dropped (presumed abort — state is rebuilt from logs,
+  /// not undone live). Only the durable decision set survives.
   void CrashAndRecover();
 
  private:

@@ -28,6 +28,7 @@ std::string LogRecord::ToString() const {
 }
 
 uint64_t Wal::Append(LogRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
   record.lsn = next_lsn_++;
   uint64_t lsn = record.lsn;
   records_.push_back(std::move(record));

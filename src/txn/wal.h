@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,22 +42,48 @@ struct LogRecord {
 /// Appends are durable immediately (the simulated failure model loses all
 /// in-memory table state but never the log). Recovery replays, in order, the
 /// data records of transactions the coordinator decided to commit.
+///
+/// **LSN semantics: monotonic across the log's whole lifetime.** `Clear()`
+/// (checkpoint truncation) drops the records but never resets `next_lsn_`,
+/// so an LSN uniquely identifies one append forever — records written after
+/// a checkpoint can never alias pre-checkpoint LSNs that might still be
+/// referenced by diagnostics or recovery bookkeeping.
+///
+/// Append/size/Clear are internally synchronized: parallel write fan-outs
+/// append from node-executor workers while client threads run autocommit
+/// operations. `records()`/`ReplayCommitted` return/iterate the underlying
+/// vector without copying and are for quiescent callers only (recovery,
+/// checkpoint, tests) — no appends may be in flight.
 class Wal {
  public:
   /// Appends a record, assigning its LSN. Returns the LSN.
   uint64_t Append(LogRecord record);
 
   const std::vector<LogRecord>& records() const { return records_; }
-  size_t size() const { return records_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+  /// The LSN the next append will receive; never decreases (see above).
+  uint64_t next_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_lsn_;
+  }
 
   /// Visits data records (insert/delete) of transactions for which
   /// `is_committed(txn_id)` is true, in log order.
   void ReplayCommitted(const std::function<bool(uint64_t)>& is_committed,
                        const std::function<void(const LogRecord&)>& apply) const;
 
-  void Clear() { records_.clear(); }
+  /// Truncates the record list (checkpoint). LSNs stay monotonic: the next
+  /// append continues from where the pre-truncation log left off.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::vector<LogRecord> records_;
   uint64_t next_lsn_ = 1;
 };

@@ -91,14 +91,22 @@ Status ArRegistry::Build(Entry& entry) {
   // Backfill from the base table (bulk load; routed by hash, no maintenance
   // metering intended — callers reset the cost tracker after setup).
   for (int i = 0; i < sys_->num_nodes(); ++i) {
-    const TableFragment* frag = sys_->node(i)->fragment(entry.base_table);
-    Status st = Status::OK();
-    frag->ForEach([&](LocalRowId, const Row& row) {
-      if (entry.filtered && !PassesPreds(row, entry.preds)) return true;
-      st = sys_->Insert(entry.ar_table, ProjectRow(row, entry.cols));
-      return st.ok();
-    });
-    PJVM_RETURN_NOT_OK(st);
+    // Copy the qualifying rows out under node i's latch, then insert with the
+    // latch released: Insert latches the AR row's *home* node, and holding one
+    // node's latch while taking another's would invert latch order.
+    std::vector<Row> rows;
+    {
+      NodeLatchGuard latch(*sys_->node(i));
+      const TableFragment* frag = sys_->node(i)->fragment(entry.base_table);
+      frag->ForEach([&](LocalRowId, const Row& row) {
+        if (entry.filtered && !PassesPreds(row, entry.preds)) return true;
+        rows.push_back(ProjectRow(row, entry.cols));
+        return true;
+      });
+    }
+    for (Row& row : rows) {
+      PJVM_RETURN_NOT_OK(sys_->Insert(entry.ar_table, std::move(row)));
+    }
   }
   return Status::OK();
 }
@@ -193,8 +201,10 @@ Result<size_t> ArRegistry::ApplyDelta(uint64_t txn, const DeltaBatch& delta) {
           msg.table = entry.ar_table;
           msg.rows.push_back(ar_row);
           msg.txn_id = txn;
-          PJVM_RETURN_NOT_OK(sys_->network().Send(std::move(msg)));
-          sys_->network().Poll(dest);
+          // Synchronous hop (see Network::SendAndDeliver): a Send/Poll pair
+          // would race with concurrent maintenance transactions.
+          PJVM_RETURN_NOT_OK(
+              sys_->network().SendAndDeliver(std::move(msg)).status());
         }
         if (is_delete) {
           PJVM_RETURN_NOT_OK(
@@ -247,6 +257,7 @@ Status ArRegistry::CheckConsistent() const {
     std::map<std::string, int> actual;
     size_t misplaced = 0;
     for (int i = 0; i < sys_->num_nodes(); ++i) {
+      NodeLatchGuard latch(*sys_->node(i));
       const TableFragment* frag = sys_->node(i)->fragment(entry.ar_table);
       int probe_pos = -1;
       {

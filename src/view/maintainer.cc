@@ -68,6 +68,7 @@ double Maintainer::EstimateKeyFanout(int base, int full_col,
   double total = 0.0;
   bool any_index = false;
   for (int i = 0; i < sys_->num_nodes(); ++i) {
+    NodeLatchGuard latch(*sys_->node(i));
     const TableFragment* frag = sys_->node(i)->fragment(table);
     if (frag == nullptr) continue;
     const LocalIndex* index = frag->FindIndex(full_col);
@@ -84,6 +85,7 @@ double Maintainer::EstimateFanout(int base, int full_col) const {
   const std::string& table = bound().base_def(base).name;
   std::vector<ColumnStats> parts;
   for (int i = 0; i < sys_->num_nodes(); ++i) {
+    NodeLatchGuard latch(*sys_->node(i));
     const TableFragment* frag = sys_->node(i)->fragment(table);
     if (frag != nullptr) parts.push_back(ComputeColumnStats(*frag, full_col));
   }
@@ -124,10 +126,9 @@ Result<std::vector<Maintainer::Partial>> Maintainer::SeedPartials(
 }
 
 Status Maintainer::Ship(Message msg) {
-  int dest = msg.to;
-  PJVM_RETURN_NOT_OK(sys_->network().Send(std::move(msg)));
-  sys_->network().Poll(dest);
-  return Status::OK();
+  // Synchronous hop (see Network::SendAndDeliver): a Send/Poll pair would
+  // race with concurrent maintenance transactions sharing the queues.
+  return sys_->network().SendAndDeliver(std::move(msg)).status();
 }
 
 Result<bool> Maintainer::ResidualOk(const PlanStep& step,
@@ -175,6 +176,10 @@ Status Maintainer::ProbeGroupAtNode(uint64_t txn, const PlanStep& step,
                                     std::vector<Partial>* out) {
   if (group.empty()) return Status::OK();
   Node* n = sys_->node(node);
+  // The whole probe reads the fragment directly (FindIndex, num_pages, and
+  // the join itself); the latch is recursive, so the nested IndexProbe /
+  // SortMergeJoinFragment latches on the same node are fine.
+  NodeLatchGuard latch(*n);
   TableFragment* frag = n->fragment(target.table);
   if (frag == nullptr) {
     return Status::NotFound("maintenance: node " + std::to_string(node) +

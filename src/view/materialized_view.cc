@@ -49,6 +49,7 @@ Status MaterializedView::ApplyOutputs(uint64_t txn, int source_node,
     for (Row& row : rows) {
       int found = -1;
       for (int i = 0; i < sys_->num_nodes(); ++i) {
+        NodeLatchGuard latch(*sys_->node(i));
         const TableFragment* frag = sys_->node(i)->fragment(table_name());
         sys_->cost().ChargeSearch(i);
         if (frag->FindExact(row).ok()) {
@@ -75,8 +76,11 @@ Status MaterializedView::ApplyOutputs(uint64_t txn, int source_node,
     msg.table = table_name();
     msg.rows = dest_rows;
     msg.txn_id = txn;
-    PJVM_RETURN_NOT_OK(sys_->network().Send(std::move(msg)));
-    Message delivered = *sys_->network().Poll(dest);
+    // Synchronous hop: this thread consumes the message at the destination.
+    // A Send/Poll pair here could steal a concurrent transaction's message
+    // from the shared queue.
+    PJVM_ASSIGN_OR_RETURN(Message delivered,
+                          sys_->network().SendAndDeliver(std::move(msg)));
     for (Row& row : delivered.rows) {
       if (is_delete) {
         PJVM_RETURN_NOT_OK(sys_->node(dest)->DeleteExact(txn, table_name(), row));
@@ -117,8 +121,8 @@ Status MaterializedView::ApplyAggregateContributions(uint64_t txn,
     msg.table = table_name();
     msg.rows = dest_rows;
     msg.txn_id = txn;
-    PJVM_RETURN_NOT_OK(sys_->network().Send(std::move(msg)));
-    Message delivered = *sys_->network().Poll(dest);
+    PJVM_ASSIGN_OR_RETURN(Message delivered,
+                          sys_->network().SendAndDeliver(std::move(msg)));
     Node* node = sys_->node(dest);
     TableFragment* frag = node->fragment(table_name());
     for (Row& contribution : delivered.rows) {
@@ -142,6 +146,7 @@ Status MaterializedView::ApplyAggregateContributions(uint64_t txn,
         }
       } else {
         // Global aggregate: at most one row, scan the (single-row) fragment.
+        NodeLatchGuard latch(*node);
         sys_->cost().ChargeSearch(dest);
         frag->ForEach([&](LocalRowId, const Row& candidate) {
           old_row = candidate;

@@ -1,7 +1,11 @@
 #include "view/view_manager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <thread>
+
+#include "common/rng.h"
 
 #include "net/message.h"
 #include "obs/metrics_registry.h"
@@ -116,8 +120,10 @@ Result<size_t> GiRegistry::ApplyDelta(uint64_t txn, const DeltaBatch& delta) {
           msg.table = entry.gi_table;
           msg.rows.push_back(entry_row);
           msg.txn_id = txn;
-          PJVM_RETURN_NOT_OK(sys_->network().Send(std::move(msg)));
-          sys_->network().Poll(dest);
+          // Synchronous hop (see Network::SendAndDeliver): a Send/Poll pair
+          // would race with concurrent maintenance transactions.
+          PJVM_RETURN_NOT_OK(
+              sys_->network().SendAndDeliver(std::move(msg)).status());
         }
         if (is_delete) {
           PJVM_RETURN_NOT_OK(
@@ -319,8 +325,7 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
   txn_span.set_detail(delta.table + " +" + std::to_string(delta.inserts.size()) +
                       "/-" + std::to_string(delta.deletes.size()));
 
-  uint64_t txn = sys_->Begin();
-  auto run = [&]() -> Result<MaintenanceReport> {
+  auto run = [&](uint64_t txn) -> Result<MaintenanceReport> {
     MaintenanceReport total;
     {
       // 1. Update the base relation, capturing each row's global row id.
@@ -394,13 +399,45 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
     }
     return total;
   };
-  Result<MaintenanceReport> result = run();
-  if (!result.ok()) {
+  // Bounded retry: under wait-die a maintenance transaction can be chosen as
+  // the deadlock-avoidance victim (or time out waiting) and surface an
+  // Aborted status from some lock acquisition. The victim's locks are all
+  // released by Abort; it backs off (exponentially, with jitter so repeat
+  // offenders don't re-collide in lockstep) and re-runs the whole transaction
+  // under a fresh Begin(). Only Aborted statuses retry — real errors surface
+  // immediately — and the loop is bounded by maintain_max_attempts, after
+  // which the Aborted status reaches the caller.
+  static Counter* retries_counter =
+      MetricsRegistry::Global().counter("pjvm_maintain_retries");
+  const int max_attempts = std::max(1, sys_->config().maintain_max_attempts);
+  const int base_us = sys_->config().maintain_retry_base_us;
+  Result<MaintenanceReport> result =
+      Status::Internal("maintenance: no attempt ran");
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    uint64_t txn = sys_->Begin();
+    // Per-view phases from a killed attempt would double-count.
+    if (analysis != nullptr) analysis->views.clear();
+    result = run(txn);
+    if (result.ok()) {
+      // A commit failure (e.g. an injected crash mid-2PC) is not retryable:
+      // the system needs Recover(), not another attempt.
+      PJVM_RETURN_NOT_OK(sys_->Commit(txn));
+      break;
+    }
     sys_->Abort(txn).Check();
     MetricsRegistry::Global().counter("pjvm_maintain_txns_aborted")->Increment();
-    return result;
+    if (!result.status().IsAborted() || attempt == max_attempts) return result;
+    retries_counter->Increment();
+    if (base_us > 0) {
+      // Delay uniformly in [step, 2*step) where step = base * 2^(attempt-1),
+      // capped so the shift cannot overflow.
+      Rng jitter(txn * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(attempt));
+      int64_t step = static_cast<int64_t>(base_us)
+                     << std::min(attempt - 1, 20);
+      int64_t delay = step + jitter.UniformInt(0, step - 1);
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
   }
-  PJVM_RETURN_NOT_OK(sys_->Commit(txn));
 
   const uint64_t txn_ns = Tracer::NowNs() - t0;
   MetricsRegistry::Global().counter("pjvm_maintain_txns")->Increment();

@@ -126,6 +126,13 @@ class ViewManager : public StructureResolver {
   /// view, all in one distributed transaction. Updates in `delta.updates`
   /// are normalized to delete+insert. Returns the aggregate report.
   ///
+  /// Under contention a transaction may be chosen as the wait-die victim;
+  /// the attempt is aborted (releasing all its locks) and retried under a
+  /// fresh transaction id with exponential backoff + jitter, up to
+  /// `SystemConfig::maintain_max_attempts` (`maintain_retry_base_us` sets
+  /// the first delay). Retries are counted in `pjvm_maintain_retries`; a
+  /// client-visible Aborted status only escapes when attempts are exhausted.
+  ///
   /// When `analysis` is non-null it is filled with the transaction's
   /// EXPLAIN ANALYZE: per-node CostTracker deltas, message/byte counts, and
   /// a per-view phase breakdown. Collecting it only reads counters, so the

@@ -58,6 +58,21 @@ TEST(WalTest, ReplaySkipsUncommittedAndControl) {
   EXPECT_EQ(applied, (std::vector<int64_t>{1}));
 }
 
+TEST(WalTest, ClearKeepsLsnsMonotonic) {
+  Wal wal;
+  uint64_t a = wal.Append({0, 1, LogRecordType::kInsert, "T", {Value{1}}});
+  uint64_t b = wal.Append({0, 1, LogRecordType::kCommit, "", {}});
+  ASSERT_LT(a, b);
+  const uint64_t next_before = wal.next_lsn();
+  wal.Clear();
+  // Truncation drops records but never rewinds the LSN counter: an LSN
+  // identifies one append forever.
+  EXPECT_EQ(wal.size(), 0u);
+  EXPECT_EQ(wal.next_lsn(), next_before);
+  uint64_t c = wal.Append({0, 2, LogRecordType::kInsert, "T", {Value{3}}});
+  EXPECT_GT(c, b);
+}
+
 // ------------------------------------------------------------- TxnManager
 
 TEST(TxnManagerTest, LifecycleStates) {
@@ -110,6 +125,58 @@ TEST(TxnManagerTest, CrashAbortsInFlight) {
   mgr.CrashAndRecover();
   EXPECT_TRUE(mgr.IsCommitted(committed));
   EXPECT_EQ(mgr.state(in_flight), TxnState::kAborted);
+}
+
+TEST(TxnManagerTest, ForgetDropsWorkingStateButKeepsDecision) {
+  TxnManager mgr;
+  uint64_t t = mgr.Begin();
+  mgr.PushUndo(t, {UndoOp::Kind::kDeleteInserted, 0, "T", {Value{1}}});
+  mgr.AddParticipant(t, 2);
+  ASSERT_TRUE(mgr.LogCommitDecision(t).ok());
+  EXPECT_EQ(mgr.TrackedCount(), 1u);
+  mgr.Forget(t);
+  EXPECT_EQ(mgr.TrackedCount(), 0u);
+  EXPECT_TRUE(mgr.participants(t).empty());
+  EXPECT_TRUE(mgr.TakeUndoReversed(t).empty());
+  // The durable decision outlives the working state.
+  EXPECT_TRUE(mgr.IsCommitted(t));
+  EXPECT_EQ(mgr.state(t), TxnState::kCommitted);
+}
+
+TEST(TxnManagerTest, ParticipantsReturnsCopyWithoutInserting) {
+  TxnManager mgr;
+  uint64_t t = mgr.Begin();
+  // Asking about a transaction with no participants must not create an
+  // entry (the old by-reference accessor default-inserted one).
+  EXPECT_TRUE(mgr.participants(t).empty());
+  EXPECT_TRUE(mgr.participants(9999).empty());
+  mgr.AddParticipant(t, 1);
+  mgr.AddParticipant(t, 3);
+  EXPECT_EQ(mgr.participants(t), (std::set<int>{1, 3}));
+}
+
+TEST(TxnManagerTest, PruneCommittedBelowDropsOnlyOldDecisions) {
+  TxnManager mgr;
+  uint64_t t1 = mgr.Begin();
+  uint64_t t2 = mgr.Begin();
+  ASSERT_TRUE(mgr.LogCommitDecision(t1).ok());
+  ASSERT_TRUE(mgr.LogCommitDecision(t2).ok());
+  EXPECT_EQ(mgr.PruneCommittedBelow(t2), 1u);
+  EXPECT_FALSE(mgr.IsCommitted(t1));
+  EXPECT_TRUE(mgr.IsCommitted(t2));
+  EXPECT_EQ(mgr.PruneCommittedBelow(mgr.next_txn_id()), 1u);
+  EXPECT_TRUE(mgr.committed_ids().empty());
+}
+
+TEST(TxnManagerTest, CrashClearsParticipantsAndUndo) {
+  TxnManager mgr;
+  uint64_t t = mgr.Begin();
+  mgr.AddParticipant(t, 0);
+  mgr.PushUndo(t, {UndoOp::Kind::kDeleteInserted, 0, "T", {Value{1}}});
+  mgr.CrashAndRecover();
+  EXPECT_EQ(mgr.TrackedCount(), 0u);
+  EXPECT_TRUE(mgr.participants(t).empty());
+  EXPECT_TRUE(mgr.TakeUndoReversed(t).empty());
 }
 
 // ------------------------------------------------- System-level txn + 2PC
@@ -232,6 +299,60 @@ TEST(SystemTxnTest, RecoveryPreservesExactContents) {
   ASSERT_TRUE(sys.Recover().ok());
   std::vector<Row> after = Sorted(sys.ScanAll("A"));
   EXPECT_EQ(before, after);
+  EXPECT_TRUE(sys.CheckInvariants().ok());
+}
+
+TEST(SystemTxnTest, FinishedTransactionsAreForgotten) {
+  ParallelSystem sys(SmallConfig());
+  ASSERT_TRUE(sys.CreateTable(HashTableDef("A", "a")).ok());
+  for (int64_t k = 0; k < 6; ++k) {
+    uint64_t t = sys.Begin();
+    ASSERT_TRUE(sys.Insert("A", {Value{k}, Value{k}}, t).ok());
+    if (k % 2 == 0) {
+      ASSERT_TRUE(sys.Commit(t).ok());
+    } else {
+      ASSERT_TRUE(sys.Abort(t).ok());
+    }
+    // Working state (lifecycle entry, undo, participants) is dropped as each
+    // transaction finishes: the coordinator's memory stays bounded.
+    EXPECT_EQ(sys.txns().TrackedCount(), 0u);
+  }
+  // The committed ids survive (WAL replay may still ask about them)...
+  EXPECT_EQ(sys.txns().committed_ids().size(), 3u);
+  // ...until a checkpoint truncates every node's log.
+  ASSERT_TRUE(sys.Checkpoint().ok());
+  EXPECT_TRUE(sys.txns().committed_ids().empty());
+  // Recovery from the checkpoint still yields the committed contents.
+  sys.Crash();
+  ASSERT_TRUE(sys.Recover().ok());
+  EXPECT_EQ(sys.RowCount("A"), 3u);
+}
+
+TEST(SystemTxnTest, CommitsAfterCheckpointReplayWithMonotonicLsns) {
+  ParallelSystem sys(SmallConfig());
+  ASSERT_TRUE(sys.CreateTable(HashTableDef("A", "a")).ok());
+  uint64_t t1 = sys.Begin();
+  ASSERT_TRUE(sys.Insert("A", {Value{1}, Value{1}}, t1).ok());
+  ASSERT_TRUE(sys.Commit(t1).ok());
+  std::vector<uint64_t> lsn_at_checkpoint(sys.num_nodes());
+  ASSERT_TRUE(sys.Checkpoint().ok());
+  for (int i = 0; i < sys.num_nodes(); ++i) {
+    EXPECT_EQ(sys.node(i)->wal().size(), 0u);
+    lsn_at_checkpoint[i] = sys.node(i)->wal().next_lsn();
+  }
+  // Records written after the truncation continue the LSN sequence.
+  uint64_t t2 = sys.Begin();
+  ASSERT_TRUE(sys.Insert("A", {Value{2}, Value{2}}, t2).ok());
+  ASSERT_TRUE(sys.Commit(t2).ok());
+  for (int i = 0; i < sys.num_nodes(); ++i) {
+    EXPECT_GE(sys.node(i)->wal().next_lsn(), lsn_at_checkpoint[i]);
+    for (const LogRecord& rec : sys.node(i)->wal().records()) {
+      EXPECT_GE(rec.lsn, lsn_at_checkpoint[i]);
+    }
+  }
+  sys.Crash();
+  ASSERT_TRUE(sys.Recover().ok());
+  EXPECT_EQ(sys.RowCount("A"), 2u);
   EXPECT_TRUE(sys.CheckInvariants().ok());
 }
 
