@@ -3,21 +3,36 @@
 // join keys drawn from a small pool so transactions collide on the AR's
 // clustered-index key locks.
 //
-// Two lock policies run over the same workload:
-//  - no-wait: a conflicting acquire aborts the transaction immediately and
+// The sweep compares two engine modes over a key-pool x thread-count grid:
+//  - baseline: the pre-sharding write path (one lock-table shard, exclusive
+//    node latches, per-transaction WAL forces);
+//  - scalable: the contention-scalable path (sharded lock table, RW node
+//    latches, group commit).
+// Both modes charge the same simulated WAL device (force_ns), so the
+// difference isolates the concurrency structure, not the hardware model.
+//
+// Within the scalable mode three lock policies run over the same workload:
+//  - no_wait: a conflicting acquire aborts the transaction immediately and
 //    the abort is client-visible (maintain_max_attempts = 1); the client
 //    must re-submit until its transaction commits.
-//  - wait-die: conflicting acquires park (older waits, younger dies) and
+//  - wait_die: conflicting acquires park (older waits, younger dies) and
 //    the ViewManager absorbs deadlock-avoidance kills in its bounded retry
 //    loop, so the client sees no aborts at all.
+//  - wound_wait: the mirror-image policy (older wounds younger holders);
+//    same client-invisible contract as wait_die, different victim choice.
 //
-// Reported per policy: committed throughput, client-visible latency
+// Reported per cell: committed throughput, client-visible latency
 // (p50/p95/p99 over the full submit-to-commit interval, retries included),
-// client-visible aborts, wait-die deadlock kills, lock waits, and internal
-// maintenance retries. Each run ends with the from-scratch consistency
-// oracle: under either policy the view must match its bases exactly.
+// client-visible aborts, deadlock kills, wounds, lock waits, shard-mutex
+// contention, group-commit rounds, and internal maintenance retries. Each
+// cell ends with the from-scratch consistency oracle: whatever the
+// interleaving, the view must match its bases exactly.
 //
-// Usage: bench_contention [threads] [txns_per_thread] [key_pool] [nodes]
+// Usage: bench_contention [txns_per_thread] [nodes] [sweep]
+//   sweep = "full" (default): modes {baseline, scalable} x policies x
+//           key pools {1, 8, 64, 1024} x threads {1, 2, 4, 8}
+//   sweep = "ci": just the two wait-die cells CI compares (8 threads,
+//           64 keys, baseline vs scalable)
 
 #include <atomic>
 #include <chrono>
@@ -31,49 +46,72 @@
 namespace pjvm::bench {
 namespace {
 
+// The simulated WAL device: 5ms per force in BOTH modes, so the baseline
+// pays it once per commit per participant node while group commit amortizes
+// it across a leader round.
+constexpr uint64_t kForceNs = 5'000'000;
+constexpr int kWindowUs = 50;
+
 struct ContentionConfig {
-  int threads = 8;
   int txns_per_thread = 50;
-  // Distinct join keys shared by all updaters. The default of one hot key is
-  // the worst case for no-wait: every pair of concurrent transactions
-  // conflicts on the same AR index-key lock.
-  int64_t key_pool = 1;
   int nodes = 4;
+  bool ci_only = false;
 };
 
-struct PolicyResult {
-  std::string policy;
+/// One sweep cell: an engine mode x lock policy x load shape.
+struct Cell {
+  std::string mode;  // "baseline" or "scalable"
+  LockPolicy policy = LockPolicy::kWaitDie;
+  int threads = 1;
+  int64_t key_pool = 1;
+};
+
+struct CellResult {
+  Cell cell;
   uint64_t committed = 0;
   uint64_t client_aborts = 0;
   double wall_ms = 0.0;
   double committed_per_sec = 0.0;
   uint64_t deadlock_kills = 0;
+  uint64_t wounds = 0;
   uint64_t lock_waits = 0;
   uint64_t lock_wait_timeouts = 0;
+  uint64_t shard_contention = 0;
   uint64_t maintain_retries = 0;
+  uint64_t group_commit_rounds = 0;
   HistogramData latency;
 };
 
-PolicyResult RunPolicy(const ContentionConfig& cc, LockPolicy policy) {
-  PolicyResult result;
-  result.policy = policy == LockPolicy::kWaitDie ? "wait_die" : "no_wait";
+CellResult RunCell(const ContentionConfig& cc, const Cell& cell) {
+  CellResult result;
+  result.cell = cell;
+  const bool baseline = cell.mode == "baseline";
 
   SystemConfig cfg;
   cfg.num_nodes = cc.nodes;
   cfg.rows_per_page = 8;
   cfg.enable_locking = true;
-  cfg.lock_policy = policy;
+  cfg.lock_policy = cell.policy;
   cfg.lock_wait_timeout_ms = 500;
-  // Under no-wait every conflict surfaces to the client; under wait-die the
-  // maintenance retry loop absorbs them.
-  cfg.maintain_max_attempts = policy == LockPolicy::kWaitDie ? 8 : 1;
+  // Under no-wait every conflict surfaces to the client; under the blocking
+  // policies the maintenance retry loop absorbs them.
+  // Commits hold their locks across multi-millisecond forces, so blocked
+  // maintenance needs a deeper retry budget than the default before the
+  // abort becomes client-visible.
+  cfg.maintain_max_attempts = cell.policy == LockPolicy::kNoWait ? 1 : 16;
   cfg.maintain_retry_base_us = 100;
+  // The mode switch: everything this PR added, on or off together.
+  cfg.lock_shards = baseline ? 1 : 16;
+  cfg.rw_latches = !baseline;
+  cfg.wal_force_ns = kForceNs;
+  cfg.group_commit = !baseline;
+  cfg.group_commit_window_us = kWindowUs;
   ParallelSystem sys(cfg);
 
   // The paper's two-relation setup, with a tiny B key domain so concurrent
   // updaters collide on the same AR index-key locks.
   TwoTableConfig tt;
-  tt.b_join_keys = cc.key_pool;
+  tt.b_join_keys = cell.key_pool;
   tt.fanout = 2;
   LoadTwoTable(&sys, tt).Check();
   ViewManager manager(&sys);
@@ -82,9 +120,14 @@ PolicyResult RunPolicy(const ContentionConfig& cc, LockPolicy policy) {
 
   MetricsRegistry& metrics = MetricsRegistry::Global();
   const uint64_t kills0 = metrics.counter("pjvm_lock_deadlock_kills")->value();
+  const uint64_t wounds0 = metrics.counter("pjvm_lock_wounds")->value();
   const uint64_t waits0 = metrics.counter("pjvm_lock_waits")->value();
   const uint64_t touts0 = metrics.counter("pjvm_lock_wait_timeouts")->value();
+  const uint64_t shard0 =
+      metrics.counter("pjvm_lock_shard_contention")->value();
   const uint64_t retries0 = metrics.counter("pjvm_maintain_retries")->value();
+  const uint64_t rounds0 =
+      metrics.histogram("pjvm_group_commit_batch_size")->Snapshot().count;
 
   LatencyHistogram latency;
   std::atomic<uint64_t> committed{0};
@@ -92,8 +135,8 @@ PolicyResult RunPolicy(const ContentionConfig& cc, LockPolicy policy) {
 
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> updaters;
-  updaters.reserve(cc.threads);
-  for (int t = 0; t < cc.threads; ++t) {
+  updaters.reserve(cell.threads);
+  for (int t = 0; t < cell.threads; ++t) {
     updaters.emplace_back([&, t] {
       for (int i = 0; i < cc.txns_per_thread; ++i) {
         // Unique A key per logical transaction; the join attribute cycles
@@ -130,11 +173,17 @@ PolicyResult RunPolicy(const ContentionConfig& cc, LockPolicy policy) {
       result.wall_ms > 0.0 ? 1000.0 * result.committed / result.wall_ms : 0.0;
   result.deadlock_kills =
       metrics.counter("pjvm_lock_deadlock_kills")->value() - kills0;
+  result.wounds = metrics.counter("pjvm_lock_wounds")->value() - wounds0;
   result.lock_waits = metrics.counter("pjvm_lock_waits")->value() - waits0;
   result.lock_wait_timeouts =
       metrics.counter("pjvm_lock_wait_timeouts")->value() - touts0;
+  result.shard_contention =
+      metrics.counter("pjvm_lock_shard_contention")->value() - shard0;
   result.maintain_retries =
       metrics.counter("pjvm_maintain_retries")->value() - retries0;
+  result.group_commit_rounds =
+      metrics.histogram("pjvm_group_commit_batch_size")->Snapshot().count -
+      rounds0;
   result.latency = latency.Snapshot();
 
   // The whole point of running maintenance inside the transaction: however
@@ -146,49 +195,90 @@ PolicyResult RunPolicy(const ContentionConfig& cc, LockPolicy policy) {
   return result;
 }
 
-std::string PolicyJson(const PolicyResult& r) {
+std::string CellJson(const CellResult& r) {
   JsonWriter w;
   w.BeginObject()
-      .Key("policy").Str(r.policy)
+      .Key("mode").Str(r.cell.mode)
+      .Key("policy").Str(LockPolicyToString(r.cell.policy))
+      .Key("threads").Int(r.cell.threads)
+      .Key("key_pool").Int(r.cell.key_pool)
       .Key("committed").Uint(r.committed)
       .Key("client_visible_aborts").Uint(r.client_aborts)
       .Key("wall_ms").Num(r.wall_ms)
       .Key("committed_per_sec").Num(r.committed_per_sec)
       .Key("deadlock_kills").Uint(r.deadlock_kills)
+      .Key("wounds").Uint(r.wounds)
       .Key("lock_waits").Uint(r.lock_waits)
       .Key("lock_wait_timeouts").Uint(r.lock_wait_timeouts)
+      .Key("shard_contention").Uint(r.shard_contention)
       .Key("maintain_retries").Uint(r.maintain_retries)
+      .Key("group_commit_rounds").Uint(r.group_commit_rounds)
       .Key("client_latency_ns").Raw(LatencyJson(r.latency))
       .EndObject();
   return w.str();
 }
 
+std::vector<Cell> BuildSweep(const ContentionConfig& cc) {
+  std::vector<Cell> cells;
+  if (cc.ci_only) {
+    // The throughput claim CI enforces: scalable wait-die must beat the
+    // baseline by >= 2x at 8 threads over a 64-key pool.
+    cells.push_back({"baseline", LockPolicy::kWaitDie, 8, 64});
+    cells.push_back({"scalable", LockPolicy::kWaitDie, 8, 64});
+    return cells;
+  }
+  const std::vector<int64_t> key_pools = {1, 8, 64, 1024};
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  for (int64_t keys : key_pools) {
+    for (int threads : thread_counts) {
+      // The baseline ran wait-die before this PR too; the policy ablation
+      // (no-wait vs wait-die vs wound-wait) only makes sense on the
+      // scalable path.
+      cells.push_back({"baseline", LockPolicy::kWaitDie, threads, keys});
+      for (LockPolicy policy : {LockPolicy::kNoWait, LockPolicy::kWaitDie,
+                                LockPolicy::kWoundWait}) {
+        cells.push_back({"scalable", policy, threads, keys});
+      }
+    }
+  }
+  return cells;
+}
+
 void Run(const ContentionConfig& cc) {
-  PrintHeader("contention: " + std::to_string(cc.threads) + " updaters x " +
-              std::to_string(cc.txns_per_thread) + " txns, " +
-              std::to_string(cc.key_pool) + " join keys, " +
-              std::to_string(cc.nodes) + " nodes");
+  std::vector<Cell> cells = BuildSweep(cc);
+  PrintHeader("contention sweep: " + std::to_string(cells.size()) +
+              " cells x " + std::to_string(cc.txns_per_thread) +
+              " txns/thread, " + std::to_string(cc.nodes) + " nodes");
   BenchReport report("contention");
   {
     JsonWriter w;
     w.BeginObject()
-        .Key("threads").Int(cc.threads)
         .Key("txns_per_thread").Int(cc.txns_per_thread)
-        .Key("key_pool").Int(cc.key_pool)
         .Key("nodes").Int(cc.nodes)
+        .Key("wal_force_ns").Uint(kForceNs)
+        .Key("group_commit_window_us").Int(kWindowUs)
+        .Key("sweep").Str(cc.ci_only ? "ci" : "full")
         .EndObject();
     report.Add("config", w.str());
   }
-  for (LockPolicy policy : {LockPolicy::kNoWait, LockPolicy::kWaitDie}) {
-    PolicyResult r = RunPolicy(cc, policy);
-    std::cout << r.policy << ": committed=" << r.committed
+  JsonWriter sweep;
+  sweep.BeginArray();
+  for (const Cell& cell : cells) {
+    CellResult r = RunCell(cc, cell);
+    std::cout << r.cell.mode << "/" << LockPolicyToString(r.cell.policy)
+              << " threads=" << r.cell.threads << " keys=" << r.cell.key_pool
+              << ": committed=" << r.committed
               << " aborts=" << r.client_aborts
               << " throughput=" << r.committed_per_sec << "/s"
               << " p95=" << r.latency.P95() / 1e6 << "ms"
-              << " kills=" << r.deadlock_kills << " waits=" << r.lock_waits
-              << " retries=" << r.maintain_retries << "\n";
-    report.Add(r.policy, PolicyJson(r));
+              << " kills=" << r.deadlock_kills << " wounds=" << r.wounds
+              << " waits=" << r.lock_waits
+              << " retries=" << r.maintain_retries
+              << " gc_rounds=" << r.group_commit_rounds << "\n";
+    sweep.Raw(CellJson(r));
   }
+  sweep.EndArray();
+  report.Add("sweep", sweep.str());
   report.Write();
 }
 
@@ -197,10 +287,9 @@ void Run(const ContentionConfig& cc) {
 
 int main(int argc, char** argv) {
   pjvm::bench::ContentionConfig cc;
-  if (argc > 1) cc.threads = std::stoi(argv[1]);
-  if (argc > 2) cc.txns_per_thread = std::stoi(argv[2]);
-  if (argc > 3) cc.key_pool = std::stoll(argv[3]);
-  if (argc > 4) cc.nodes = std::stoi(argv[4]);
+  if (argc > 1) cc.txns_per_thread = std::stoi(argv[1]);
+  if (argc > 2) cc.nodes = std::stoi(argv[2]);
+  if (argc > 3) cc.ci_only = std::string(argv[3]) == "ci";
   pjvm::bench::Run(cc);
   return 0;
 }

@@ -2,21 +2,22 @@
 # Builds the repo under ThreadSanitizer (PJVM_SANITIZE=thread) in a separate
 # build tree and runs the concurrency-sensitive suites: the executor's own
 # tests, the maintenance property tests that drive every parallel phase, the
-# wait-die lock manager + maintenance-retry tests, and the observability
-# suites (lock-free tracer buffers, concurrent histogram recording,
-# tracing-on maintenance runs).
+# lock manager (wait-die, wound-wait, sharding) + maintenance-retry tests,
+# the reader/writer node-latch and WAL group-commit suites, the network
+# queue tests, and the observability suites (lock-free tracer buffers,
+# concurrent histogram recording, tracing-on maintenance runs).
 #
 # Usage: scripts/run_tsan.sh [extra ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-FILTER="${1:-NodeExecutor|ParallelEquivalence|NetworkTest|Maintenance|MethodEquivalence|Tracer|LatencyHistogram|CostTracker|TraceMaintenance|WaitDie|MaintenanceRetry|LockManager|EngineLocking}"
+FILTER="${1:-NodeExecutor|ParallelEquivalence|NetworkTest|Maintenance|MethodEquivalence|Tracer|LatencyHistogram|CostTracker|TraceMaintenance|WaitDie|MaintenanceRetry|LockManager|EngineLocking|LockShard|WoundWait|NodeLatch|GroupCommit}"
 
 cmake -B "$BUILD_DIR" -S . -G Ninja -DPJVM_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target executor_test maintenance_test obs_test trace_maintenance_test \
-  lock_test
+  lock_test txn_test net_test
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$BUILD_DIR" -R "$FILTER" --output-on-failure
 echo "TSan run clean."

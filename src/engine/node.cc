@@ -1,6 +1,124 @@
 #include "engine/node.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
 namespace pjvm {
+
+namespace {
+
+struct SharedDepthEntry {
+  const NodeLatch* latch;
+  int depth;
+};
+
+// Per-thread shared hold depths, one entry per latch this thread currently
+// holds shared. A handful at most (one per node touched), so linear scan.
+thread_local std::vector<SharedDepthEntry> tls_shared_depths;
+
+}  // namespace
+
+int& NodeLatch::SharedDepth(const NodeLatch* latch) {
+  for (SharedDepthEntry& e : tls_shared_depths) {
+    if (e.latch == latch) return e.depth;
+  }
+  tls_shared_depths.push_back({latch, 0});
+  return tls_shared_depths.back().depth;
+}
+
+int NodeLatch::SharedDepthOf(const NodeLatch* latch) {
+  for (const SharedDepthEntry& e : tls_shared_depths) {
+    if (e.latch == latch) return e.depth;
+  }
+  return 0;
+}
+
+void NodeLatch::DropSharedDepth(const NodeLatch* latch) {
+  for (size_t i = 0; i < tls_shared_depths.size(); ++i) {
+    if (tls_shared_depths[i].latch == latch) {
+      tls_shared_depths[i] = tls_shared_depths.back();
+      tls_shared_depths.pop_back();
+      return;
+    }
+  }
+}
+
+void NodeLatch::AcquireShared() const {
+  if (!rw_enabled_) {
+    AcquireExclusive();
+    return;
+  }
+  if (writer_.load(std::memory_order_acquire) == std::this_thread::get_id()) {
+    // Exclusive subsumes shared: deepen the existing exclusive hold.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++writer_depth_;
+    return;
+  }
+  int& depth = SharedDepth(this);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (depth > 0) {
+    // Nested shared: the outer hold already excludes writers, so skip the
+    // waiting-writer gate (blocking here would deadlock against writer
+    // priority).
+    ++readers_;
+    ++depth;
+    return;
+  }
+  cv_.wait(lock,
+           [this] { return writer_depth_ == 0 && waiting_writers_ == 0; });
+  ++readers_;
+  depth = 1;
+}
+
+void NodeLatch::ReleaseShared() const {
+  if (!rw_enabled_) {
+    ReleaseExclusive();
+    return;
+  }
+  if (writer_.load(std::memory_order_acquire) == std::this_thread::get_id()) {
+    ReleaseExclusive();
+    return;
+  }
+  int& depth = SharedDepth(this);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --readers_;
+    --depth;
+    if (readers_ == 0) cv_.notify_all();
+  }
+  if (depth == 0) DropSharedDepth(this);
+}
+
+void NodeLatch::AcquireExclusive() const {
+  const std::thread::id me = std::this_thread::get_id();
+  if (writer_.load(std::memory_order_acquire) == me) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++writer_depth_;
+    return;
+  }
+  if (rw_enabled_ && SharedDepthOf(this) > 0) {
+    // A shared→exclusive upgrade deadlocks against a symmetric upgrader;
+    // no engine call path performs one, so treat it as a programming error.
+    std::fprintf(stderr,
+                 "NodeLatch: shared->exclusive upgrade attempted; aborting\n");
+    std::abort();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  ++waiting_writers_;
+  cv_.wait(lock, [this] { return readers_ == 0 && writer_depth_ == 0; });
+  --waiting_writers_;
+  writer_depth_ = 1;
+  writer_.store(me, std::memory_order_release);
+}
+
+void NodeLatch::ReleaseExclusive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--writer_depth_ == 0) {
+    writer_.store(std::thread::id{}, std::memory_order_release);
+    cv_.notify_all();
+  }
+}
 
 Status Node::CreateFragment(const TableDef& def, int rows_per_page) {
   if (fragments_.count(def.name) > 0) {
@@ -132,7 +250,7 @@ Result<ProbeResult> Node::IndexProbe(const std::string& table, int column,
     PJVM_RETURN_NOT_OK(locks_->Acquire(
         txn_id, LockId::IndexKey(id_, table, column, key), LockMode::kShared));
   }
-  NodeLatchGuard latch(*this);
+  NodeLatchGuard latch(*this, LatchMode::kShared);
   const LocalIndex* index = frag->FindIndex(column);
   if (index == nullptr) {
     return Status::InvalidArgument("no index on column " +

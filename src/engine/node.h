@@ -1,10 +1,13 @@
 #ifndef PJVM_ENGINE_NODE_H_
 #define PJVM_ENGINE_NODE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/metrics.h"
 #include "common/row.h"
@@ -18,6 +21,63 @@
 
 namespace pjvm {
 
+/// \brief Access mode for a node's physical latch.
+enum class LatchMode { kShared = 0, kExclusive };
+
+/// \brief Per-node reader/writer latch with writer re-entrancy.
+///
+/// Read-only phases (index probes, estimation scans, view lookups) take
+/// shared access and overlap on the same node; inserts/deletes/undo take
+/// exclusive. Semantics:
+///
+///  - **Exclusive is re-entrant** on the owning thread (the old recursive
+///    latch behavior), and subsumes shared: a writer's nested shared
+///    acquisitions just deepen its exclusive hold.
+///  - **Shared is re-entrant** on the same thread: a nested shared acquire
+///    bypasses the waiting-writer gate (the outer hold already excludes
+///    writers), so writer priority can never self-deadlock a reader.
+///  - **Shared→exclusive upgrade is forbidden** (it deadlocks against a
+///    symmetric upgrader); no engine call path performs one, and the latch
+///    aborts the process if one appears.
+///  - Writers get priority: new top-level readers queue behind a waiting
+///    writer, bounding writer wait by the current readers' critical
+///    sections.
+///
+/// With `set_rw_enabled(false)` shared acquisitions take exclusive access,
+/// reproducing the pre-reader/writer behavior exactly (the contention
+/// bench's baseline mode).
+class NodeLatch {
+ public:
+  NodeLatch() = default;
+  NodeLatch(const NodeLatch&) = delete;
+  NodeLatch& operator=(const NodeLatch&) = delete;
+
+  void AcquireShared() const;
+  void ReleaseShared() const;
+  void AcquireExclusive() const;
+  void ReleaseExclusive() const;
+
+  void set_rw_enabled(bool on) { rw_enabled_ = on; }
+  bool rw_enabled() const { return rw_enabled_; }
+
+ private:
+  /// This thread's shared hold depth on this latch (created at 0).
+  static int& SharedDepth(const NodeLatch* latch);
+  /// Read-only variant: 0 when this thread holds no shared latch here.
+  static int SharedDepthOf(const NodeLatch* latch);
+  static void DropSharedDepth(const NodeLatch* latch);
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable int readers_ = 0;
+  mutable int waiting_writers_ = 0;
+  /// Owning writer thread, or default id. Written under mu_ (release),
+  /// read lock-free (acquire) for the re-entrancy fast path.
+  mutable std::atomic<std::thread::id> writer_{};
+  mutable int writer_depth_ = 0;
+  bool rw_enabled_ = true;
+};
+
 /// \brief One data server node: its table fragments, its write-ahead log,
 /// and the cost-charged local operations the rest of the engine composes.
 ///
@@ -30,12 +90,14 @@ namespace pjvm {
 /// fragments, but concurrent client transactions also read and write them
 /// directly (LocateExact, undo application, the maintainers' estimation
 /// scans). All fragment and index access therefore goes through the node's
-/// recursive latch — the Node methods take it themselves; external callers
-/// touching `fragment(...)` directly must hold a NodeLatchGuard. Latches
-/// order *after* transaction locks: a blocking lock acquire must never
-/// happen while a latch is held (the lock manager degrades to non-blocking
-/// in that case, see common/worker_context.h), so latch hold times are
-/// bounded by local work and cannot deadlock.
+/// reader/writer latch — the Node methods take it themselves (shared for
+/// probes, exclusive for mutations); external callers touching
+/// `fragment(...)` directly must hold a NodeLatchGuard in the matching
+/// mode. Latches order *after* transaction locks: a blocking lock acquire
+/// must never happen while a latch is held in either mode (the lock
+/// manager degrades to non-blocking in that case, see
+/// common/worker_context.h), so latch hold times are bounded by local work
+/// and cannot deadlock.
 class Node {
  public:
   Node(int id, CostTracker* tracker, TxnManager* txns,
@@ -49,11 +111,11 @@ class Node {
   Wal& wal() { return wal_; }
   const Wal& wal() const { return wal_; }
 
-  /// The node's physical latch. Recursive so a latched caller can invoke
-  /// Node methods (which latch again) without self-deadlock. Prefer
-  /// NodeLatchGuard over locking it directly — the guard also maintains the
-  /// thread's latch-depth context for the lock manager.
-  std::recursive_mutex& latch() const { return latch_; }
+  /// The node's physical latch. Re-entrant per mode so a latched caller can
+  /// invoke Node methods (which latch again) without self-deadlock. Prefer
+  /// NodeLatchGuard over acquiring it directly — the guard also maintains
+  /// the thread's latch-depth context for the lock manager.
+  NodeLatch& latch() const { return latch_; }
 
   /// Creates this node's fragment of `def`, including its local indexes.
   /// Row-content lookup is always enabled so content deletes are O(1).
@@ -120,7 +182,7 @@ class Node {
   CostTracker* tracker_;
   TxnManager* txns_;
   LockManager* locks_;
-  mutable std::recursive_mutex latch_;
+  mutable NodeLatch latch_;
   Wal wal_;
   std::map<std::string, std::unique_ptr<TableFragment>> fragments_;
   std::map<std::string, TableKind> kinds_;
@@ -129,19 +191,37 @@ class Node {
   std::map<std::string, std::vector<Row>> checkpoint_;
 };
 
-/// \brief RAII latch scope over one node: takes the node's recursive latch
-/// and marks the thread as latched (so the lock manager refuses to park it
-/// on a transaction lock). Use for any direct fragment/index access outside
-/// the Node methods.
+/// \brief RAII latch scope over one node: takes the node's latch in the
+/// requested mode and marks the thread as latched (so the lock manager
+/// refuses to park it on a transaction lock — shared holders included,
+/// since the holder may itself need the exclusive latch to progress). Use
+/// for any direct fragment/index access outside the Node methods; default
+/// exclusive, pass LatchMode::kShared for read-only sections.
 class NodeLatchGuard {
  public:
-  explicit NodeLatchGuard(const Node& node) : guard_(node.latch()) {}
+  explicit NodeLatchGuard(const Node& node,
+                          LatchMode mode = LatchMode::kExclusive)
+      : latch_(&node.latch()), mode_(mode) {
+    if (mode_ == LatchMode::kShared) {
+      latch_->AcquireShared();
+    } else {
+      latch_->AcquireExclusive();
+    }
+  }
+  ~NodeLatchGuard() {
+    if (mode_ == LatchMode::kShared) {
+      latch_->ReleaseShared();
+    } else {
+      latch_->ReleaseExclusive();
+    }
+  }
 
   NodeLatchGuard(const NodeLatchGuard&) = delete;
   NodeLatchGuard& operator=(const NodeLatchGuard&) = delete;
 
  private:
-  std::lock_guard<std::recursive_mutex> guard_;
+  const NodeLatch* latch_;
+  LatchMode mode_;
   LatchDepthScope depth_;
 };
 

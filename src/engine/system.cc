@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
+#include <vector>
 
 #include "obs/trace.h"
 
@@ -28,10 +30,15 @@ ParallelSystem::ParallelSystem(SystemConfig config)
   cost_.SetIoStallNanos(config_.io_stall_ns);
   locks_.set_policy(config_.lock_policy);
   locks_.set_wait_timeout_ms(config_.lock_wait_timeout_ms);
+  locks_.set_num_shards(config_.lock_shards);
   nodes_.reserve(config_.num_nodes);
   LockManager* locks = config_.enable_locking ? &locks_ : nullptr;
   for (int i = 0; i < config_.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(i, &cost_, &txns_, locks));
+    nodes_.back()->latch().set_rw_enabled(config_.rw_latches);
+    nodes_.back()->wal().ConfigureForce(config_.wal_force_ns,
+                                        config_.group_commit,
+                                        config_.group_commit_window_us);
   }
   executor_ = std::make_unique<NodeExecutor>(
       config_.num_nodes, /*inline_mode=*/!config_.parallel_execution);
@@ -101,7 +108,7 @@ Result<GlobalRowId> ParallelSystem::LocateExact(const std::string& table,
                                                 const Row& row) {
   PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
   auto try_node = [&](int i) -> Result<GlobalRowId> {
-    NodeLatchGuard latch(*nodes_[i]);
+    NodeLatchGuard latch(*nodes_[i], LatchMode::kShared);
     const TableFragment* frag = nodes_[i]->fragment(table);
     cost_.ChargeSearch(i);
     PJVM_ASSIGN_OR_RETURN(LocalRowId lrid, frag->FindExact(row));
@@ -192,7 +199,7 @@ Status ParallelSystem::DeleteExact(const std::string& table, const Row& row,
 std::vector<Row> ParallelSystem::ScanAll(const std::string& table) const {
   std::vector<std::vector<Row>> per_node(config_.num_nodes);
   executor_->RunOnAllNodes([&](int i) -> Status {
-    NodeLatchGuard latch(*nodes_[i]);
+    NodeLatchGuard latch(*nodes_[i], LatchMode::kShared);
     const TableFragment* frag = nodes_[i]->fragment(table);
     if (frag != nullptr) per_node[i] = frag->AllRows();
     return Status::OK();
@@ -208,7 +215,7 @@ std::vector<Row> ParallelSystem::ScanAll(const std::string& table) const {
 size_t ParallelSystem::RowCount(const std::string& table) const {
   size_t count = 0;
   for (const auto& node : nodes_) {
-    NodeLatchGuard latch(*node);
+    NodeLatchGuard latch(*node, LatchMode::kShared);
     const TableFragment* frag = node->fragment(table);
     if (frag != nullptr) count += frag->num_rows();
   }
@@ -218,7 +225,7 @@ size_t ParallelSystem::RowCount(const std::string& table) const {
 size_t ParallelSystem::TableBytes(const std::string& table) const {
   size_t bytes = 0;
   for (const auto& node : nodes_) {
-    NodeLatchGuard latch(*node);
+    NodeLatchGuard latch(*node, LatchMode::kShared);
     const TableFragment* frag = node->fragment(table);
     if (frag != nullptr) bytes += frag->byte_size();
   }
@@ -228,7 +235,7 @@ size_t ParallelSystem::TableBytes(const std::string& table) const {
 size_t ParallelSystem::TablePages(const std::string& table) const {
   size_t pages = 0;
   for (const auto& node : nodes_) {
-    NodeLatchGuard latch(*node);
+    NodeLatchGuard latch(*node, LatchMode::kShared);
     const TableFragment* frag = node->fragment(table);
     if (frag != nullptr) pages += frag->num_pages();
   }
@@ -241,7 +248,7 @@ Result<std::vector<Row>> ParallelSystem::SelectEq(const std::string& table,
   PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
   PJVM_ASSIGN_OR_RETURN(int col, def->schema.ColumnIndex(column));
   auto probe_node = [&](int i, std::vector<Row>* out) -> Status {
-    NodeLatchGuard latch(*nodes_[i]);
+    NodeLatchGuard latch(*nodes_[i], LatchMode::kShared);
     TableFragment* frag = nodes_[i]->fragment(table);
     if (frag->HasIndexOn(col)) {
       PJVM_ASSIGN_OR_RETURN(ProbeResult r, nodes_[i]->IndexProbe(table, col, key));
@@ -289,7 +296,7 @@ Result<std::vector<Row>> ParallelSystem::SelectRange(const std::string& table,
   std::vector<std::vector<Row>> per_node(config_.num_nodes);
   PJVM_RETURN_NOT_OK(executor_->RunOnAllNodes([&](int i) -> Status {
     SpanGuard span("select_range", "task", i, &cost_);
-    NodeLatchGuard latch(*nodes_[i]);
+    NodeLatchGuard latch(*nodes_[i], LatchMode::kShared);
     std::vector<Row>& local = per_node[i];
     TableFragment* frag = nodes_[i]->fragment(table);
     const LocalIndex* index = frag->FindIndex(col);
@@ -327,10 +334,41 @@ Status ParallelSystem::Commit(uint64_t txn_id) {
     return Status::Aborted("injected crash before prepare");
   }
   PJVM_RETURN_NOT_OK(txns_.MarkPreparing(txn_id));
-  // Phase 1: every participant durably prepares.
-  for (int node_id : txns_.participants(txn_id)) {
-    nodes_[node_id]->wal().Append(
-        LogRecord{0, txn_id, LogRecordType::kPrepare, "", {}});
+  // Phase 1: every participant durably prepares — the prepare force covers
+  // the transaction's earlier data records on that node too (they precede
+  // the prepare in the same log). With group commit, concurrent committers
+  // share one force round per node. Phase-2 commit records need no force:
+  // the commit decision lives in the coordinator (presumed abort), and
+  // replay is gated by TxnManager::IsCommitted, not by commit records.
+  const auto participant_set = txns_.participants(txn_id);
+  const std::vector<int> participants(participant_set.begin(),
+                                      participant_set.end());
+  std::vector<uint64_t> prepare_lsns;
+  prepare_lsns.reserve(participants.size());
+  for (int node_id : participants) {
+    prepare_lsns.push_back(nodes_[node_id]->wal().Append(
+        LogRecord{0, txn_id, LogRecordType::kPrepare, "", {}}));
+  }
+  if (config_.group_commit && participants.size() > 1) {
+    // The prepares land on independent per-node logs, so their forces can
+    // overlap — the textbook parallel phase 1. Only worthwhile when forces
+    // actually wait (group-commit rounds); in per-txn-force mode the extra
+    // threads would buy nothing the device model doesn't serialize anyway.
+    std::vector<Status> statuses(participants.size(), Status::OK());
+    std::vector<std::thread> forcers;
+    forcers.reserve(participants.size() - 1);
+    for (size_t i = 1; i < participants.size(); ++i) {
+      forcers.emplace_back([this, &participants, &prepare_lsns, &statuses, i] {
+        statuses[i] = nodes_[participants[i]]->wal().Force(prepare_lsns[i]);
+      });
+    }
+    statuses[0] = nodes_[participants[0]]->wal().Force(prepare_lsns[0]);
+    for (auto& th : forcers) th.join();
+    for (const Status& st : statuses) PJVM_RETURN_NOT_OK(st);
+  } else {
+    for (size_t i = 0; i < participants.size(); ++i) {
+      PJVM_RETURN_NOT_OK(nodes_[participants[i]]->wal().Force(prepare_lsns[i]));
+    }
   }
   if (txns_.ShouldFailAt(FailurePoint::kAfterPrepare)) {
     Crash();
@@ -386,7 +424,12 @@ Status ParallelSystem::Checkpoint() {
 }
 
 void ParallelSystem::Crash() {
-  for (auto& node : nodes_) node->WipeFragments();
+  for (auto& node : nodes_) {
+    // The unforced log tail is volatile: a crash loses it (only visible
+    // when wal_force_ns > 0; with free forcing every append is durable).
+    node->wal().DiscardUnforced();
+    node->WipeFragments();
+  }
   txns_.CrashAndRecover();
   locks_.Clear();
 }

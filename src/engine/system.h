@@ -61,6 +61,27 @@ struct SystemConfig {
   /// Base backoff before attempt k+1: base * 2^(k-1) microseconds, with
   /// uniform jitter in [0, base) to break retry convoys.
   int maintain_retry_base_us = 100;
+  /// Number of independent lock-table shards (per-shard mutex + condvars).
+  /// All locks of one (node, table) fragment share a shard, so acquires and
+  /// release-wakeups on disjoint fragments never contend. 1 = the legacy
+  /// single-mutex table (the contention bench's baseline mode).
+  int lock_shards = 16;
+  /// Reader/writer node latches: read-only phases (probes, estimation
+  /// scans, view lookups) take shared access and overlap per node; false
+  /// restores the exclusive-only latch for baseline comparisons.
+  bool rw_latches = true;
+  /// Simulated WAL force (fsync) latency in nanoseconds; 0 = forcing is
+  /// free and appends are durable immediately (the default, and the
+  /// behavior of every non-contention experiment). Wall-clock sleep only —
+  /// never charged to the CostTracker.
+  uint64_t wal_force_ns = 0;
+  /// Batch concurrent WAL forces behind a per-node group-commit leader
+  /// (only meaningful when wal_force_ns > 0). false = every committing
+  /// transaction pays its own serialized force.
+  bool group_commit = true;
+  /// How long a group-commit leader holds the force open so concurrent
+  /// committers' appends can join its round.
+  int group_commit_window_us = 100;
   /// Turns on the global Tracer for this system's lifetime. Also switched on
   /// by the PJVM_TRACE environment variable ("1", or an output path).
   bool trace_enabled = false;

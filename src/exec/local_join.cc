@@ -34,7 +34,7 @@ Result<std::vector<JoinedPair>> SortMergeJoinFragment(
   // A scan reads the whole fragment: one shared fragment lock. The lock (which
   // may block) comes before the physical latch that covers the reads below.
   PJVM_RETURN_NOT_OK(node->AcquireTableShared(txn_id, table));
-  NodeLatchGuard latch(*node);
+  NodeLatchGuard latch(*node, LatchMode::kShared);
   const LocalIndex* index = frag->FindIndex(inner_col);
   bool inner_sorted = index != nullptr && index->clustered;
 

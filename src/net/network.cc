@@ -97,6 +97,18 @@ std::optional<Message> Network::Poll(int node) {
   return msg;
 }
 
+std::optional<Message> Network::PollTxn(int node, uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::deque<Message>& queue = queues_[node];
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (it->txn_id != txn_id) continue;
+    Message msg = std::move(*it);
+    queue.erase(it);
+    return msg;
+  }
+  return std::nullopt;
+}
+
 std::optional<Message> Network::PollWait(int node, uint64_t timeout_ms) {
   std::unique_lock<std::mutex> lock(mu_);
   if (!arrival_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),

@@ -51,6 +51,13 @@ class Network {
   /// Dequeues the next pending message for `node`, if any.
   std::optional<Message> Poll(int node);
 
+  /// Dequeues the first pending message for `node` whose txn_id matches,
+  /// skipping (and leaving queued) other transactions' messages. Concurrent
+  /// broadcast/drain loops must use this instead of Poll(): with several
+  /// maintenance transactions in flight, a plain Poll can dequeue another
+  /// transaction's message from the shared per-node queue.
+  std::optional<Message> PollTxn(int node, uint64_t txn_id);
+
   /// A synchronous hop: charges and counts the message exactly like
   /// Send()+Poll(msg.to) but hands the payload straight back to the caller
   /// instead of routing it through the destination queue. Use when the

@@ -1,6 +1,9 @@
 #include "txn/lock_manager.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "common/worker_context.h"
@@ -19,6 +22,18 @@ const char* LockModeToString(LockMode mode) {
   return "?";
 }
 
+const char* LockPolicyToString(LockPolicy policy) {
+  switch (policy) {
+    case LockPolicy::kNoWait:
+      return "no_wait";
+    case LockPolicy::kWaitDie:
+      return "wait_die";
+    case LockPolicy::kWoundWait:
+      return "wound_wait";
+  }
+  return "?";
+}
+
 std::string LockId::ToString() const {
   std::string out = "node" + std::to_string(node) + "/" + table;
   if (whole_table) {
@@ -29,12 +44,33 @@ std::string LockId::ToString() const {
   return out;
 }
 
-void LockManager::CollectConflicts(uint64_t txn_id, const LockId& id,
-                                   LockMode mode,
-                                   std::set<uint64_t>* out) const {
+LockManager::LockManager(int num_shards) { set_num_shards(num_shards); }
+
+void LockManager::set_num_shards(int n) {
+  n = std::max(1, n);
+  for (const auto& shard : shards_) {
+    if (shard && !shard->locks.empty()) return;  // live locks: keep layout
+  }
+  shards_.clear();
+  shards_.reserve(n);
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+const LockManager::Shard& LockManager::ShardOf(const LockId& id) const {
+  // Fragment-granular: every lock of one (node, table) pair maps to the same
+  // shard, so table↔key coverage checks and release-wakeups stay single-shard.
+  uint64_t h = std::hash<std::string>{}(id.table);
+  h = h * 1099511628211ULL ^
+      (static_cast<uint64_t>(id.node) * 0x9e3779b97f4a7c15ULL);
+  return *shards_[h % shards_.size()];
+}
+
+void LockManager::CollectConflicts(const Shard& shard, uint64_t txn_id,
+                                   const LockId& id, LockMode mode,
+                                   std::set<uint64_t>* out) {
   auto collect_from = [&](const LockId& other_id) {
-    auto it = locks_.find(other_id);
-    if (it == locks_.end()) return;
+    auto it = shard.locks.find(other_id);
+    if (it == shard.locks.end()) return;
     for (const auto& [holder, held_mode] : it->second.holders) {
       if (holder == txn_id) continue;
       if (!Compatible(held_mode, mode)) out->insert(holder);
@@ -47,7 +83,7 @@ void LockManager::CollectConflicts(uint64_t txn_id, const LockId& id,
     // A table lock conflicts with any key lock of the fragment held by
     // someone else (scan the fragment's key entries).
     LockId lo{id.node, id.table, 0, false};
-    for (auto it = locks_.lower_bound(lo); it != locks_.end(); ++it) {
+    for (auto it = shard.locks.lower_bound(lo); it != shard.locks.end(); ++it) {
       if (it->first.node != id.node || it->first.table != id.table) break;
       if (it->first.whole_table) continue;
       collect_from(it->first);
@@ -61,7 +97,7 @@ void LockManager::CollectConflicts(uint64_t txn_id, const LockId& id,
 Status LockManager::ConflictAborted(uint64_t txn_id, const LockId& id,
                                     LockMode mode,
                                     const std::set<uint64_t>& holders,
-                                    const char* why) const {
+                                    const char* why) {
   std::string msg = std::string("lock conflict on ") + id.ToString() +
                     ": txn " + std::to_string(txn_id) + " wants " +
                     LockModeToString(mode) + ", held by txn " +
@@ -69,12 +105,48 @@ Status LockManager::ConflictAborted(uint64_t txn_id, const LockId& id,
   return Status::Aborted(std::move(msg));
 }
 
-void LockManager::Grant(uint64_t txn_id, const LockId& id, LockMode mode) {
-  Entry& entry = locks_[id];
+void LockManager::Grant(Shard& shard, uint64_t txn_id, const LockId& id,
+                        LockMode mode) {
+  Entry& entry = shard.locks[id];
   LockMode& held = entry.holders[txn_id];
   held = (held == LockMode::kExclusive) ? LockMode::kExclusive : mode;
   if (mode == LockMode::kExclusive) held = LockMode::kExclusive;
-  by_txn_[txn_id].insert(id);
+  shard.by_txn[txn_id].insert(id);
+}
+
+void LockManager::SetAge(uint64_t txn_id, uint64_t age) {
+  std::lock_guard<std::mutex> lock(age_mu_);
+  ages_[txn_id] = age;
+}
+
+uint64_t LockManager::AgeOf(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(age_mu_);
+  auto it = ages_.find(txn_id);
+  return it == ages_.end() ? txn_id : it->second;
+}
+
+bool LockManager::IsWounded(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(wound_mu_);
+  return wounded_.count(txn_id) > 0;
+}
+
+void LockManager::WoundYoungerHolders(uint64_t txn_id,
+                                      const std::set<uint64_t>& holders) {
+  static Counter* wounds =
+      MetricsRegistry::Global().counter("pjvm_lock_wounds");
+  const uint64_t my_age = AgeOf(txn_id);
+  std::lock_guard<std::mutex> lock(wound_mu_);
+  for (uint64_t holder : holders) {
+    if (AgeOf(holder) <= my_age) continue;
+    if (wounded_.insert(holder).second) wounds->Increment();
+    // Wake a parked victim so it re-checks its wound flag. If it registered
+    // but has not reached wait() yet, the notify is lost and the wait
+    // timeout backstops — a bounded stall, never a missed abort.
+    auto parked = parked_.find(holder);
+    if (parked != parked_.end() && parked->second) {
+      parked->second->notify_all();
+    }
+  }
 }
 
 Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
@@ -84,13 +156,32 @@ Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
       MetricsRegistry::Global().counter("pjvm_lock_deadlock_kills");
   static Counter* timeouts =
       MetricsRegistry::Global().counter("pjvm_lock_wait_timeouts");
+  static Counter* shard_contention =
+      MetricsRegistry::Global().counter("pjvm_lock_shard_contention");
   static LatencyHistogram* wait_ns =
       MetricsRegistry::Global().histogram("pjvm_lock_wait_ns");
 
-  std::unique_lock<std::mutex> lock(mu_);
+  auto wounded_abort = [&]() {
+    kills->Increment();
+    return Status::Aborted("lock conflict on " + id.ToString() + ": txn " +
+                           std::to_string(txn_id) +
+                           " wounded by an older transaction (wound-wait)");
+  };
+  // A wounded transaction aborts at its next lock request even if that
+  // request would have been grantable: the older wounder is waiting for us.
+  if (policy_ == LockPolicy::kWoundWait && IsWounded(txn_id)) {
+    return wounded_abort();
+  }
+
+  Shard& shard = ShardOf(id);
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard_contention->Increment();
+    lock.lock();
+  }
   // Already held at sufficient strength?
-  auto it = locks_.find(id);
-  if (it != locks_.end()) {
+  auto it = shard.locks.find(id);
+  if (it != shard.locks.end()) {
     auto held = it->second.holders.find(txn_id);
     if (held != it->second.holders.end()) {
       if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
@@ -101,7 +192,8 @@ Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
     }
   }
 
-  const bool may_block = policy_ == LockPolicy::kWaitDie &&
+  const bool may_block = (policy_ == LockPolicy::kWaitDie ||
+                          policy_ == LockPolicy::kWoundWait) &&
                          wait_timeout_ms_ > 0 && !WorkerContext::MustNotBlock();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(wait_timeout_ms_);
@@ -118,22 +210,33 @@ Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
   std::set<uint64_t> conflicts;
   for (;;) {
     conflicts.clear();
-    CollectConflicts(txn_id, id, mode, &conflicts);
+    CollectConflicts(shard, txn_id, id, mode, &conflicts);
     if (conflicts.empty()) {
-      Grant(txn_id, id, mode);
+      Grant(shard, txn_id, id, mode);
       finish_wait(true);
       return Status::OK();
     }
     if (policy_ == LockPolicy::kNoWait) {
       return ConflictAborted(txn_id, id, mode, conflicts, "no-wait");
     }
-    // Wait-die: die if ANY conflicting holder is older (smaller id) — the
-    // re-check after each wakeup means a newly arrived older holder kills a
-    // sleeping waiter too.
-    if (*conflicts.begin() < txn_id) {
+    uint64_t oldest_conflict = UINT64_MAX;
+    if (policy_ != LockPolicy::kNoWait) {
+      for (uint64_t holder : conflicts) {
+        oldest_conflict = std::min(oldest_conflict, AgeOf(holder));
+      }
+    }
+    if (policy_ == LockPolicy::kWaitDie && oldest_conflict < AgeOf(txn_id)) {
+      // Wait-die: die if ANY conflicting holder is older (by lineage age,
+      // see SetAge) — the re-check after each wakeup means a newly arrived
+      // older holder kills a sleeping waiter too.
       kills->Increment();
       finish_wait(false);
       return ConflictAborted(txn_id, id, mode, conflicts, "wait-die kill");
+    }
+    if (policy_ == LockPolicy::kWoundWait) {
+      // Wound every younger conflicting holder, then wait for the conflict
+      // to clear (the requester never dies under wound-wait).
+      WoundYoungerHolders(txn_id, conflicts);
     }
     if (!may_block) {
       finish_wait(false);
@@ -152,26 +255,38 @@ Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
     // Park on the entry's condition variable. The shared_ptr keeps the cv
     // alive even if the entry is erased while we sleep (Clear, or the last
     // holder of a covering entry releasing).
-    Entry& entry = locks_[id];
+    Entry& entry = shard.locks[id];
     if (!entry.waiters) {
       entry.waiters = std::make_shared<std::condition_variable>();
     }
     std::shared_ptr<std::condition_variable> cv = entry.waiters;
     ++entry.waiter_count;
+    if (policy_ == LockPolicy::kWoundWait) {
+      std::lock_guard<std::mutex> wg(wound_mu_);
+      parked_[txn_id] = cv;
+    }
     std::cv_status wake = cv->wait_until(lock, deadline);
+    if (policy_ == LockPolicy::kWoundWait) {
+      std::lock_guard<std::mutex> wg(wound_mu_);
+      parked_.erase(txn_id);
+    }
     // The map may have changed while parked; re-find before bookkeeping.
-    auto it2 = locks_.find(id);
-    if (it2 != locks_.end() && it2->second.waiters == cv) {
+    auto it2 = shard.locks.find(id);
+    if (it2 != shard.locks.end() && it2->second.waiters == cv) {
       --it2->second.waiter_count;
       if (it2->second.holders.empty() && it2->second.waiter_count == 0) {
-        locks_.erase(it2);
+        shard.locks.erase(it2);
       }
+    }
+    if (policy_ == LockPolicy::kWoundWait && IsWounded(txn_id)) {
+      finish_wait(false);
+      return wounded_abort();
     }
     if (wake == std::cv_status::timeout) {
       conflicts.clear();
-      CollectConflicts(txn_id, id, mode, &conflicts);
+      CollectConflicts(shard, txn_id, id, mode, &conflicts);
       if (conflicts.empty()) {
-        Grant(txn_id, id, mode);
+        Grant(shard, txn_id, id, mode);
         finish_wait(true);
         return Status::OK();
       }
@@ -183,62 +298,96 @@ Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
 }
 
 void LockManager::ReleaseAll(uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = by_txn_.find(txn_id);
-  if (it == by_txn_.end()) return;
-  for (const LockId& id : it->second) {
-    auto entry = locks_.find(id);
-    if (entry != locks_.end()) {
-      entry->second.holders.erase(txn_id);
-      if (entry->second.holders.empty() && entry->second.waiter_count == 0) {
-        locks_.erase(entry);
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.by_txn.find(txn_id);
+    if (it == shard.by_txn.end()) continue;
+    for (const LockId& id : it->second) {
+      auto entry = shard.locks.find(id);
+      if (entry != shard.locks.end()) {
+        entry->second.holders.erase(txn_id);
+        if (entry->second.holders.empty() &&
+            entry->second.waiter_count == 0) {
+          shard.locks.erase(entry);
+        }
+      }
+      // Wake waiters of every entry on this (node, table): releasing a key
+      // lock can unblock a fragment-lock waiter and vice versa, and waiters
+      // park on the entry they requested, not the one they conflicted with.
+      LockId lo{id.node, id.table, 0, false};
+      for (auto w = shard.locks.lower_bound(lo); w != shard.locks.end(); ++w) {
+        if (w->first.node != id.node || w->first.table != id.table) break;
+        if (w->second.waiter_count > 0 && w->second.waiters) {
+          w->second.waiters->notify_all();
+        }
       }
     }
-    // Wake waiters of every entry on this (node, table): releasing a key
-    // lock can unblock a fragment-lock waiter and vice versa, and waiters
-    // park on the entry they requested, not the one they conflicted with.
-    LockId lo{id.node, id.table, 0, false};
-    for (auto w = locks_.lower_bound(lo); w != locks_.end(); ++w) {
-      if (w->first.node != id.node || w->first.table != id.table) break;
-      if (w->second.waiter_count > 0 && w->second.waiters) {
-        w->second.waiters->notify_all();
-      }
-    }
+    shard.by_txn.erase(it);
   }
-  by_txn_.erase(it);
+  // The transaction is finished (commit or abort); its wound flag, if any,
+  // is moot. Txn ids are never reused, so clearing after release is safe —
+  // any Acquire that observed the flag has already aborted.
+  {
+    std::lock_guard<std::mutex> wg(wound_mu_);
+    wounded_.erase(txn_id);
+    parked_.erase(txn_id);
+  }
+  std::lock_guard<std::mutex> ag(age_mu_);
+  ages_.erase(txn_id);
 }
 
 void LockManager::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [id, entry] : locks_) {
-    if (entry.waiter_count > 0 && entry.waiters) {
-      entry.waiters->notify_all();
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [id, entry] : shard.locks) {
+      if (entry.waiter_count > 0 && entry.waiters) {
+        entry.waiters->notify_all();
+      }
     }
+    shard.locks.clear();
+    shard.by_txn.clear();
   }
-  locks_.clear();
-  by_txn_.clear();
+  {
+    std::lock_guard<std::mutex> wg(wound_mu_);
+    wounded_.clear();
+  }
+  std::lock_guard<std::mutex> ag(age_mu_);
+  ages_.clear();
 }
 
 size_t LockManager::HeldCount(uint64_t txn_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = by_txn_.find(txn_id);
-  return it == by_txn_.end() ? 0 : it->second.size();
+  size_t count = 0;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.by_txn.find(txn_id);
+    if (it != shard.by_txn.end()) count += it->second.size();
+  }
+  return count;
 }
 
 bool LockManager::Holds(uint64_t txn_id, const LockId& id,
                         LockMode mode) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = locks_.find(id);
-  if (it == locks_.end()) return false;
+  const Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.locks.find(id);
+  if (it == shard.locks.end()) return false;
   auto held = it->second.holders.find(txn_id);
   if (held == it->second.holders.end()) return false;
   return held->second == LockMode::kExclusive || mode == LockMode::kShared;
 }
 
 size_t LockManager::TotalLocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t count = 0;
-  for (const auto& [id, entry] : locks_) count += entry.holders.size();
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, entry] : shard.locks) {
+      count += entry.holders.size();
+    }
+  }
   return count;
 }
 

@@ -31,7 +31,16 @@ enum class LockPolicy {
   /// parks on the entry's condition variable until the conflict clears or
   /// a timeout fires; a *younger* requester dies (Aborted) immediately.
   kWaitDie,
+  /// Wound-wait deadlock avoidance: an *older* requester wounds every
+  /// younger conflicting holder (they abort at their next Acquire or
+  /// wakeup) and then parks until the conflict clears; a *younger*
+  /// requester parks behind the older holder. Waits-for edges point
+  /// young -> old and wounded transactions always release, so cycles
+  /// cannot persist.
+  kWoundWait,
 };
+
+const char* LockPolicyToString(LockPolicy policy);
 
 /// \brief Identity of a lockable resource: a key of a table's fragment at
 /// one node, or the whole fragment (key_hash absent).
@@ -73,8 +82,12 @@ struct LockId {
 /// younger transactions, every waits-for edge points old → young and cycles
 /// are impossible; no waits-for graph is needed. Timeouts also return
 /// Aborted, so the caller's abort-and-retry path handles both uniformly.
-/// The legacy **no-wait** policy (every conflict aborts instantly) remains
-/// available for comparison runs — bench_contention measures both.
+/// **Wound-wait** inverts the victim choice: an older requester wounds the
+/// younger holders (they observe the wound and abort at their next Acquire
+/// or wakeup) and waits for them to release; a younger requester simply
+/// waits behind the older holder. The legacy **no-wait** policy (every
+/// conflict aborts instantly) remains available for comparison runs —
+/// bench_contention measures all three.
 ///
 /// Two execution contexts must never block regardless of policy (see
 /// common/worker_context.h): node-executor workers, whose FIFO queues would
@@ -92,20 +105,27 @@ struct LockId {
 /// sort-merge scan can take one fragment lock instead of thousands of key
 /// locks.
 ///
-/// The lock table is shared by all nodes, so every public method takes one
-/// internal mutex — required now that the thread-per-node executor acquires
-/// locks from per-node workers during parallel probe phases. Waiters park
-/// on per-entry condition variables so a release only wakes the relevant
-/// queue.
+/// **Sharding.** The lock table is split into `num_shards` shards, each with
+/// its own mutex and entry map, so acquires, parks, and release-wakeups on
+/// disjoint fragments never contend on a common mutex. The shard key is the
+/// (node, table) pair — not the full lock id — because correctness requires
+/// two whole-fragment operations to be atomic within one shard:
+/// CollectConflicts checks table-lock ↔ key-lock coverage across every entry
+/// of the fragment, and ReleaseAll wakes waiters parked anywhere on the
+/// released fragment. Failed shard try-locks are counted in
+/// `pjvm_lock_shard_contention`.
 class LockManager {
  public:
+  explicit LockManager(int num_shards = kDefaultShards);
+
   /// Acquires (or upgrades) a lock. Aborted when the conflict policy kills
-  /// the request (no-wait conflict, wait-die death, wait timeout, or a
-  /// would-wait in a context that must not block).
+  /// the request (no-wait conflict, wait-die death, a wound, a wait
+  /// timeout, or a would-wait in a context that must not block).
   Status Acquire(uint64_t txn_id, const LockId& id, LockMode mode);
 
-  /// Releases everything the transaction holds (commit or abort) and wakes
-  /// waiters parked on the released entries.
+  /// Releases everything the transaction holds (commit or abort), wakes
+  /// waiters parked on the released entries, and clears any wound flag —
+  /// the transaction is finished either way.
   void ReleaseAll(uint64_t txn_id);
 
   /// Number of distinct resources the transaction holds locks on.
@@ -120,11 +140,26 @@ class LockManager {
   /// wakes all waiters; their conflicts are gone, so they acquire.
   void Clear();
 
+  /// Registers a priority timestamp for `txn_id` that differs from its id.
+  /// Wait-die and wound-wait order transactions by age; a retry loop that
+  /// restarts an aborted transaction under a fresh id passes the lineage's
+  /// FIRST id here so the restart keeps its original timestamp — the
+  /// textbook anti-starvation rule (a restarted transaction is never again
+  /// the youngest). Cleared by ReleaseAll/Clear.
+  void SetAge(uint64_t txn_id, uint64_t age);
+
   LockPolicy policy() const { return policy_; }
   void set_policy(LockPolicy policy) { policy_ = policy; }
   /// Upper bound on one blocking wait; expiry returns Aborted.
   void set_wait_timeout_ms(int ms) { wait_timeout_ms_ = ms; }
   int wait_timeout_ms() const { return wait_timeout_ms_; }
+
+  /// Re-shards the (empty) lock table. Only legal before any lock is held;
+  /// a call while entries exist is ignored (tests re-use managers).
+  void set_num_shards(int n);
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  static constexpr int kDefaultShards = 16;
 
  private:
   struct Entry {
@@ -137,24 +172,62 @@ class LockManager {
     int waiter_count = 0;
   };
 
+  /// One independent slice of the lock table. All entries of one
+  /// (node, table) fragment live in the same shard (see class comment).
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<LockId, Entry> locks;
+    std::map<uint64_t, std::set<LockId>> by_txn;
+  };
+
+  Shard& ShardOf(const LockId& id) {
+    return const_cast<Shard&>(
+        static_cast<const LockManager*>(this)->ShardOf(id));
+  }
+  const Shard& ShardOf(const LockId& id) const;
+
   /// Collects holders (other than `txn_id`) conflicting with the request,
   /// considering table-vs-key coverage (a table lock covers all keys and
-  /// vice versa). Empty means the lock is grantable.
-  void CollectConflicts(uint64_t txn_id, const LockId& id, LockMode mode,
-                        std::set<uint64_t>* out) const;
-  Status ConflictAborted(uint64_t txn_id, const LockId& id, LockMode mode,
-                         const std::set<uint64_t>& holders,
-                         const char* why) const;
-  void Grant(uint64_t txn_id, const LockId& id, LockMode mode);
+  /// vice versa). Empty means the lock is grantable. `shard.mu` held.
+  static void CollectConflicts(const Shard& shard, uint64_t txn_id,
+                               const LockId& id, LockMode mode,
+                               std::set<uint64_t>* out);
+  static Status ConflictAborted(uint64_t txn_id, const LockId& id,
+                                LockMode mode,
+                                const std::set<uint64_t>& holders,
+                                const char* why);
+  static void Grant(Shard& shard, uint64_t txn_id, const LockId& id,
+                    LockMode mode);
   static bool Compatible(LockMode held, LockMode wanted) {
     return held == LockMode::kShared && wanted == LockMode::kShared;
   }
 
-  mutable std::mutex mu_;
-  std::map<LockId, Entry> locks_;
-  std::map<uint64_t, std::set<LockId>> by_txn_;
+  /// The priority timestamp wait-die/wound-wait compare: the registered
+  /// age if SetAge was called for this transaction, its id otherwise.
+  uint64_t AgeOf(uint64_t txn_id) const;
+
+  /// True if `txn_id` has been wounded (and should abort).
+  bool IsWounded(uint64_t txn_id) const;
+  /// Wounds every conflicting holder younger than `txn_id`; wakes any that
+  /// are parked. Called with a shard mutex held (lock order: shard → wound).
+  void WoundYoungerHolders(uint64_t txn_id, const std::set<uint64_t>& holders);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
   LockPolicy policy_ = LockPolicy::kNoWait;
   int wait_timeout_ms_ = 500;
+
+  /// Wound-wait victim state. Ordered strictly after any shard mutex; never
+  /// held while taking a shard mutex.
+  mutable std::mutex wound_mu_;
+  std::set<uint64_t> wounded_;
+  /// Where each parked transaction sleeps, so a wound can wake its victim
+  /// promptly (the victim re-checks its wound flag on every wakeup).
+  std::map<uint64_t, std::shared_ptr<std::condition_variable>> parked_;
+
+  /// Retry-lineage timestamps (SetAge). Leaf mutex: taken under shard or
+  /// wound mutexes, never the reverse.
+  mutable std::mutex age_mu_;
+  std::map<uint64_t, uint64_t> ages_;
 };
 
 }  // namespace pjvm

@@ -1,5 +1,12 @@
 #include "txn/wal.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
 namespace pjvm {
 
 const char* LogRecordTypeToString(LogRecordType type) {
@@ -32,7 +39,89 @@ uint64_t Wal::Append(LogRecord record) {
   record.lsn = next_lsn_++;
   uint64_t lsn = record.lsn;
   records_.push_back(std::move(record));
+  // Free forcing: appends are durable immediately (the original model).
+  if (force_ns_ == 0) durable_lsn_ = lsn;
   return lsn;
+}
+
+Status Wal::Force(uint64_t lsn) {
+  static LatencyHistogram* batch_size =
+      MetricsRegistry::Global().histogram("pjvm_group_commit_batch_size");
+  static LatencyHistogram* waits_ns =
+      MetricsRegistry::Global().histogram("pjvm_group_commit_waits_ns");
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (lsn >= next_lsn_) lsn = next_lsn_ - 1;
+  if (force_ns_ == 0 || durable_lsn_ >= lsn) return Status::OK();
+
+  // The simulated device write. Sleeps wall-clock time only — forcing is a
+  // latency model, not an I/O primitive, so it must never move the
+  // CostTracker counters (the equivalence suites compare them bit-exactly).
+  auto device_force = [this, &lock](uint64_t target) {
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::nanoseconds(force_ns_));
+    lock.lock();
+    durable_lsn_ = std::max(durable_lsn_, target);
+  };
+
+  if (!group_commit_) {
+    // Per-txn force: every committer pays its own device write, one at a
+    // time (the contention bench's baseline mode). A committer that arrives
+    // while another force is in flight does NOT ride that round even if it
+    // covers its LSN — sharing an in-progress device write with concurrent
+    // committers is exactly the optimization group commit adds, so the
+    // ablation baseline must not get it for free.
+    while (force_in_progress_) {
+      force_cv_.wait(lock);
+    }
+    force_in_progress_ = true;
+    device_force(lsn);
+    force_in_progress_ = false;
+    force_cv_.notify_all();
+    return Status::OK();
+  }
+
+  ++round_requests_;
+  uint64_t wait_start_ns = 0;
+  for (;;) {
+    if (durable_lsn_ >= lsn) {
+      // Follower: a leader's round covered our LSN while we parked.
+      if (wait_start_ns != 0) {
+        waits_ns->Record(Tracer::NowNs() - wait_start_ns);
+      }
+      return Status::OK();
+    }
+    if (!force_in_progress_) break;  // become this round's leader
+    if (wait_start_ns == 0) wait_start_ns = Tracer::NowNs();
+    force_cv_.wait(lock);
+  }
+
+  // Leader: hold the force open briefly so concurrent committers' appends
+  // join this round, then force everything logged so far in one write.
+  force_in_progress_ = true;
+  if (window_us_ > 0) {
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(window_us_));
+    lock.lock();
+  }
+  uint64_t target = next_lsn_ - 1;  // everything appended up to now
+  uint64_t batch = round_requests_;
+  round_requests_ = 0;
+  device_force(target);
+  batch_size->Record(batch);
+  force_in_progress_ = false;
+  force_cv_.notify_all();
+  return Status::OK();
+}
+
+void Wal::DiscardUnforced() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.erase(
+      std::remove_if(records_.begin(), records_.end(),
+                     [this](const LogRecord& rec) {
+                       return rec.lsn > durable_lsn_;
+                     }),
+      records_.end());
 }
 
 void Wal::ReplayCommitted(

@@ -1,6 +1,7 @@
 #ifndef PJVM_TXN_WAL_H_
 #define PJVM_TXN_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "common/row.h"
+#include "common/status.h"
 
 namespace pjvm {
 
@@ -49,15 +51,62 @@ struct LogRecord {
 /// a checkpoint can never alias pre-checkpoint LSNs that might still be
 /// referenced by diagnostics or recovery bookkeeping.
 ///
-/// Append/size/Clear are internally synchronized: parallel write fan-outs
-/// append from node-executor workers while client threads run autocommit
-/// operations. `records()`/`ReplayCommitted` return/iterate the underlying
-/// vector without copying and are for quiescent callers only (recovery,
-/// checkpoint, tests) — no appends may be in flight.
+/// Append/size/Clear/Force are internally synchronized: parallel write
+/// fan-outs append from node-executor workers while client threads run
+/// autocommit operations. `records()`/`ReplayCommitted` return/iterate the
+/// underlying vector without copying and are for quiescent callers only
+/// (recovery, checkpoint, tests) — no appends may be in flight.
+///
+/// **Forcing and group commit.** A configurable simulated force cost
+/// (`ConfigureForce`) splits durability in two: Append makes a record
+/// *logged*, Force makes every record up to an LSN *durable* (advances the
+/// `durable_lsn()` watermark after sleeping the simulated device time —
+/// wall clock only, never charged to the CostTracker). With group commit
+/// enabled, concurrent Force calls elect a leader per round: the leader
+/// holds the force for `group_commit_window_us` to accumulate more appends,
+/// then forces once up to the newest LSN; followers park on the force
+/// condition variable until the leader's round covers their LSN, so N
+/// concurrent commits pay ~1 force instead of N. With group commit disabled
+/// every Force runs its own device sleep, serialized — the contention
+/// bench's per-txn-force baseline. With `force_ns == 0` (the default)
+/// appends are durable immediately and Force is free, which is the
+/// pre-group-commit behavior all non-contention tests rely on.
+///
+/// The simulated crash (`DiscardUnforced`) drops records above the durable
+/// watermark, modeling the loss of an unforced log tail. Note autocommit
+/// appends are only covered once some later force advances the watermark
+/// past them; crash tests drive explicit transactions, whose 2PC prepare
+/// forces cover all their data records.
 class Wal {
  public:
   /// Appends a record, assigning its LSN. Returns the LSN.
   uint64_t Append(LogRecord record);
+
+  /// Simulated force cost per device write (`force_ns` of wall-clock sleep,
+  /// never charged to cost counters), group-commit leader election on/off,
+  /// and the leader's accumulation window. force_ns == 0 restores
+  /// durable-on-append semantics.
+  void ConfigureForce(uint64_t force_ns, bool group_commit, int window_us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    force_ns_ = force_ns;
+    group_commit_ = group_commit;
+    window_us_ = window_us;
+  }
+
+  /// Blocks until every record with LSN ≤ `lsn` is durable (clamped to the
+  /// last assigned LSN). May force the log itself (leader) or ride a
+  /// concurrent leader's force (follower).
+  Status Force(uint64_t lsn);
+
+  /// Highest LSN guaranteed to survive DiscardUnforced.
+  uint64_t durable_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return durable_lsn_;
+  }
+
+  /// Simulated crash of the log device's volatile tail: drops every record
+  /// newer than the durable watermark. No-op when forcing is free.
+  void DiscardUnforced();
 
   const std::vector<LogRecord>& records() const { return records_; }
   size_t size() const {
@@ -76,16 +125,30 @@ class Wal {
                        const std::function<void(const LogRecord&)>& apply) const;
 
   /// Truncates the record list (checkpoint). LSNs stay monotonic: the next
-  /// append continues from where the pre-truncation log left off.
+  /// append continues from where the pre-truncation log left off. The
+  /// checkpoint is durable by definition, so the watermark advances over
+  /// everything truncated.
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
     records_.clear();
+    durable_lsn_ = next_lsn_ - 1;
   }
 
  private:
   mutable std::mutex mu_;
   std::vector<LogRecord> records_;
   uint64_t next_lsn_ = 1;
+
+  // Force/group-commit state, all under mu_.
+  uint64_t durable_lsn_ = 0;
+  uint64_t force_ns_ = 0;
+  bool group_commit_ = true;
+  int window_us_ = 100;
+  bool force_in_progress_ = false;
+  /// Force calls that joined since the current round's leader was elected;
+  /// becomes the round's recorded batch size.
+  uint64_t round_requests_ = 0;
+  std::condition_variable force_cv_;
 };
 
 }  // namespace pjvm

@@ -96,7 +96,7 @@ Status ArRegistry::Build(Entry& entry) {
     // node's latch while taking another's would invert latch order.
     std::vector<Row> rows;
     {
-      NodeLatchGuard latch(*sys_->node(i));
+      NodeLatchGuard latch(*sys_->node(i), LatchMode::kShared);
       const TableFragment* frag = sys_->node(i)->fragment(entry.base_table);
       frag->ForEach([&](LocalRowId, const Row& row) {
         if (entry.filtered && !PassesPreds(row, entry.preds)) return true;
@@ -257,7 +257,7 @@ Status ArRegistry::CheckConsistent() const {
     std::map<std::string, int> actual;
     size_t misplaced = 0;
     for (int i = 0; i < sys_->num_nodes(); ++i) {
-      NodeLatchGuard latch(*sys_->node(i));
+      NodeLatchGuard latch(*sys_->node(i), LatchMode::kShared);
       const TableFragment* frag = sys_->node(i)->fragment(entry.ar_table);
       int probe_pos = -1;
       {

@@ -55,9 +55,38 @@ std::string MaintenanceAnalysis::ToString() const {
                 static_cast<unsigned long long>(bytes_sent), nodes_touched,
                 per_node.size(), report.structure_writes, wall_ms);
   os << line;
+  if (attempts > 1) {
+    std::snprintf(line, sizeof(line),
+                  "  retries: %d attempts, %.3f ms backoff\n", attempts,
+                  static_cast<double>(backoff_ns) / 1e6);
+    os << line;
+    for (size_t i = 0; i < attempt_aborts.size(); ++i) {
+      os << "    attempt " << (i + 1) << " aborted: " << attempt_aborts[i]
+         << "\n";
+    }
+  }
   if (!report.notes.empty()) os << "  notes: " << report.notes << "\n";
   return os.str();
 }
+
+namespace {
+
+// Minimal JSON string escaping for abort reasons (quotes and backslashes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string MaintenanceAnalysis::ToJson() const {
   std::ostringstream os;
@@ -89,7 +118,13 @@ std::string MaintenanceAnalysis::ToJson() const {
      << ",\"response_time\":" << response_time << ",\"messages\":" << messages
      << ",\"bytes_sent\":" << bytes_sent
      << ",\"nodes_touched\":" << nodes_touched << ",\"wall_ms\":" << wall_ms
-     << "}";
+     << ",\"attempts\":" << attempts << ",\"backoff_ns\":" << backoff_ns
+     << ",\"attempt_aborts\":[";
+  for (size_t i = 0; i < attempt_aborts.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << JsonEscape(attempt_aborts[i]) << "\"";
+  }
+  os << "]}";
   return os.str();
 }
 

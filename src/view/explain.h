@@ -36,6 +36,13 @@ struct MaintenanceAnalysis {
   int nodes_touched = 0;        ///< Nodes with any I/O or sends this txn.
   double wall_ms = 0.0;
 
+  /// Retry visibility: how many attempts the bounded retry loop took for
+  /// this statement (1 = first try committed), the total backoff slept
+  /// between attempts, and each failed attempt's abort reason in order.
+  int attempts = 1;
+  uint64_t backoff_ns = 0;
+  std::vector<std::string> attempt_aborts;
+
   /// Aggregate maintainer-side counts (rows, probes, structure writes).
   MaintenanceReport report;
 

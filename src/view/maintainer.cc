@@ -68,7 +68,7 @@ double Maintainer::EstimateKeyFanout(int base, int full_col,
   double total = 0.0;
   bool any_index = false;
   for (int i = 0; i < sys_->num_nodes(); ++i) {
-    NodeLatchGuard latch(*sys_->node(i));
+    NodeLatchGuard latch(*sys_->node(i), LatchMode::kShared);
     const TableFragment* frag = sys_->node(i)->fragment(table);
     if (frag == nullptr) continue;
     const LocalIndex* index = frag->FindIndex(full_col);
@@ -85,7 +85,7 @@ double Maintainer::EstimateFanout(int base, int full_col) const {
   const std::string& table = bound().base_def(base).name;
   std::vector<ColumnStats> parts;
   for (int i = 0; i < sys_->num_nodes(); ++i) {
-    NodeLatchGuard latch(*sys_->node(i));
+    NodeLatchGuard latch(*sys_->node(i), LatchMode::kShared);
     const TableFragment* frag = sys_->node(i)->fragment(table);
     if (frag != nullptr) parts.push_back(ComputeColumnStats(*frag, full_col));
   }
@@ -179,7 +179,7 @@ Status Maintainer::ProbeGroupAtNode(uint64_t txn, const PlanStep& step,
   // The whole probe reads the fragment directly (FindIndex, num_pages, and
   // the join itself); the latch is recursive, so the nested IndexProbe /
   // SortMergeJoinFragment latches on the same node are fine.
-  NodeLatchGuard latch(*n);
+  NodeLatchGuard latch(*n, LatchMode::kShared);
   TableFragment* frag = n->fragment(target.table);
   if (frag == nullptr) {
     return Status::NotFound("maintenance: node " + std::to_string(node) +
@@ -252,14 +252,18 @@ Result<std::vector<Maintainer::Partial>> Maintainer::BroadcastStep(
   PJVM_ASSIGN_OR_RETURN(int key_idx,
                         bound().WorkingIndex(step.source_base, step.source_col));
   // Every partial is shipped to every node: the paper's L*SEND per tuple.
+  // The drain below is tagged with this transaction's id: with several
+  // maintenance transactions broadcasting concurrently, a plain Poll could
+  // dequeue another transaction's probe from the shared per-node queue.
   for (const Partial& p : in) {
     Message msg;
     msg.kind = MessageKind::kProbe;
     msg.table = bound().base_def(step.target_base).name;
     msg.rows.push_back(p.working);
+    msg.txn_id = txn;
     PJVM_RETURN_NOT_OK(sys_->network().Broadcast(p.node, msg));
     for (int node = 0; node < sys_->num_nodes(); ++node) {
-      sys_->network().Poll(node);
+      sys_->network().PollTxn(node, txn);
     }
   }
   ProbeTarget target = BaseProbeTarget(step);

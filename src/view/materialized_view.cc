@@ -49,7 +49,7 @@ Status MaterializedView::ApplyOutputs(uint64_t txn, int source_node,
     for (Row& row : rows) {
       int found = -1;
       for (int i = 0; i < sys_->num_nodes(); ++i) {
-        NodeLatchGuard latch(*sys_->node(i));
+        NodeLatchGuard latch(*sys_->node(i), LatchMode::kShared);
         const TableFragment* frag = sys_->node(i)->fragment(table_name());
         sys_->cost().ChargeSearch(i);
         if (frag->FindExact(row).ok()) {
@@ -146,7 +146,7 @@ Status MaterializedView::ApplyAggregateContributions(uint64_t txn,
         }
       } else {
         // Global aggregate: at most one row, scan the (single-row) fragment.
-        NodeLatchGuard latch(*node);
+        NodeLatchGuard latch(*node, LatchMode::kShared);
         sys_->cost().ChargeSearch(dest);
         frag->ForEach([&](LocalRowId, const Row& candidate) {
           old_row = candidate;

@@ -413,10 +413,28 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
   const int base_us = sys_->config().maintain_retry_base_us;
   Result<MaintenanceReport> result =
       Status::Internal("maintenance: no attempt ran");
+  if (analysis != nullptr) {
+    analysis->attempts = 1;
+    analysis->backoff_ns = 0;
+    analysis->attempt_aborts.clear();
+  }
+  uint64_t lineage = 0;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     uint64_t txn = sys_->Begin();
+    if (lineage == 0) {
+      lineage = txn;
+    } else {
+      // A restart keeps the lineage's original timestamp (the classic
+      // wait-die/wound-wait anti-starvation rule): each retry runs under a
+      // fresh txn id — reusing the id would confuse WAL replay — but is
+      // never again the youngest transaction in every conflict it meets.
+      sys_->locks().SetAge(txn, lineage);
+    }
     // Per-view phases from a killed attempt would double-count.
-    if (analysis != nullptr) analysis->views.clear();
+    if (analysis != nullptr) {
+      analysis->views.clear();
+      analysis->attempts = attempt;
+    }
     result = run(txn);
     if (result.ok()) {
       // A commit failure (e.g. an injected crash mid-2PC) is not retryable:
@@ -426,16 +444,25 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
     }
     sys_->Abort(txn).Check();
     MetricsRegistry::Global().counter("pjvm_maintain_txns_aborted")->Increment();
+    if (analysis != nullptr) {
+      analysis->attempt_aborts.push_back(result.status().ToString());
+    }
     if (!result.status().IsAborted() || attempt == max_attempts) return result;
     retries_counter->Increment();
     if (base_us > 0) {
-      // Delay uniformly in [step, 2*step) where step = base * 2^(attempt-1),
-      // capped so the shift cannot overflow.
+      // Delay uniformly in [step, 2*step) where step = base * 2^(attempt-1).
+      // The exponent is capped: blockers hold their locks for at most a
+      // commit's worth of WAL forces, so sleeping far past that scale (an
+      // uncapped 2^15 step is seconds) only throttles the retrier without
+      // reducing conflicts.
       Rng jitter(txn * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(attempt));
       int64_t step = static_cast<int64_t>(base_us)
-                     << std::min(attempt - 1, 20);
+                     << std::min(attempt - 1, 6);
       int64_t delay = step + jitter.UniformInt(0, step - 1);
       std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      if (analysis != nullptr) {
+        analysis->backoff_ns += static_cast<uint64_t>(delay) * 1000;
+      }
     }
   }
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "engine/node.h"
 #include "engine/system.h"
 #include "obs/metrics_registry.h"
 #include "tests/view_test_util.h"
@@ -382,6 +383,342 @@ TEST(MaintenanceRetryTest, ExhaustedRetriesSurfaceAborted) {
   ASSERT_TRUE(manager.InsertRow("A", contested).ok());
   EXPECT_EQ(sys.locks().TotalLocks(), 0u);
   ASSERT_TRUE(manager.CheckAllConsistent().ok());
+}
+
+// ------------------------------------------------------ Lock-table shards
+
+TEST(LockShardTest, BookkeepingSpansShards) {
+  // One transaction locking many (node, table) fragments lands in several
+  // shards; the aggregate views and ReleaseAll must stitch them together.
+  LockManager lm(/*num_shards=*/16);
+  uint64_t txn = 1;
+  const char* tables[] = {"A", "B", "C", "D"};
+  for (int node = 0; node < 8; ++node) {
+    for (const char* table : tables) {
+      ASSERT_TRUE(
+          lm.Acquire(txn, LockId::Key(node, table, Value{node}), LockMode::kExclusive)
+              .ok());
+    }
+  }
+  EXPECT_EQ(lm.HeldCount(txn), 32u);
+  EXPECT_EQ(lm.TotalLocks(), 32u);
+  EXPECT_TRUE(lm.Holds(txn, LockId::Key(3, "B", Value{3}), LockMode::kExclusive));
+  lm.ReleaseAll(txn);
+  EXPECT_EQ(lm.HeldCount(txn), 0u);
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+}
+
+TEST(LockShardTest, TableCoverageStaysWithinOneShard) {
+  // Table-lock ↔ key-lock conflicts are detected across shard layouts: all
+  // locks of one (node, table) fragment share a shard by construction.
+  for (int shards : {1, 3, 16}) {
+    LockManager lm(shards);
+    ASSERT_TRUE(
+        lm.Acquire(1, LockId::Key(0, "T", Value{7}), LockMode::kExclusive).ok());
+    EXPECT_TRUE(lm.Acquire(2, LockId::Table(0, "T"), LockMode::kExclusive)
+                    .IsAborted());
+    EXPECT_TRUE(
+        lm.Acquire(2, LockId::Key(1, "T", Value{7}), LockMode::kExclusive).ok());
+    lm.ReleaseAll(1);
+    lm.ReleaseAll(2);
+    EXPECT_EQ(lm.TotalLocks(), 0u);
+  }
+}
+
+TEST(LockShardTest, ReshardIgnoredWhileLocksHeld) {
+  LockManager lm(4);
+  EXPECT_EQ(lm.num_shards(), 4);
+  ASSERT_TRUE(
+      lm.Acquire(1, LockId::Key(0, "T", Value{1}), LockMode::kShared).ok());
+  lm.set_num_shards(8);  // must not strand the held lock
+  EXPECT_EQ(lm.num_shards(), 4);
+  lm.ReleaseAll(1);
+  lm.set_num_shards(8);
+  EXPECT_EQ(lm.num_shards(), 8);
+}
+
+TEST(LockShardTest, MultiThreadStressAcrossShards) {
+  // The wait-die stress spread over many fragments, so acquires and
+  // release-wakeups genuinely run on different shards concurrently.
+  LockManager lm(16);
+  lm.set_policy(LockPolicy::kWaitDie);
+  lm.set_wait_timeout_ms(1000);
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 100;
+  constexpr int64_t kKeys = 4;
+  const char* tables[] = {"A", "B", "C", "D"};
+  std::atomic<uint64_t> next_txn{1};
+  std::atomic<uint64_t> commits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0xfeed + static_cast<uint64_t>(t));
+      for (int i = 0; i < kItersPerThread; ++i) {
+        uint64_t txn = next_txn.fetch_add(1);
+        bool ok = true;
+        for (int j = 0; j < 3 && ok; ++j) {
+          LockId id = LockId::Key(static_cast<int>(rng.UniformInt(0, 3)),
+                                  tables[rng.UniformInt(0, 3)],
+                                  Value{rng.UniformInt(0, kKeys - 1)});
+          LockMode mode =
+              rng.Bernoulli(0.5) ? LockMode::kShared : LockMode::kExclusive;
+          ok = lm.Acquire(txn, id, mode).ok();
+        }
+        if (ok) commits.fetch_add(1);
+        lm.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+  EXPECT_GT(commits.load(), 0u);
+}
+
+// ------------------------------------------------------------- Wound-wait
+
+TEST(WoundWaitTest, YoungerRequesterWaitsForOlderHolder) {
+  // Under wound-wait nobody self-dies: the younger requester parks behind
+  // the older holder and acquires once it releases.
+  LockManager lm;
+  lm.set_policy(LockPolicy::kWoundWait);
+  lm.set_wait_timeout_ms(1000);
+  LockId id = LockId::Key(0, "T", Value{1});
+  ASSERT_TRUE(lm.Acquire(1, id, LockMode::kExclusive).ok());
+  std::atomic<bool> granted{false};
+  std::thread younger([&] {
+    EXPECT_TRUE(lm.Acquire(2, id, LockMode::kExclusive).ok());
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(granted.load());
+  lm.ReleaseAll(1);
+  younger.join();
+  EXPECT_TRUE(granted.load());
+  lm.ReleaseAll(2);
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+}
+
+TEST(WoundWaitTest, OlderRequesterWoundsRunningHolder) {
+  // The older requester wounds the younger holder and waits; the victim's
+  // next Acquire aborts (even on a free resource), it releases, and the
+  // older transaction is granted.
+  LockManager lm;
+  lm.set_policy(LockPolicy::kWoundWait);
+  lm.set_wait_timeout_ms(1000);
+  LockId contested = LockId::Key(0, "T", Value{1});
+  LockId unrelated = LockId::Key(0, "T", Value{99});
+  ASSERT_TRUE(lm.Acquire(2, contested, LockMode::kExclusive).ok());
+  std::atomic<bool> older_granted{false};
+  std::thread older([&] {
+    EXPECT_TRUE(lm.Acquire(1, contested, LockMode::kExclusive).ok());
+    older_granted.store(true);
+  });
+  // Wait until the wound lands, then act as the victim: abort and release.
+  Status victim = Status::OK();
+  for (int i = 0; i < 200 && victim.ok(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    victim = lm.Acquire(2, unrelated, LockMode::kShared);
+  }
+  EXPECT_TRUE(victim.IsAborted()) << victim;
+  EXPECT_NE(victim.ToString().find("wounded"), std::string::npos) << victim;
+  EXPECT_FALSE(older_granted.load());
+  lm.ReleaseAll(2);
+  older.join();
+  EXPECT_TRUE(older_granted.load());
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+}
+
+TEST(WoundWaitTest, ParkedVictimIsWokenByWound) {
+  // Deadlock shape: txn1 holds B, txn2 holds A and parks on B; txn1 then
+  // requests A, wounding the parked txn2, which wakes Aborted and releases —
+  // so txn1 completes instead of deadlocking.
+  LockManager lm;
+  lm.set_policy(LockPolicy::kWoundWait);
+  lm.set_wait_timeout_ms(2000);
+  LockId a = LockId::Key(0, "T", Value{1});
+  LockId b = LockId::Key(0, "T", Value{2});
+  ASSERT_TRUE(lm.Acquire(1, b, LockMode::kExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(2, a, LockMode::kExclusive).ok());
+  std::thread victim([&] {
+    Status st = lm.Acquire(2, b, LockMode::kExclusive);
+    EXPECT_TRUE(st.IsAborted()) << st;
+    EXPECT_NE(st.ToString().find("wounded"), std::string::npos) << st;
+    lm.ReleaseAll(2);
+  });
+  // Let txn2 park on B before txn1 closes the cycle.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(lm.Acquire(1, a, LockMode::kExclusive).ok());
+  victim.join();
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+}
+
+TEST(WoundWaitTest, MultiThreadStressTerminatesAndReleases) {
+  LockManager lm;
+  lm.set_policy(LockPolicy::kWoundWait);
+  lm.set_wait_timeout_ms(1000);
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 100;
+  constexpr int64_t kKeys = 4;  // small key space: plenty of conflicts
+  std::atomic<uint64_t> next_txn{1};
+  std::atomic<uint64_t> commits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x5eed + static_cast<uint64_t>(t));
+      for (int i = 0; i < kItersPerThread; ++i) {
+        uint64_t txn = next_txn.fetch_add(1);
+        bool ok = true;
+        for (int j = 0; j < 2 && ok; ++j) {
+          LockId id = LockId::Key(0, "T", Value{rng.UniformInt(0, kKeys - 1)});
+          LockMode mode =
+              rng.Bernoulli(0.5) ? LockMode::kShared : LockMode::kExclusive;
+          ok = lm.Acquire(txn, id, mode).ok();
+        }
+        if (ok) commits.fetch_add(1);
+        lm.ReleaseAll(txn);  // commit and abort both release everything
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+  EXPECT_GT(commits.load(), 0u);
+}
+
+TEST(WoundWaitTest, EngineMaintenanceCommitsUnderContention) {
+  // Same scenario as MaintenanceRetryTest.RetriesUntilConflictClears, under
+  // wound-wait: the maintenance transaction is younger than the blocker, so
+  // it parks (instead of dying) and proceeds when the blocker aborts.
+  SystemConfig cfg = WaitDieConfig(/*max_attempts=*/8, /*base_us=*/1000);
+  cfg.lock_policy = LockPolicy::kWoundWait;
+  ParallelSystem sys(cfg);
+  ViewManager manager(&sys);
+  RegisterSimpleView(sys, manager);
+  Row contested = {Value{100}, Value{1}, Value{1}};
+  uint64_t blocker = sys.Begin();
+  ASSERT_TRUE(sys.Insert("A", contested, blocker).ok());
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sys.Abort(blocker).Check();
+  });
+  Result<MaintenanceReport> result = manager.InsertRow("A", contested);
+  releaser.join();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(sys.locks().TotalLocks(), 0u);
+  ASSERT_TRUE(manager.CheckAllConsistent().ok());
+}
+
+// -------------------------------------------------- Reader/writer latches
+
+TEST(NodeLatchTest, SharedHoldersOverlap) {
+  NodeLatch latch;
+  std::atomic<int> inside{0};
+  std::atomic<bool> both_seen{false};
+  auto reader = [&] {
+    latch.AcquireShared();
+    inside.fetch_add(1);
+    // Spin until the other reader is inside too (bounded): overlap proves
+    // shared mode admits concurrent readers.
+    for (int i = 0; i < 2000 && inside.load() < 2; ++i) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    if (inside.load() >= 2) both_seen.store(true);
+    inside.fetch_sub(1);
+    latch.ReleaseShared();
+  };
+  std::thread t1(reader), t2(reader);
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(both_seen.load());
+}
+
+TEST(NodeLatchTest, WriterExcludesReadersAndWriters) {
+  NodeLatch latch;
+  latch.AcquireExclusive();
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> writer_in{false};
+  std::thread reader([&] {
+    latch.AcquireShared();
+    reader_in.store(true);
+    latch.ReleaseShared();
+  });
+  std::thread writer([&] {
+    latch.AcquireExclusive();
+    writer_in.store(true);
+    latch.ReleaseExclusive();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(reader_in.load());
+  EXPECT_FALSE(writer_in.load());
+  latch.ReleaseExclusive();
+  reader.join();
+  writer.join();
+  EXPECT_TRUE(reader_in.load());
+  EXPECT_TRUE(writer_in.load());
+}
+
+TEST(NodeLatchTest, ExclusiveIsReentrant) {
+  NodeLatch latch;
+  latch.AcquireExclusive();
+  latch.AcquireExclusive();
+  // Exclusive subsumes shared on the owning thread.
+  latch.AcquireShared();
+  latch.ReleaseShared();
+  latch.ReleaseExclusive();
+  latch.ReleaseExclusive();
+  std::atomic<bool> acquired{false};
+  std::thread other([&] {
+    latch.AcquireExclusive();
+    acquired.store(true);
+    latch.ReleaseExclusive();
+  });
+  other.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(NodeLatchTest, NestedSharedSkipsWaitingWriterGate) {
+  // A shared holder re-acquiring shared must not queue behind a waiting
+  // writer — that would deadlock (writer waits for readers, reader waits
+  // for writer).
+  NodeLatch latch;
+  latch.AcquireShared();
+  std::atomic<bool> writer_in{false};
+  std::thread writer([&] {
+    latch.AcquireExclusive();
+    writer_in.store(true);
+    latch.ReleaseExclusive();
+  });
+  // Give the writer time to start waiting, then nest a shared acquire.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(writer_in.load());
+  latch.AcquireShared();  // must not block
+  latch.ReleaseShared();
+  latch.ReleaseShared();
+  writer.join();
+  EXPECT_TRUE(writer_in.load());
+}
+
+TEST(NodeLatchTest, RwDisabledMakesSharedExclusive) {
+  // Baseline mode: shared degrades to the old exclusive recursive latch.
+  NodeLatch latch;
+  latch.set_rw_enabled(false);
+  latch.AcquireShared();
+  latch.AcquireShared();  // recursive, must not self-deadlock
+  std::atomic<bool> other_in{false};
+  std::thread other([&] {
+    latch.AcquireShared();
+    other_in.store(true);
+    latch.ReleaseShared();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(other_in.load());  // "shared" excludes in baseline mode
+  latch.ReleaseShared();
+  latch.ReleaseShared();
+  other.join();
+  EXPECT_TRUE(other_in.load());
 }
 
 TEST(EngineLockingTest, CrashClearsLockTable) {

@@ -117,6 +117,90 @@ TEST(NetworkTest, HasPendingTracksQueues) {
   EXPECT_FALSE(net.HasPending());
 }
 
+TEST(NetworkTest, PollTxnSkipsOtherTransactionsMessages) {
+  // Regression for the broadcast/drain stale-queue hazard: with several
+  // maintenance transactions in flight, a plain Poll() can dequeue another
+  // transaction's message. PollTxn must pluck only its own, leaving the
+  // rest queued in order.
+  CostTracker cost(2);
+  Network net(2, &cost);
+  for (uint64_t txn : {7u, 9u, 7u, 9u}) {
+    Message msg;
+    msg.from = 0;
+    msg.to = 1;
+    msg.txn_id = txn;
+    ASSERT_TRUE(net.Send(msg).ok());
+  }
+  auto got = net.PollTxn(1, 9);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->txn_id, 9u);
+  // Txn 7's messages were not disturbed and stay FIFO.
+  got = net.PollTxn(1, 7);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->txn_id, 7u);
+  EXPECT_EQ(net.PendingCount(1), 2u);
+  EXPECT_FALSE(net.PollTxn(1, 5).has_value());  // absent txn: nothing taken
+  EXPECT_EQ(net.PendingCount(1), 2u);
+}
+
+TEST(NetworkTest, InterleavedBroadcastDrainsSeeOnlyOwnTxn) {
+  // Two broadcast rounds interleave in the shared per-node queues; each
+  // drain loop must retrieve exactly its own copies and leave the queues
+  // empty overall.
+  CostTracker cost(3);
+  Network net(3, &cost);
+  Message a;
+  a.txn_id = 1;
+  ASSERT_TRUE(net.Broadcast(0, a).ok());
+  Message b;
+  b.txn_id = 2;
+  ASSERT_TRUE(net.Broadcast(1, b).ok());
+  for (int node = 0; node < 3; ++node) {
+    auto got = net.PollTxn(node, 2);  // drain txn 2 first despite FIFO order
+    ASSERT_TRUE(got.has_value()) << "node " << node;
+    EXPECT_EQ(got->txn_id, 2u);
+    EXPECT_EQ(got->from, 1);
+  }
+  for (int node = 0; node < 3; ++node) {
+    auto got = net.PollTxn(node, 1);
+    ASSERT_TRUE(got.has_value()) << "node " << node;
+    EXPECT_EQ(got->txn_id, 1u);
+    EXPECT_EQ(got->from, 0);
+  }
+  EXPECT_FALSE(net.HasPending());
+}
+
+TEST(NetworkTest, SendAndDeliverBypassesStaleQueuedMessages) {
+  // A stale message is already queued at the destination; a synchronous hop
+  // must hand back its own payload, not the queued one, and must not
+  // disturb the queue.
+  CostTracker cost(2);
+  Network net(2, &cost);
+  Message stale;
+  stale.from = 0;
+  stale.to = 1;
+  stale.txn_id = 42;
+  stale.table = "stale";
+  ASSERT_TRUE(net.Send(stale).ok());
+  Message mine;
+  mine.from = 0;
+  mine.to = 1;
+  mine.txn_id = 99;
+  mine.table = "mine";
+  auto got = net.SendAndDeliver(mine);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->txn_id, 99u);
+  EXPECT_EQ(got->table, "mine");
+  // The hop was charged and counted like a real send...
+  EXPECT_EQ(cost.node(0).sends, 2u);
+  EXPECT_EQ(net.PairCount(0, 1), 2u);
+  // ...but the stale message is still the only thing queued.
+  EXPECT_EQ(net.PendingCount(1), 1u);
+  auto queued = net.Poll(1);
+  ASSERT_TRUE(queued.has_value());
+  EXPECT_EQ(queued->table, "stale");
+}
+
 TEST(NetworkTest, FifoPerDestination) {
   CostTracker cost(2);
   Network net(2, &cost);

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/trace.h"
@@ -113,6 +115,77 @@ TEST_F(TraceMaintenanceTest, ExplainAnalyzeRendersPerNodeTable) {
   std::string json = analysis.ToJson();
   EXPECT_NE(json.find("\"table\":\"A\""), std::string::npos);
   EXPECT_NE(json.find("\"per_node\":["), std::string::npos);
+}
+
+TEST_F(TraceMaintenanceTest, ExplainAnalyzeShowsRetryAttempts) {
+  // Under wait-die, a maintenance transaction that loses to an older blocker
+  // aborts and retries with backoff. EXPLAIN ANALYZE must surface how many
+  // attempts the final report cost, how long the retry loop slept, and why
+  // each failed attempt aborted.
+  SystemConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.rows_per_page = 4;
+  cfg.enable_locking = true;
+  cfg.lock_policy = LockPolicy::kWaitDie;
+  cfg.lock_wait_timeout_ms = 200;
+  cfg.maintain_max_attempts = 8;
+  cfg.maintain_retry_base_us = 1000;
+  ParallelSystem sys(cfg);
+  ViewManager manager(&sys);
+  sys.CreateTable(MakeTableDef("A", ASchema(), "a")).Check();
+  sys.CreateTable(MakeTableDef("B", BSchema(), "b")).Check();
+  for (int64_t k = 0; k < 10; ++k) {
+    sys.Insert("B", {Value{k}, Value{k % 5}, Value{k}}).Check();
+  }
+  JoinViewDef def;
+  def.name = "JV";
+  def.bases = {{"A", "A"}, {"B", "B"}};
+  def.edges = {{{"A", "c"}, {"B", "d"}}};
+  def.partition_on = ColumnRef{"A", "e"};
+  ASSERT_TRUE(manager.RegisterView(def, MaintenanceMethod::kAuxRelation).ok());
+
+  Row contested = {Value{100}, Value{1}, Value{1}};
+  uint64_t blocker = sys.Begin();
+  ASSERT_TRUE(sys.Insert("A", contested, blocker).ok());
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sys.Abort(blocker).Check();
+  });
+  MaintenanceAnalysis analysis;
+  Result<MaintenanceReport> result =
+      manager.ApplyDelta(DeltaBatch::Inserts("A", {contested}), &analysis);
+  releaser.join();
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  EXPECT_GE(analysis.attempts, 2);
+  EXPECT_GT(analysis.backoff_ns, 0u);
+  ASSERT_EQ(analysis.attempt_aborts.size(),
+            static_cast<size_t>(analysis.attempts - 1));
+  for (const std::string& reason : analysis.attempt_aborts) {
+    EXPECT_NE(reason.find("lock conflict"), std::string::npos) << reason;
+  }
+  std::string text = analysis.ToString();
+  EXPECT_NE(text.find("retries:"), std::string::npos);
+  EXPECT_NE(text.find("attempt 1 aborted:"), std::string::npos);
+  std::string json = analysis.ToJson();
+  EXPECT_NE(json.find("\"attempts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"attempt_aborts\":["), std::string::npos);
+}
+
+TEST_F(TraceMaintenanceTest, ExplainAnalyzeSingleAttemptStaysQuiet) {
+  // No contention: the retry fields stay at their defaults and the rendered
+  // plan does not mention retries at all.
+  TwoTableFixture fx(4, 10, 2);
+  fx.manager->RegisterView(fx.MakeView("JV"), MaintenanceMethod::kNaive)
+      .Check();
+  MaintenanceAnalysis analysis;
+  fx.manager->ApplyDelta(DeltaBatch::Inserts("A", {fx.NextARow(5)}), &analysis)
+      .status()
+      .Check();
+  EXPECT_EQ(analysis.attempts, 1);
+  EXPECT_EQ(analysis.backoff_ns, 0u);
+  EXPECT_TRUE(analysis.attempt_aborts.empty());
+  EXPECT_EQ(analysis.ToString().find("retries:"), std::string::npos);
 }
 
 TEST_F(TraceMaintenanceTest, ExplainAnalyzeThroughSql) {
