@@ -28,11 +28,21 @@
 // cell ends with the from-scratch consistency oracle: whatever the
 // interleaving, the view must match its bases exactly.
 //
+// A separate bulk-delta mode measures lock escalation instead: one
+// maintenance transaction applies a [txns_per_thread]-row delta, sweeping
+// SystemConfig::lock_escalation_threshold over {off, 64, 256, 1024} and
+// recording peak lock-table entries and throughput for each setting. This is
+// the footprint claim behind the escalation PR: a bulk transaction's key
+// locks collapse into a handful of fragment locks without costing
+// throughput. Written to BENCH_contention_bulk.json.
+//
 // Usage: bench_contention [txns_per_thread] [nodes] [sweep]
 //   sweep = "full" (default): modes {baseline, scalable} x policies x
 //           key pools {1, 8, 64, 1024} x threads {1, 2, 4, 8}
 //   sweep = "ci": just the two wait-die cells CI compares (8 threads,
 //           64 keys, baseline vs scalable)
+//   sweep = "bulk": the escalation-threshold sweep; [txns_per_thread] is
+//           reinterpreted as rows in the single bulk delta
 
 #include <atomic>
 #include <chrono>
@@ -42,6 +52,7 @@
 
 #include "bench/bench_util.h"
 #include "txn/lock_manager.h"
+#include "view/explain.h"
 
 namespace pjvm::bench {
 namespace {
@@ -56,6 +67,7 @@ struct ContentionConfig {
   int txns_per_thread = 50;
   int nodes = 4;
   bool ci_only = false;
+  bool bulk = false;
 };
 
 /// One sweep cell: an engine mode x lock policy x load shape.
@@ -218,6 +230,136 @@ std::string CellJson(const CellResult& r) {
   return w.str();
 }
 
+// ------------------------------------------------ bulk escalation sweep
+
+struct BulkResult {
+  int threshold = 0;
+  int rows = 0;
+  double wall_ms = 0.0;
+  double rows_per_sec = 0.0;
+  size_t peak_shard_entries = 0;
+  uint64_t escalations = 0;
+  uint64_t entries_reclaimed = 0;
+  uint64_t analysis_escalations = 0;
+  uint64_t analysis_entries_reclaimed = 0;
+};
+
+BulkResult RunBulkCell(const ContentionConfig& cc, int threshold) {
+  BulkResult result;
+  result.threshold = threshold;
+  result.rows = cc.txns_per_thread;
+
+  SystemConfig cfg;
+  cfg.num_nodes = cc.nodes;
+  cfg.rows_per_page = 8;
+  cfg.enable_locking = true;
+  cfg.lock_policy = LockPolicy::kWaitDie;
+  cfg.lock_wait_timeout_ms = 500;
+  cfg.maintain_max_attempts = 16;
+  cfg.maintain_retry_base_us = 100;
+  cfg.lock_shards = 16;
+  cfg.rw_latches = true;
+  // No WAL device: the bulk cell isolates lock-table bookkeeping, so the
+  // run is compute-bound rather than dominated by a simulated force.
+  cfg.wal_force_ns = 0;
+  cfg.lock_escalation_threshold = threshold;
+  ParallelSystem sys(cfg);
+
+  TwoTableConfig tt;
+  tt.b_join_keys = 64;
+  tt.fanout = 2;
+  LoadTwoTable(&sys, tt).Check();
+  ViewManager manager(&sys);
+  manager.RegisterView(MakeModelView(), MaintenanceMethod::kAuxRelation)
+      .Check();
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  const uint64_t esc0 = metrics.counter("pjvm_lock_escalations")->value();
+  const uint64_t rec0 =
+      metrics.counter("pjvm_lock_entries_reclaimed")->value();
+  sys.locks().ResetPeakEntries();
+
+  std::vector<Row> rows;
+  rows.reserve(result.rows);
+  for (int i = 0; i < result.rows; ++i) {
+    rows.push_back(MakeDeltaA(tt, 1'000'000 + i));
+  }
+  MaintenanceAnalysis analysis;
+  auto start = std::chrono::steady_clock::now();
+  manager.ApplyDelta(DeltaBatch::Inserts("A", std::move(rows)), &analysis)
+      .status()
+      .Check();
+  auto end = std::chrono::steady_clock::now();
+
+  result.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          end - start)
+          .count();
+  result.rows_per_sec =
+      result.wall_ms > 0.0 ? 1000.0 * result.rows / result.wall_ms : 0.0;
+  result.peak_shard_entries = sys.locks().PeakShardEntries();
+  result.escalations =
+      metrics.counter("pjvm_lock_escalations")->value() - esc0;
+  result.entries_reclaimed =
+      metrics.counter("pjvm_lock_entries_reclaimed")->value() - rec0;
+  result.analysis_escalations = analysis.escalations;
+  result.analysis_entries_reclaimed = analysis.lock_entries_reclaimed;
+
+  manager.CheckAllConsistent().Check();
+  if (sys.locks().TotalLocks() != 0) {
+    Status::Internal("lock table not empty after bulk delta").Check();
+  }
+  return result;
+}
+
+std::string BulkJson(const BulkResult& r) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("threshold").Int(r.threshold)
+      .Key("rows").Int(r.rows)
+      .Key("wall_ms").Num(r.wall_ms)
+      .Key("rows_per_sec").Num(r.rows_per_sec)
+      .Key("peak_shard_entries").Uint(r.peak_shard_entries)
+      .Key("escalations").Uint(r.escalations)
+      .Key("entries_reclaimed").Uint(r.entries_reclaimed)
+      .Key("analysis_escalations").Uint(r.analysis_escalations)
+      .Key("analysis_entries_reclaimed").Uint(r.analysis_entries_reclaimed)
+      .EndObject();
+  return w.str();
+}
+
+void RunBulk(const ContentionConfig& cc) {
+  PrintHeader("bulk escalation sweep: " +
+              std::to_string(cc.txns_per_thread) + " rows, " +
+              std::to_string(cc.nodes) + " nodes");
+  BenchReport report("contention_bulk");
+  {
+    JsonWriter w;
+    w.BeginObject()
+        .Key("rows").Int(cc.txns_per_thread)
+        .Key("nodes").Int(cc.nodes)
+        .EndObject();
+    report.Add("config", w.str());
+  }
+  JsonWriter sweep;
+  sweep.BeginArray();
+  for (int threshold : {0, 64, 256, 1024}) {
+    BulkResult r = RunBulkCell(cc, threshold);
+    std::cout << "threshold="
+              << (r.threshold == 0 ? std::string("off")
+                                   : std::to_string(r.threshold))
+              << ": rows=" << r.rows << " wall_ms=" << r.wall_ms
+              << " rows_per_sec=" << r.rows_per_sec
+              << " peak_shard_entries=" << r.peak_shard_entries
+              << " escalations=" << r.escalations
+              << " reclaimed=" << r.entries_reclaimed << "\n";
+    sweep.Raw(BulkJson(r));
+  }
+  sweep.EndArray();
+  report.Add("sweep", sweep.str());
+  report.Write();
+}
+
 std::vector<Cell> BuildSweep(const ContentionConfig& cc) {
   std::vector<Cell> cells;
   if (cc.ci_only) {
@@ -245,6 +387,10 @@ std::vector<Cell> BuildSweep(const ContentionConfig& cc) {
 }
 
 void Run(const ContentionConfig& cc) {
+  if (cc.bulk) {
+    RunBulk(cc);
+    return;
+  }
   std::vector<Cell> cells = BuildSweep(cc);
   PrintHeader("contention sweep: " + std::to_string(cells.size()) +
               " cells x " + std::to_string(cc.txns_per_thread) +
@@ -289,7 +435,10 @@ int main(int argc, char** argv) {
   pjvm::bench::ContentionConfig cc;
   if (argc > 1) cc.txns_per_thread = std::stoi(argv[1]);
   if (argc > 2) cc.nodes = std::stoi(argv[2]);
-  if (argc > 3) cc.ci_only = std::string(argv[3]) == "ci";
+  if (argc > 3) {
+    cc.ci_only = std::string(argv[3]) == "ci";
+    cc.bulk = std::string(argv[3]) == "bulk";
+  }
   pjvm::bench::Run(cc);
   return 0;
 }

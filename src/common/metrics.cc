@@ -7,6 +7,8 @@
 
 namespace pjvm {
 
+thread_local CostTracker::TxnMeter* CostTracker::active_meter_ = nullptr;
+
 void CostTracker::Stall(double weighted_units) const {
   uint64_t per_unit = stall_ns_.load(std::memory_order_relaxed);
   if (per_unit == 0 || weighted_units <= 0.0) return;

@@ -89,90 +89,6 @@ struct NodeCounters {
 /// (TW, response time, per-node sums) are order-independent, so parallel and
 /// sequential execution of the same work meter identically.
 class CostTracker {
- public:
-  explicit CostTracker(int num_nodes, CostWeights weights = CostWeights{})
-      : weights_(weights), nodes_(num_nodes) {}
-
-  int num_nodes() const { return static_cast<int>(nodes_.size()); }
-  const CostWeights& weights() const { return weights_; }
-
-  /// Category of a write charge, for the per-category breakdown.
-  enum class WriteKind { kBase, kStructure, kView };
-
-  void ChargeSearch(int node, uint64_t n = 1) {
-    nodes_[node].searches.fetch_add(n, std::memory_order_relaxed);
-    Stall(weights_.search * n);
-  }
-  void ChargeFetch(int node, uint64_t n = 1) {
-    nodes_[node].fetches.fetch_add(n, std::memory_order_relaxed);
-    Stall(weights_.fetch * n);
-  }
-  void ChargeInsert(int node, uint64_t n = 1) {
-    nodes_[node].inserts.fetch_add(n, std::memory_order_relaxed);
-    Stall(weights_.insert * n);
-  }
-  void ChargeWrite(int node, WriteKind kind) {
-    nodes_[node].inserts.fetch_add(1, std::memory_order_relaxed);
-    switch (kind) {
-      case WriteKind::kBase:
-        nodes_[node].base_writes.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case WriteKind::kStructure:
-        nodes_[node].structure_writes.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case WriteKind::kView:
-        nodes_[node].view_writes.fetch_add(1, std::memory_order_relaxed);
-        break;
-    }
-    Stall(weights_.insert);
-  }
-  /// Max over nodes of the join-compute I/O (searches + fetches only) — the
-  /// paper's Figure 14 measurement.
-  double ComputeResponseTime() const;
-  void ChargeSend(int node, uint64_t bytes) {
-    nodes_[node].sends.fetch_add(1, std::memory_order_relaxed);
-    nodes_[node].bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
-    // No stall: the paper's SEND weight is ~0 against SEARCH/FETCH/INSERT.
-  }
-  /// Charges extra I/Os that are not one of the three primitives (e.g. the
-  /// page reads/writes of an external sort); counted as fetches.
-  void ChargeIOPages(int node, uint64_t pages) {
-    nodes_[node].fetches.fetch_add(pages, std::memory_order_relaxed);
-    Stall(weights_.fetch * pages);
-  }
-
-  /// Plain snapshot of one node's counters.
-  NodeCounters node(int i) const { return nodes_[i].Load(); }
-
-  /// Sum over nodes of weighted I/O (the paper's TW).
-  double TotalWorkload() const;
-  /// Max over nodes of weighted I/O (response time in I/Os).
-  double ResponseTime() const;
-  /// Total message count across nodes.
-  uint64_t TotalSends() const;
-  /// Number of nodes that performed any work (I/O or sends) — used to verify
-  /// the single-node / few-node / all-node locality claims.
-  int NodesTouched() const;
-
-  void Reset();
-
-  /// Copies the current counters (for before/after diffs around a phase).
-  std::vector<NodeCounters> Snapshot() const;
-
-  /// Sleeps the charging thread for `ns` nanoseconds per weighted I/O unit
-  /// it charges from now on (0 disables; the default). This turns the cost
-  /// model into simulated device time: with the thread-per-node executor,
-  /// wall clock then tracks ResponseTime (max over nodes) instead of TW —
-  /// the effect bench_parallel_scaling measures. Counters are unaffected.
-  void SetIoStallNanos(uint64_t ns) {
-    stall_ns_.store(ns, std::memory_order_relaxed);
-  }
-  uint64_t io_stall_nanos() const {
-    return stall_ns_.load(std::memory_order_relaxed);
-  }
-
-  std::string ToString() const;
-
  private:
   /// Cache-line-padded atomic mirror of NodeCounters: one slot per node, so
   /// workers charging their own node never contend or false-share.
@@ -210,7 +126,170 @@ class CostTracker {
     }
   };
 
+ public:
+  explicit CostTracker(int num_nodes, CostWeights weights = CostWeights{})
+      : weights_(weights), nodes_(num_nodes) {}
+
+  /// \brief Exact per-transaction attribution under concurrency.
+  ///
+  /// Diffing global Snapshot()s around a transaction attributes *everything
+  /// the system did meanwhile* to that transaction — a concurrent
+  /// maintenance transaction's I/O pollutes the bracket. A TxnMeter instead
+  /// mirrors, into its own per-node slots, every charge made while it is
+  /// active on the charging thread (see MeterScope); NodeExecutor hands the
+  /// submitting thread's active meter to the worker for the duration of each
+  /// task, so a transaction's fan-out work is captured on whichever thread
+  /// performs it. Global counters are unaffected.
+  class TxnMeter {
+   public:
+    explicit TxnMeter(int num_nodes) : nodes_(num_nodes) {}
+    std::vector<NodeCounters> Snapshot() const {
+      std::vector<NodeCounters> out;
+      out.reserve(nodes_.size());
+      for (const AtomicCounters& c : nodes_) out.push_back(c.Load());
+      return out;
+    }
+
+   private:
+    friend class CostTracker;
+    std::vector<AtomicCounters> nodes_;
+  };
+
+  /// RAII thread-local activation of a TxnMeter (restores the previous one,
+  /// so scopes nest). The meter must outlive the scope *and* every executor
+  /// task submitted while it is active (RunOnNodes/RunOnAllNodes barriers
+  /// guarantee the latter).
+  class MeterScope {
+   public:
+    explicit MeterScope(TxnMeter* meter) : prev_(active_meter_) {
+      active_meter_ = meter;
+    }
+    ~MeterScope() { active_meter_ = prev_; }
+    MeterScope(const MeterScope&) = delete;
+    MeterScope& operator=(const MeterScope&) = delete;
+
+   private:
+    TxnMeter* prev_ = nullptr;
+  };
+
+  /// The meter active on this thread (null when none); what the executor
+  /// captures at submit time.
+  static TxnMeter* ActiveMeter() { return active_meter_; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const CostWeights& weights() const { return weights_; }
+
+  /// Category of a write charge, for the per-category breakdown.
+  enum class WriteKind { kBase, kStructure, kView };
+
+  void ChargeSearch(int node, uint64_t n = 1) {
+    nodes_[node].searches.fetch_add(n, std::memory_order_relaxed);
+    if (TxnMeter* m = active_meter_) {
+      m->nodes_[node].searches.fetch_add(n, std::memory_order_relaxed);
+    }
+    Stall(weights_.search * n);
+  }
+  void ChargeFetch(int node, uint64_t n = 1) {
+    nodes_[node].fetches.fetch_add(n, std::memory_order_relaxed);
+    if (TxnMeter* m = active_meter_) {
+      m->nodes_[node].fetches.fetch_add(n, std::memory_order_relaxed);
+    }
+    Stall(weights_.fetch * n);
+  }
+  void ChargeInsert(int node, uint64_t n = 1) {
+    nodes_[node].inserts.fetch_add(n, std::memory_order_relaxed);
+    if (TxnMeter* m = active_meter_) {
+      m->nodes_[node].inserts.fetch_add(n, std::memory_order_relaxed);
+    }
+    Stall(weights_.insert * n);
+  }
+  void ChargeWrite(int node, WriteKind kind) {
+    nodes_[node].inserts.fetch_add(1, std::memory_order_relaxed);
+    TxnMeter* m = active_meter_;
+    if (m != nullptr) {
+      m->nodes_[node].inserts.fetch_add(1, std::memory_order_relaxed);
+    }
+    switch (kind) {
+      case WriteKind::kBase:
+        nodes_[node].base_writes.fetch_add(1, std::memory_order_relaxed);
+        if (m != nullptr) {
+          m->nodes_[node].base_writes.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      case WriteKind::kStructure:
+        nodes_[node].structure_writes.fetch_add(1, std::memory_order_relaxed);
+        if (m != nullptr) {
+          m->nodes_[node].structure_writes.fetch_add(1,
+                                                     std::memory_order_relaxed);
+        }
+        break;
+      case WriteKind::kView:
+        nodes_[node].view_writes.fetch_add(1, std::memory_order_relaxed);
+        if (m != nullptr) {
+          m->nodes_[node].view_writes.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+    }
+    Stall(weights_.insert);
+  }
+  /// Max over nodes of the join-compute I/O (searches + fetches only) — the
+  /// paper's Figure 14 measurement.
+  double ComputeResponseTime() const;
+  void ChargeSend(int node, uint64_t bytes) {
+    nodes_[node].sends.fetch_add(1, std::memory_order_relaxed);
+    nodes_[node].bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+    if (TxnMeter* m = active_meter_) {
+      m->nodes_[node].sends.fetch_add(1, std::memory_order_relaxed);
+      m->nodes_[node].bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    // No stall: the paper's SEND weight is ~0 against SEARCH/FETCH/INSERT.
+  }
+  /// Charges extra I/Os that are not one of the three primitives (e.g. the
+  /// page reads/writes of an external sort); counted as fetches.
+  void ChargeIOPages(int node, uint64_t pages) {
+    nodes_[node].fetches.fetch_add(pages, std::memory_order_relaxed);
+    if (TxnMeter* m = active_meter_) {
+      m->nodes_[node].fetches.fetch_add(pages, std::memory_order_relaxed);
+    }
+    Stall(weights_.fetch * pages);
+  }
+
+  /// Plain snapshot of one node's counters.
+  NodeCounters node(int i) const { return nodes_[i].Load(); }
+
+  /// Sum over nodes of weighted I/O (the paper's TW).
+  double TotalWorkload() const;
+  /// Max over nodes of weighted I/O (response time in I/Os).
+  double ResponseTime() const;
+  /// Total message count across nodes.
+  uint64_t TotalSends() const;
+  /// Number of nodes that performed any work (I/O or sends) — used to verify
+  /// the single-node / few-node / all-node locality claims.
+  int NodesTouched() const;
+
+  void Reset();
+
+  /// Copies the current counters (for before/after diffs around a phase).
+  std::vector<NodeCounters> Snapshot() const;
+
+  /// Sleeps the charging thread for `ns` nanoseconds per weighted I/O unit
+  /// it charges from now on (0 disables; the default). This turns the cost
+  /// model into simulated device time: with the thread-per-node executor,
+  /// wall clock then tracks ResponseTime (max over nodes) instead of TW —
+  /// the effect bench_parallel_scaling measures. Counters are unaffected.
+  void SetIoStallNanos(uint64_t ns) {
+    stall_ns_.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t io_stall_nanos() const {
+    return stall_ns_.load(std::memory_order_relaxed);
+  }
+
+  std::string ToString() const;
+
+ private:
   void Stall(double weighted_units) const;
+
+  static thread_local TxnMeter* active_meter_;
 
   CostWeights weights_;
   std::vector<AtomicCounters> nodes_;

@@ -1,5 +1,6 @@
 #include "engine/executor.h"
 
+#include "common/metrics.h"
 #include "common/worker_context.h"
 #include "obs/trace.h"
 
@@ -48,9 +49,16 @@ void NodeExecutor::SubmitToNode(int node, std::function<void()> fn) {
     fn();
     return;
   }
+  // The submitter's transaction meter (if any) travels with the task: the
+  // worker activates it for the task's duration, so the transaction's
+  // fan-out charges land in its own meter no matter which thread runs them.
+  CostTracker::TxnMeter* meter = CostTracker::ActiveMeter();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queues_[node].push_back(std::move(fn));
+    queues_[node].push_back([meter, fn = std::move(fn)] {
+      CostTracker::MeterScope scope(meter);
+      fn();
+    });
     ++pending_;
   }
   work_cv_.notify_all();
@@ -61,10 +69,14 @@ void NodeExecutor::SubmitToAll(const std::function<void(int)>& fn) {
     for (int i = 0; i < num_nodes_; ++i) fn(i);
     return;
   }
+  CostTracker::TxnMeter* meter = CostTracker::ActiveMeter();
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int i = 0; i < num_nodes_; ++i) {
-      queues_[i].push_back([fn, i] { fn(i); });
+      queues_[i].push_back([meter, fn, i] {
+        CostTracker::MeterScope scope(meter);
+        fn(i);
+      });
       ++pending_;
     }
   }

@@ -31,6 +31,7 @@ ParallelSystem::ParallelSystem(SystemConfig config)
   locks_.set_policy(config_.lock_policy);
   locks_.set_wait_timeout_ms(config_.lock_wait_timeout_ms);
   locks_.set_num_shards(config_.lock_shards);
+  locks_.set_escalation_threshold(config_.lock_escalation_threshold);
   nodes_.reserve(config_.num_nodes);
   LockManager* locks = config_.enable_locking ? &locks_ : nullptr;
   for (int i = 0; i < config_.num_nodes; ++i) {

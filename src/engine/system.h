@@ -66,6 +66,11 @@ struct SystemConfig {
   /// release-wakeups on disjoint fragments never contend. 1 = the legacy
   /// single-mutex table (the contention bench's baseline mode).
   int lock_shards = 16;
+  /// Key-lock count per (transaction, fragment) at which the lock manager
+  /// escalates the transaction's key locks on that fragment to one
+  /// fragment-granularity lock — bulk maintenance trades key-level
+  /// concurrency for a bounded lock table. 0 disables escalation.
+  int lock_escalation_threshold = 256;
   /// Reader/writer node latches: read-only phases (probes, estimation
   /// scans, view lookups) take shared access and overlap per node; false
   /// restores the exclusive-only latch for baseline comparisons.

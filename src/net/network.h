@@ -48,7 +48,14 @@ class Network {
   /// so an rvalue broadcast deep-copies L-1 times, not L.
   Status Broadcast(int from, Message msg);
 
-  /// Dequeues the next pending message for `node`, if any.
+  /// Dequeues the next pending message for `node`, if any — regardless of
+  /// which transaction it belongs to. **Single-coordinator / test use
+  /// only:** no drain loop reachable while concurrent maintenance
+  /// transactions are in flight may call this (it would steal their
+  /// messages); such loops use PollTxn, and synchronous hops use
+  /// SendAndDeliver. As of the escalation PR every src/ drain loop complies
+  /// (maintainer broadcast drains poll per-txn; AR/GI/view hops are
+  /// SendAndDeliver); tests/net_test.cc pins the interleaving semantics.
   std::optional<Message> Poll(int node);
 
   /// Dequeues the first pending message for `node` whose txn_id matches,

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
+#include <vector>
 
 #include "common/worker_context.h"
 #include "obs/metrics_registry.h"
@@ -108,9 +110,17 @@ Status LockManager::ConflictAborted(uint64_t txn_id, const LockId& id,
 void LockManager::Grant(Shard& shard, uint64_t txn_id, const LockId& id,
                         LockMode mode) {
   Entry& entry = shard.locks[id];
-  LockMode& held = entry.holders[txn_id];
-  held = (held == LockMode::kExclusive) ? LockMode::kExclusive : mode;
-  if (mode == LockMode::kExclusive) held = LockMode::kExclusive;
+  auto [holder, inserted] = entry.holders.try_emplace(txn_id, mode);
+  if (!inserted) {
+    if (mode == LockMode::kExclusive) holder->second = LockMode::kExclusive;
+  } else {
+    ++shard.entry_holders;
+    shard.peak_entry_holders =
+        std::max(shard.peak_entry_holders, shard.entry_holders);
+    if (!id.whole_table) {
+      ++shard.key_counts[FragKey{txn_id, id.node, id.table}];
+    }
+  }
   shard.by_txn[txn_id].insert(id);
 }
 
@@ -150,27 +160,18 @@ void LockManager::WoundYoungerHolders(uint64_t txn_id,
 }
 
 Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
-  static Counter* waits =
-      MetricsRegistry::Global().counter("pjvm_lock_waits");
   static Counter* kills =
       MetricsRegistry::Global().counter("pjvm_lock_deadlock_kills");
-  static Counter* timeouts =
-      MetricsRegistry::Global().counter("pjvm_lock_wait_timeouts");
   static Counter* shard_contention =
       MetricsRegistry::Global().counter("pjvm_lock_shard_contention");
-  static LatencyHistogram* wait_ns =
-      MetricsRegistry::Global().histogram("pjvm_lock_wait_ns");
 
-  auto wounded_abort = [&]() {
+  // A wounded transaction aborts at its next lock request even if that
+  // request would have been grantable: the older wounder is waiting for us.
+  if (policy_ == LockPolicy::kWoundWait && IsWounded(txn_id)) {
     kills->Increment();
     return Status::Aborted("lock conflict on " + id.ToString() + ": txn " +
                            std::to_string(txn_id) +
                            " wounded by an older transaction (wound-wait)");
-  };
-  // A wounded transaction aborts at its next lock request even if that
-  // request would have been grantable: the older wounder is waiting for us.
-  if (policy_ == LockPolicy::kWoundWait && IsWounded(txn_id)) {
-    return wounded_abort();
   }
 
   Shard& shard = ShardOf(id);
@@ -191,6 +192,43 @@ Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
       // once no *other* transaction holds a conflicting mode.
     }
   }
+  // Coverage fast path: a key request answered by the fragment lock an
+  // escalated (or scanning) transaction already holds — no new entry.
+  if (!id.whole_table) {
+    auto frag = shard.locks.find(LockId::Table(id.node, id.table));
+    if (frag != shard.locks.end()) {
+      auto held = frag->second.holders.find(txn_id);
+      if (held != frag->second.holders.end() &&
+          (held->second == LockMode::kExclusive ||
+           mode == LockMode::kShared)) {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status st = AcquireLocked(lock, shard, txn_id, id, mode);
+  if (!st.ok() || id.whole_table || escalation_threshold_ <= 0) return st;
+  return MaybeEscalateLocked(lock, shard, txn_id, id);
+}
+
+Status LockManager::AcquireLocked(std::unique_lock<std::mutex>& lock,
+                                  Shard& shard, uint64_t txn_id,
+                                  const LockId& id, LockMode mode) {
+  static Counter* waits =
+      MetricsRegistry::Global().counter("pjvm_lock_waits");
+  static Counter* kills =
+      MetricsRegistry::Global().counter("pjvm_lock_deadlock_kills");
+  static Counter* timeouts =
+      MetricsRegistry::Global().counter("pjvm_lock_wait_timeouts");
+  static LatencyHistogram* wait_ns =
+      MetricsRegistry::Global().histogram("pjvm_lock_wait_ns");
+
+  auto wounded_abort = [&]() {
+    kills->Increment();
+    return Status::Aborted("lock conflict on " + id.ToString() + ": txn " +
+                           std::to_string(txn_id) +
+                           " wounded by an older transaction (wound-wait)");
+  };
 
   const bool may_block = (policy_ == LockPolicy::kWaitDie ||
                           policy_ == LockPolicy::kWoundWait) &&
@@ -297,6 +335,97 @@ Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
   }
 }
 
+Status LockManager::MaybeEscalateLocked(std::unique_lock<std::mutex>& lock,
+                                        Shard& shard, uint64_t txn_id,
+                                        const LockId& id) {
+  static Counter* escalations =
+      MetricsRegistry::Global().counter("pjvm_lock_escalations");
+  static Counter* reclaimed_total =
+      MetricsRegistry::Global().counter("pjvm_lock_entries_reclaimed");
+
+  const FragKey frag_key{txn_id, id.node, id.table};
+  {
+    auto count = shard.key_counts.find(frag_key);
+    if (count == shard.key_counts.end() ||
+        count->second < static_cast<size_t>(escalation_threshold_)) {
+      return Status::OK();
+    }
+  }
+
+  // Snapshot the fragment's key locks and derive the escalated mode: the
+  // fragment lock must be at least as strong as the strongest key lock it
+  // replaces.
+  LockMode mode = LockMode::kShared;
+  std::vector<LockId> keys;
+  auto by_txn = shard.by_txn.find(txn_id);
+  if (by_txn != shard.by_txn.end()) {
+    const LockId lo{id.node, id.table, 0, false};
+    for (auto it = by_txn->second.lower_bound(lo);
+         it != by_txn->second.end(); ++it) {
+      if (it->node != id.node || it->table != id.table) break;
+      if (it->whole_table) continue;
+      keys.push_back(*it);
+      auto entry = shard.locks.find(*it);
+      if (entry != shard.locks.end()) {
+        auto held = entry->second.holders.find(txn_id);
+        if (held != entry->second.holders.end() &&
+            held->second == LockMode::kExclusive) {
+          mode = LockMode::kExclusive;
+        }
+      }
+    }
+  }
+
+  // The fragment acquire runs the full policy loop and may park (it keeps
+  // the key locks while waiting, so the transaction never loses coverage).
+  // A kill, wound, timeout, or non-blocking would-wait aborts the Acquire
+  // that triggered escalation; the caller's abort-and-retry path takes over.
+  Status st =
+      AcquireLocked(lock, shard, txn_id, LockId::Table(id.node, id.table),
+                    mode);
+  if (!st.ok()) return st;
+
+  // Swap: drop the key entries the fragment lock now covers, waking their
+  // waiters so they re-evaluate (they will now conflict with the fragment
+  // lock and re-park / die per policy).
+  size_t reclaimed = 0;
+  for (const LockId& key : keys) {
+    auto entry = shard.locks.find(key);
+    if (entry != shard.locks.end() && entry->second.holders.erase(txn_id)) {
+      ++reclaimed;
+      --shard.entry_holders;
+      if (entry->second.holders.empty() &&
+          entry->second.waiter_count == 0) {
+        shard.locks.erase(entry);
+      } else if (entry->second.waiter_count > 0 && entry->second.waiters) {
+        entry->second.waiters->notify_all();
+      }
+    }
+    by_txn->second.erase(key);
+  }
+  // Re-find the count: another thread of this transaction may have granted
+  // further key locks in this fragment while we were parked above; those
+  // stay as key entries and keep their count toward a future escalation.
+  auto count = shard.key_counts.find(frag_key);
+  if (count != shard.key_counts.end()) {
+    if (count->second <= reclaimed) {
+      shard.key_counts.erase(count);
+    } else {
+      count->second -= reclaimed;
+    }
+  }
+
+  escalations->Increment();
+  reclaimed_total->Increment(reclaimed);
+  {
+    std::lock_guard<std::mutex> eg(esc_mu_);
+    TxnEscalationStats& stats = esc_stats_[txn_id];
+    ++stats.escalations;
+    stats.entries_reclaimed += reclaimed;
+  }
+  return Status::OK();
+}
+
 void LockManager::ReleaseAll(uint64_t txn_id) {
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
@@ -306,7 +435,7 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
     for (const LockId& id : it->second) {
       auto entry = shard.locks.find(id);
       if (entry != shard.locks.end()) {
-        entry->second.holders.erase(txn_id);
+        if (entry->second.holders.erase(txn_id)) --shard.entry_holders;
         if (entry->second.holders.empty() &&
             entry->second.waiter_count == 0) {
           shard.locks.erase(entry);
@@ -324,6 +453,11 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
       }
     }
     shard.by_txn.erase(it);
+    shard.key_counts.erase(
+        shard.key_counts.lower_bound(
+            FragKey{txn_id, std::numeric_limits<int>::min(), ""}),
+        shard.key_counts.lower_bound(
+            FragKey{txn_id + 1, std::numeric_limits<int>::min(), ""}));
   }
   // The transaction is finished (commit or abort); its wound flag, if any,
   // is moot. Txn ids are never reused, so clearing after release is safe —
@@ -332,6 +466,10 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
     std::lock_guard<std::mutex> wg(wound_mu_);
     wounded_.erase(txn_id);
     parked_.erase(txn_id);
+  }
+  {
+    std::lock_guard<std::mutex> eg(esc_mu_);
+    esc_stats_.erase(txn_id);
   }
   std::lock_guard<std::mutex> ag(age_mu_);
   ages_.erase(txn_id);
@@ -348,10 +486,16 @@ void LockManager::Clear() {
     }
     shard.locks.clear();
     shard.by_txn.clear();
+    shard.key_counts.clear();
+    shard.entry_holders = 0;
   }
   {
     std::lock_guard<std::mutex> wg(wound_mu_);
     wounded_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> eg(esc_mu_);
+    esc_stats_.clear();
   }
   std::lock_guard<std::mutex> ag(age_mu_);
   ages_.clear();
@@ -372,11 +516,17 @@ bool LockManager::Holds(uint64_t txn_id, const LockId& id,
                         LockMode mode) const {
   const Shard& shard = ShardOf(id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.locks.find(id);
-  if (it == shard.locks.end()) return false;
-  auto held = it->second.holders.find(txn_id);
-  if (held == it->second.holders.end()) return false;
-  return held->second == LockMode::kExclusive || mode == LockMode::kShared;
+  auto strong_enough = [&](const LockId& candidate) {
+    auto it = shard.locks.find(candidate);
+    if (it == shard.locks.end()) return false;
+    auto held = it->second.holders.find(txn_id);
+    if (held == it->second.holders.end()) return false;
+    return held->second == LockMode::kExclusive || mode == LockMode::kShared;
+  };
+  if (strong_enough(id)) return true;
+  // An escalated transaction holds the fragment lock instead of its key
+  // entries; coverage counts as holding.
+  return !id.whole_table && strong_enough(LockId::Table(id.node, id.table));
 }
 
 size_t LockManager::TotalLocks() const {
@@ -389,6 +539,31 @@ size_t LockManager::TotalLocks() const {
     }
   }
   return count;
+}
+
+size_t LockManager::PeakShardEntries() const {
+  size_t peak = 0;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    peak = std::max(peak, shard.peak_entry_holders);
+  }
+  return peak;
+}
+
+void LockManager::ResetPeakEntries() {
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.peak_entry_holders = shard.entry_holders;
+  }
+}
+
+LockManager::TxnEscalationStats LockManager::EscalationStatsOf(
+    uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(esc_mu_);
+  auto it = esc_stats_.find(txn_id);
+  return it == esc_stats_.end() ? TxnEscalationStats{} : it->second;
 }
 
 }  // namespace pjvm

@@ -1,6 +1,7 @@
 #ifndef PJVM_TXN_LOCK_MANAGER_H_
 #define PJVM_TXN_LOCK_MANAGER_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -114,6 +115,28 @@ struct LockId {
 /// of the fragment, and ReleaseAll wakes waiters parked anywhere on the
 /// released fragment. Failed shard try-locks are counted in
 /// `pjvm_lock_shard_contention`.
+///
+/// **Lock escalation.** A bulk maintenance transaction takes one key lock per
+/// written row plus one per index key — a 10k-row delta fills a fragment's
+/// shard with ~20k entries. When `escalation_threshold` is non-zero and a
+/// transaction's key-lock count on one (node, table) fragment crosses it, the
+/// granting Acquire escalates in place: it acquires the fragment-granularity
+/// lock (exclusive if any of the key locks is exclusive, shared otherwise)
+/// through the normal conflict loop — so all three policies, lineage ages,
+/// and `WorkerContext::MustNotBlock` apply exactly as for any other acquire —
+/// and then releases the transaction's key entries the fragment lock now
+/// covers, waking their waiters so they re-evaluate against the fragment
+/// lock. Because the fragment and its keys share a shard, the swap is atomic
+/// under one shard mutex: no moment exists where the transaction holds
+/// neither the keys nor the fragment. Later key acquires on the escalated
+/// fragment are answered by the coverage fast path without creating entries.
+/// If the fragment lock cannot be granted (no-wait conflict, wait-die kill,
+/// a wound, a timeout, or a would-wait in a non-blocking context), the
+/// Acquire that triggered escalation returns Aborted and the caller's
+/// abort-and-retry path — e.g. the ViewManager maintenance retry loop, which
+/// keeps lineage ages across attempts — resolves it. Escalations are counted
+/// in `pjvm_lock_escalations` / `pjvm_lock_entries_reclaimed` and reported
+/// per transaction (EXPLAIN ANALYZE) via EscalationStatsOf.
 class LockManager {
  public:
   explicit LockManager(int num_shards = kDefaultShards);
@@ -130,11 +153,28 @@ class LockManager {
 
   /// Number of distinct resources the transaction holds locks on.
   size_t HeldCount(uint64_t txn_id) const;
-  /// True if `txn_id` holds a lock on `id` at least as strong as `mode`.
+  /// True if `txn_id` holds a lock on `id` at least as strong as `mode` —
+  /// either the exact entry or, for a key lock, a covering fragment lock
+  /// (what an escalated transaction holds instead of its key entries).
   bool Holds(uint64_t txn_id, const LockId& id, LockMode mode) const;
 
   /// Total live lock entries (tests / introspection).
   size_t TotalLocks() const;
+
+  /// High-water mark of (entry, holder) pairs in the fullest single shard
+  /// since construction / the last ResetPeakEntries. This is the number the
+  /// escalation threshold bounds: without escalation a bulk delta's peak
+  /// tracks its row count; with it, roughly the threshold.
+  size_t PeakShardEntries() const;
+  void ResetPeakEntries();
+
+  /// Per-transaction escalation tally, for EXPLAIN ANALYZE. Valid while the
+  /// transaction still holds locks (read it before ReleaseAll clears it).
+  struct TxnEscalationStats {
+    uint64_t escalations = 0;
+    uint64_t entries_reclaimed = 0;
+  };
+  TxnEscalationStats EscalationStatsOf(uint64_t txn_id) const;
 
   /// Drops every lock (crash recovery: all in-flight txns are aborted) and
   /// wakes all waiters; their conflicts are gone, so they acquire.
@@ -159,6 +199,12 @@ class LockManager {
   void set_num_shards(int n);
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
+  /// Key-lock count per (txn, fragment) at which the granting Acquire
+  /// escalates to the fragment lock. 0 (the default here; engines configure
+  /// SystemConfig::lock_escalation_threshold) disables escalation.
+  void set_escalation_threshold(int n) { escalation_threshold_ = std::max(0, n); }
+  int escalation_threshold() const { return escalation_threshold_; }
+
   static constexpr int kDefaultShards = 16;
 
  private:
@@ -172,12 +218,22 @@ class LockManager {
     int waiter_count = 0;
   };
 
+  /// Key-lock footprint of one transaction on one (node, table) fragment —
+  /// keyed txn-first so ReleaseAll can drop a transaction's range.
+  using FragKey = std::tuple<uint64_t, int, std::string>;
+
   /// One independent slice of the lock table. All entries of one
   /// (node, table) fragment live in the same shard (see class comment).
   struct Shard {
     mutable std::mutex mu;
     std::map<LockId, Entry> locks;
     std::map<uint64_t, std::set<LockId>> by_txn;
+    /// Live key-lock (non-whole_table) counts per (txn, fragment); what the
+    /// escalation threshold is compared against.
+    std::map<FragKey, size_t> key_counts;
+    /// Live (entry, holder) pairs in this shard and their high-water mark.
+    size_t entry_holders = 0;
+    size_t peak_entry_holders = 0;
   };
 
   Shard& ShardOf(const LockId& id) {
@@ -198,6 +254,20 @@ class LockManager {
                                 const char* why);
   static void Grant(Shard& shard, uint64_t txn_id, const LockId& id,
                     LockMode mode);
+
+  /// The conflict / policy / park loop of Acquire, entered with `lock` (on
+  /// `shard.mu`) held; may release and re-take it while parked. Both the
+  /// client-visible Acquire and the escalation path run through it, so
+  /// policy semantics are identical for the two.
+  Status AcquireLocked(std::unique_lock<std::mutex>& lock, Shard& shard,
+                       uint64_t txn_id, const LockId& id, LockMode mode);
+
+  /// If `txn_id`'s key-lock count on `id`'s fragment has reached the
+  /// threshold, swaps the key entries for one fragment lock (see the class
+  /// comment). Called with `lock` held, immediately after a key-lock grant;
+  /// a non-OK status aborts the triggering Acquire.
+  Status MaybeEscalateLocked(std::unique_lock<std::mutex>& lock, Shard& shard,
+                             uint64_t txn_id, const LockId& id);
   static bool Compatible(LockMode held, LockMode wanted) {
     return held == LockMode::kShared && wanted == LockMode::kShared;
   }
@@ -215,6 +285,12 @@ class LockManager {
   std::vector<std::unique_ptr<Shard>> shards_;
   LockPolicy policy_ = LockPolicy::kNoWait;
   int wait_timeout_ms_ = 500;
+  int escalation_threshold_ = 0;
+
+  /// Per-transaction escalation tallies (EXPLAIN ANALYZE). Leaf mutex like
+  /// age_mu_: taken under shard mutexes, never the reverse.
+  mutable std::mutex esc_mu_;
+  std::map<uint64_t, TxnEscalationStats> esc_stats_;
 
   /// Wound-wait victim state. Ordered strictly after any shard mutex; never
   /// held while taking a shard mutex.

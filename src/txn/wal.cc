@@ -114,6 +114,39 @@ Status Wal::Force(uint64_t lsn) {
   return Status::OK();
 }
 
+void Wal::Clear() {
+  static Counter* checkpoint_forces =
+      MetricsRegistry::Global().counter("pjvm_wal_checkpoint_forces");
+
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t tail = next_lsn_ - 1;
+  if (force_ns_ > 0 && durable_lsn_ < tail) {
+    // An unforced tail exists. Wait out any in-flight force round (it may
+    // already cover it), then pay the device write ourselves: truncation
+    // advances the durable watermark, and a watermark that outruns the
+    // device turns a later DiscardUnforced "crash" into silent corruption.
+    while (force_in_progress_) force_cv_.wait(lock);
+    if (durable_lsn_ < tail) {
+      force_in_progress_ = true;
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::nanoseconds(force_ns_));
+      lock.lock();
+      durable_lsn_ = std::max(durable_lsn_, tail);
+      force_in_progress_ = false;
+      force_cv_.notify_all();
+      checkpoint_forces->Increment();
+    }
+  }
+  // Drop only the checkpointed prefix: records appended while the force
+  // slept are not covered by this checkpoint and stay in the log.
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [tail](const LogRecord& rec) {
+                                  return rec.lsn <= tail;
+                                }),
+                 records_.end());
+  durable_lsn_ = std::max(durable_lsn_, tail);
+}
+
 void Wal::DiscardUnforced() {
   std::lock_guard<std::mutex> lock(mu_);
   records_.erase(

@@ -124,15 +124,16 @@ class Wal {
   void ReplayCommitted(const std::function<bool(uint64_t)>& is_committed,
                        const std::function<void(const LogRecord&)>& apply) const;
 
-  /// Truncates the record list (checkpoint). LSNs stay monotonic: the next
-  /// append continues from where the pre-truncation log left off. The
-  /// checkpoint is durable by definition, so the watermark advances over
-  /// everything truncated.
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
-    records_.clear();
-    durable_lsn_ = next_lsn_ - 1;
-  }
+  /// Truncates the checkpointed prefix of the record list. LSNs stay
+  /// monotonic: the next append continues from where the pre-truncation log
+  /// left off. A checkpoint may only declare durable what it *made* durable:
+  /// when forcing is not free and the tail above `durable_lsn()` has never
+  /// been forced, Clear pays one device force for it (riding out any
+  /// in-flight group-commit round first) before advancing the watermark —
+  /// silently advancing would launder a volatile tail into "durable" and a
+  /// later DiscardUnforced crash would keep state the device never had.
+  /// Counted in `pjvm_wal_checkpoint_forces`.
+  void Clear();
 
  private:
   mutable std::mutex mu_;

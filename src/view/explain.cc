@@ -65,6 +65,14 @@ std::string MaintenanceAnalysis::ToString() const {
          << "\n";
     }
   }
+  if (escalations > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  escalations: %llu fragment lock(s) replaced %llu key "
+                  "lock entries\n",
+                  static_cast<unsigned long long>(escalations),
+                  static_cast<unsigned long long>(lock_entries_reclaimed));
+    os << line;
+  }
   if (!report.notes.empty()) os << "  notes: " << report.notes << "\n";
   return os.str();
 }
@@ -119,6 +127,8 @@ std::string MaintenanceAnalysis::ToJson() const {
      << ",\"bytes_sent\":" << bytes_sent
      << ",\"nodes_touched\":" << nodes_touched << ",\"wall_ms\":" << wall_ms
      << ",\"attempts\":" << attempts << ",\"backoff_ns\":" << backoff_ns
+     << ",\"escalations\":" << escalations
+     << ",\"lock_entries_reclaimed\":" << lock_entries_reclaimed
      << ",\"attempt_aborts\":[";
   for (size_t i = 0; i < attempt_aborts.size(); ++i) {
     if (i > 0) os << ",";

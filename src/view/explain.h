@@ -12,13 +12,18 @@ namespace pjvm {
 /// \brief EXPLAIN ANALYZE for one maintenance transaction: where the work
 /// went, node by node.
 ///
-/// Filled by ViewManager::ApplyDelta from CostTracker/Network before/after
-/// snapshots (NodeCounters operator-), so every number is the delta charged
-/// by this transaction alone — the per-transaction analogue of the paper's
-/// Section 3.3 measurement, which isolates one maintenance step rather than
-/// reading aggregate totals. `nodes_touched` is the per-transaction count
-/// the paper's locality claims are about: all L nodes for the naive method,
-/// a small constant for auxiliary relations, 1 + K for global indexes.
+/// Filled by ViewManager::ApplyDelta from a per-transaction
+/// CostTracker::TxnMeter, so every I/O number is charged by this
+/// transaction alone even when other maintenance transactions run
+/// concurrently — the per-transaction analogue of the paper's Section 3.3
+/// measurement, which isolates one maintenance step rather than reading
+/// aggregate totals. (Only `messages`/`bytes_sent` are still global
+/// interconnect diffs over the transaction's bracket, because self-node
+/// deliveries never reach the cost meter; under concurrency they can
+/// include another transaction's traffic.) `nodes_touched` is the
+/// per-transaction count the paper's locality claims are about: all L nodes
+/// for the naive method, a small constant for auxiliary relations, 1 + K
+/// for global indexes.
 struct MaintenanceAnalysis {
   std::string table;          ///< Updated base table.
   size_t base_inserts = 0;    ///< Delta rows inserted into the base.
@@ -42,6 +47,12 @@ struct MaintenanceAnalysis {
   int attempts = 1;
   uint64_t backoff_ns = 0;
   std::vector<std::string> attempt_aborts;
+
+  /// Lock escalations performed by the committed attempt (bulk deltas whose
+  /// per-fragment key-lock footprint crossed lock_escalation_threshold), and
+  /// how many key-lock entries the fragment locks replaced.
+  uint64_t escalations = 0;
+  uint64_t lock_entries_reclaimed = 0;
 
   /// Aggregate maintainer-side counts (rows, probes, structure writes).
   MaintenanceReport report;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <memory>
+#include <optional>
 #include <thread>
 
 #include "common/rng.h"
@@ -313,12 +315,18 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
   }
   delta.updates.clear();
 
-  // Before/after snapshots bracket the whole transaction; everything here
-  // only *reads* the cost and network meters, so the charges are identical
-  // whether or not anyone is watching.
-  const std::vector<NodeCounters> txn_before = sys_->cost().Snapshot();
+  // Per-transaction metering: when an analysis is requested, a TxnMeter is
+  // activated around each attempt, so every I/O charge this transaction
+  // makes — on this thread or on executor workers running its tasks — lands
+  // in the meter's own slots, unpolluted by concurrent maintenance
+  // transactions (global Snapshot() diffs would attribute *everything the
+  // system did meanwhile* to this transaction). The meter only mirrors
+  // charges, so the global counters are identical whether or not anyone is
+  // watching. messages/bytes remain global interconnect diffs over the
+  // bracket; see the caveat in explain.h.
   const uint64_t msgs_before = sys_->network().TotalMessages();
   const uint64_t bytes_before = sys_->network().TotalBytes();
+  std::unique_ptr<CostTracker::TxnMeter> meter;
   const uint64_t t0 = Tracer::NowNs();
 
   SpanGuard txn_span("maintain_txn", "view");
@@ -369,7 +377,7 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
       }
       const char* method_str = MaintenanceMethodToString(reg.method);
       std::vector<NodeCounters> view_before;
-      if (analysis != nullptr) view_before = sys_->cost().Snapshot();
+      if (analysis != nullptr) view_before = meter->Snapshot();
       const uint64_t view_t0 = Tracer::NowNs();
       SpanGuard view_span("maintain_view", "view", -1, nullptr, method_str);
       view_span.set_detail(name);
@@ -381,7 +389,7 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
                      method_str + "\"}")
           ->Record(view_ns);
       if (analysis != nullptr) {
-        std::vector<NodeCounters> view_after = sys_->cost().Snapshot();
+        std::vector<NodeCounters> view_after = meter->Snapshot();
         for (size_t i = 0; i < view_after.size(); ++i) {
           view_after[i] = view_after[i] - view_before[i];
         }
@@ -430,18 +438,30 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
       // never again the youngest transaction in every conflict it meets.
       sys_->locks().SetAge(txn, lineage);
     }
-    // Per-view phases from a killed attempt would double-count.
+    // Per-view phases (and the meter's charges) from a killed attempt would
+    // double-count; each attempt meters from zero.
     if (analysis != nullptr) {
       analysis->views.clear();
       analysis->attempts = attempt;
+      meter = std::make_unique<CostTracker::TxnMeter>(sys_->num_nodes());
     }
+    std::optional<CostTracker::MeterScope> meter_scope;
+    if (meter != nullptr) meter_scope.emplace(meter.get());
     result = run(txn);
     if (result.ok()) {
+      if (analysis != nullptr) {
+        // Read before Commit: ReleaseAll clears the per-txn tally.
+        const LockManager::TxnEscalationStats esc =
+            sys_->locks().EscalationStatsOf(txn);
+        analysis->escalations = esc.escalations;
+        analysis->lock_entries_reclaimed = esc.entries_reclaimed;
+      }
       // A commit failure (e.g. an injected crash mid-2PC) is not retryable:
       // the system needs Recover(), not another attempt.
       PJVM_RETURN_NOT_OK(sys_->Commit(txn));
       break;
     }
+    meter_scope.reset();
     sys_->Abort(txn).Check();
     MetricsRegistry::Global().counter("pjvm_maintain_txns_aborted")->Increment();
     if (analysis != nullptr) {
@@ -474,10 +494,7 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
     analysis->base_inserts = delta.inserts.size();
     analysis->base_deletes = delta.deletes.size();
     analysis->weights = sys_->cost().weights();
-    analysis->per_node = sys_->cost().Snapshot();
-    for (size_t i = 0; i < analysis->per_node.size(); ++i) {
-      analysis->per_node[i] = analysis->per_node[i] - txn_before[i];
-    }
+    analysis->per_node = meter->Snapshot();
     analysis->total_workload = 0.0;
     analysis->response_time = 0.0;
     for (const NodeCounters& c : analysis->per_node) {

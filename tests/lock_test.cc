@@ -5,11 +5,13 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "common/worker_context.h"
 #include "engine/node.h"
 #include "engine/system.h"
 #include "obs/metrics_registry.h"
 #include "tests/view_test_util.h"
 #include "txn/lock_manager.h"
+#include "view/explain.h"
 #include "view/view_manager.h"
 
 namespace pjvm {
@@ -607,6 +609,368 @@ TEST(WoundWaitTest, EngineMaintenanceCommitsUnderContention) {
   Result<MaintenanceReport> result = manager.InsertRow("A", contested);
   releaser.join();
   ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(sys.locks().TotalLocks(), 0u);
+  ASSERT_TRUE(manager.CheckAllConsistent().ok());
+}
+
+// --------------------------------------------------------- Lock escalation
+
+TEST(LockEscalationTest, KeyLocksCollapseIntoFragmentLock) {
+  LockManager lm;
+  lm.set_escalation_threshold(4);
+  Counter* escalations =
+      MetricsRegistry::Global().counter("pjvm_lock_escalations");
+  Counter* reclaimed =
+      MetricsRegistry::Global().counter("pjvm_lock_entries_reclaimed");
+  const uint64_t esc0 = escalations->value();
+  const uint64_t rec0 = reclaimed->value();
+  for (int64_t k = 0; k < 3; ++k) {
+    ASSERT_TRUE(
+        lm.Acquire(1, LockId::Key(0, "T", Value{k}), LockMode::kExclusive)
+            .ok());
+  }
+  EXPECT_EQ(lm.TotalLocks(), 3u);
+  // The threshold-crossing grant swaps the key entries for one fragment lock.
+  ASSERT_TRUE(
+      lm.Acquire(1, LockId::Key(0, "T", Value{3}), LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.TotalLocks(), 1u);
+  EXPECT_EQ(lm.HeldCount(1), 1u);
+  EXPECT_TRUE(lm.Holds(1, LockId::Table(0, "T"), LockMode::kExclusive));
+  // Coverage: the reclaimed keys still count as held...
+  for (int64_t k = 0; k < 4; ++k) {
+    EXPECT_TRUE(lm.Holds(1, LockId::Key(0, "T", Value{k}), LockMode::kExclusive))
+        << k;
+  }
+  // ...and later key acquires are answered by the fragment lock without
+  // creating new entries.
+  ASSERT_TRUE(
+      lm.Acquire(1, LockId::Key(0, "T", Value{99}), LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.TotalLocks(), 1u);
+  EXPECT_EQ(escalations->value() - esc0, 1u);
+  EXPECT_EQ(reclaimed->value() - rec0, 4u);
+  LockManager::TxnEscalationStats stats = lm.EscalationStatsOf(1);
+  EXPECT_EQ(stats.escalations, 1u);
+  EXPECT_EQ(stats.entries_reclaimed, 4u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+  EXPECT_EQ(lm.EscalationStatsOf(1).escalations, 0u);  // gone with the txn
+  // The fragment is free again for others.
+  EXPECT_TRUE(
+      lm.Acquire(2, LockId::Key(0, "T", Value{0}), LockMode::kExclusive).ok());
+}
+
+TEST(LockEscalationTest, ThresholdZeroDisablesEscalation) {
+  LockManager lm;  // default threshold: 0 (off)
+  for (int64_t k = 0; k < 32; ++k) {
+    ASSERT_TRUE(
+        lm.Acquire(1, LockId::Key(0, "T", Value{k}), LockMode::kExclusive)
+            .ok());
+  }
+  EXPECT_EQ(lm.TotalLocks(), 32u);
+  EXPECT_EQ(lm.EscalationStatsOf(1).escalations, 0u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+}
+
+TEST(LockEscalationTest, ReacquisitionDoesNotInflateTheCount) {
+  // Re-granting an already-held key must not count toward the threshold:
+  // only distinct key entries fill the lock table.
+  LockManager lm;
+  lm.set_escalation_threshold(4);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        lm.Acquire(1, LockId::Key(0, "T", Value{0}), LockMode::kExclusive)
+            .ok());
+  }
+  EXPECT_EQ(lm.TotalLocks(), 1u);
+  EXPECT_EQ(lm.EscalationStatsOf(1).escalations, 0u);
+  lm.ReleaseAll(1);
+}
+
+TEST(LockEscalationTest, EscalatedModeMatchesStrongestKeyLock) {
+  // All-shared footprint escalates to a shared fragment lock: other readers
+  // of the fragment proceed, a writer conflicts.
+  LockManager lm;
+  lm.set_escalation_threshold(4);
+  for (int64_t k = 0; k < 4; ++k) {
+    ASSERT_TRUE(
+        lm.Acquire(1, LockId::Key(0, "T", Value{k}), LockMode::kShared).ok());
+  }
+  EXPECT_EQ(lm.TotalLocks(), 1u);
+  EXPECT_TRUE(lm.Holds(1, LockId::Table(0, "T"), LockMode::kShared));
+  EXPECT_FALSE(lm.Holds(1, LockId::Table(0, "T"), LockMode::kExclusive));
+  EXPECT_TRUE(
+      lm.Acquire(2, LockId::Key(0, "T", Value{50}), LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(3, LockId::Key(0, "T", Value{51}), LockMode::kExclusive)
+                  .IsAborted());
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+
+  // One exclusive key in the footprint forces an exclusive fragment lock.
+  LockManager lm2;
+  lm2.set_escalation_threshold(4);
+  ASSERT_TRUE(
+      lm2.Acquire(1, LockId::Key(0, "T", Value{0}), LockMode::kExclusive).ok());
+  for (int64_t k = 1; k < 4; ++k) {
+    ASSERT_TRUE(
+        lm2.Acquire(1, LockId::Key(0, "T", Value{k}), LockMode::kShared).ok());
+  }
+  EXPECT_TRUE(lm2.Holds(1, LockId::Table(0, "T"), LockMode::kExclusive));
+  EXPECT_TRUE(
+      lm2.Acquire(2, LockId::Key(0, "T", Value{50}), LockMode::kShared)
+          .IsAborted());
+  lm2.ReleaseAll(1);
+}
+
+TEST(LockEscalationTest, FragmentsCountIndependently) {
+  LockManager lm;
+  lm.set_escalation_threshold(4);
+  for (int64_t k = 0; k < 3; ++k) {
+    ASSERT_TRUE(
+        lm.Acquire(1, LockId::Key(0, "T", Value{k}), LockMode::kExclusive)
+            .ok());
+    ASSERT_TRUE(
+        lm.Acquire(1, LockId::Key(1, "T", Value{k}), LockMode::kExclusive)
+            .ok());
+    ASSERT_TRUE(
+        lm.Acquire(1, LockId::Key(0, "U", Value{k}), LockMode::kExclusive)
+            .ok());
+  }
+  // 3 keys on each of three fragments: below threshold everywhere.
+  EXPECT_EQ(lm.TotalLocks(), 9u);
+  // Crossing on (node 0, T) escalates only that fragment.
+  ASSERT_TRUE(
+      lm.Acquire(1, LockId::Key(0, "T", Value{3}), LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.TotalLocks(), 7u);  // 1 fragment lock + 3 + 3 key locks
+  EXPECT_TRUE(lm.Holds(1, LockId::Table(0, "T"), LockMode::kExclusive));
+  EXPECT_FALSE(lm.Holds(1, LockId::Table(1, "T"), LockMode::kShared));
+  EXPECT_FALSE(lm.Holds(1, LockId::Table(0, "U"), LockMode::kShared));
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+}
+
+TEST(LockEscalationTest, FailedEscalationAbortsTriggeringAcquire) {
+  // Another transaction's key lock on the fragment blocks the escalated
+  // fragment lock; under no-wait the threshold-crossing Acquire surfaces
+  // Aborted, and the caller's rollback releases the keys it did get.
+  LockManager lm;
+  lm.set_escalation_threshold(4);
+  ASSERT_TRUE(
+      lm.Acquire(2, LockId::Key(0, "T", Value{99}), LockMode::kShared).ok());
+  for (int64_t k = 0; k < 3; ++k) {
+    ASSERT_TRUE(
+        lm.Acquire(1, LockId::Key(0, "T", Value{k}), LockMode::kExclusive)
+            .ok());
+  }
+  Status st = lm.Acquire(1, LockId::Key(0, "T", Value{3}), LockMode::kExclusive);
+  EXPECT_TRUE(st.IsAborted()) << st;
+  EXPECT_EQ(lm.EscalationStatsOf(1).escalations, 0u);
+  // The key locks (including the just-granted trigger) stay intact until the
+  // caller rolls back — the transaction never loses coverage mid-flight.
+  EXPECT_EQ(lm.HeldCount(1), 4u);
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Holds(2, LockId::Key(0, "T", Value{99}), LockMode::kShared));
+  lm.ReleaseAll(2);
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+}
+
+TEST(LockEscalationTest, EscalationDegradesToAbortWhenItMustNotBlock) {
+  // An executor worker (or latch holder) may never park; when the fragment
+  // lock would require waiting, the threshold-crossing Acquire aborts
+  // instead — the same contract as any other would-wait in that context.
+  LockManager lm;
+  lm.set_policy(LockPolicy::kWaitDie);
+  lm.set_wait_timeout_ms(10000);  // would hang the test if it parked
+  lm.set_escalation_threshold(4);
+  ASSERT_TRUE(
+      lm.Acquire(2, LockId::Key(0, "T", Value{99}), LockMode::kExclusive).ok());
+  for (int64_t k = 0; k < 3; ++k) {
+    ASSERT_TRUE(
+        lm.Acquire(1, LockId::Key(0, "T", Value{k}), LockMode::kExclusive)
+            .ok());
+  }
+  // txn 1 is older than the holder, so wait-die would normally park it.
+  WorkerContext::is_executor_worker = true;
+  Status st = lm.Acquire(1, LockId::Key(0, "T", Value{3}), LockMode::kExclusive);
+  WorkerContext::is_executor_worker = false;
+  EXPECT_TRUE(st.IsAborted()) << st;
+  EXPECT_NE(st.ToString().find("non-blocking"), std::string::npos) << st;
+  EXPECT_EQ(lm.EscalationStatsOf(1).escalations, 0u);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+}
+
+TEST(LockEscalationTest, WaitDieReclaimWakesParkedWaiterOntoFragmentLock) {
+  LockManager lm;
+  lm.set_policy(LockPolicy::kWaitDie);
+  lm.set_wait_timeout_ms(10000);
+  lm.set_escalation_threshold(4);
+  LockId contested = LockId::Key(0, "T", Value{0});
+  // Younger txn 2 holds the contested key; older txn 1 parks on it.
+  ASSERT_TRUE(lm.Acquire(2, contested, LockMode::kExclusive).ok());
+  std::atomic<bool> granted{false};
+  std::thread older([&] {
+    Status st = lm.Acquire(1, contested, LockMode::kExclusive);
+    EXPECT_TRUE(st.ok()) << st;
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(granted.load());
+  // txn 2 crosses the threshold and escalates. The reclaim wakes the parked
+  // waiter, which re-evaluates, now conflicts with the fragment lock, and
+  // parks again (it is older than the holder, so wait-die lets it wait).
+  for (int64_t k = 1; k < 4; ++k) {
+    ASSERT_TRUE(
+        lm.Acquire(2, LockId::Key(0, "T", Value{k}), LockMode::kExclusive)
+            .ok());
+  }
+  EXPECT_EQ(lm.EscalationStatsOf(2).escalations, 1u);
+  EXPECT_TRUE(lm.Holds(2, LockId::Table(0, "T"), LockMode::kExclusive));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(granted.load());
+  // The escalated holder finishing hands the key to the waiter.
+  lm.ReleaseAll(2);
+  older.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_TRUE(lm.Holds(1, contested, LockMode::kExclusive));
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+}
+
+TEST(LockEscalationTest, WoundWaitEscalationWoundsYoungerKeyHolder) {
+  LockManager lm;
+  lm.set_policy(LockPolicy::kWoundWait);
+  lm.set_wait_timeout_ms(2000);
+  lm.set_escalation_threshold(4);
+  ASSERT_TRUE(
+      lm.Acquire(5, LockId::Key(0, "T", Value{99}), LockMode::kExclusive).ok());
+  for (int64_t k = 0; k < 3; ++k) {
+    ASSERT_TRUE(
+        lm.Acquire(1, LockId::Key(0, "T", Value{k}), LockMode::kExclusive)
+            .ok());
+  }
+  // The older txn 1 crosses the threshold: the escalated fragment acquire
+  // wounds the younger key holder and parks until it releases.
+  std::atomic<bool> escalated{false};
+  std::thread older([&] {
+    Status st =
+        lm.Acquire(1, LockId::Key(0, "T", Value{3}), LockMode::kExclusive);
+    EXPECT_TRUE(st.ok()) << st;
+    escalated.store(true);
+  });
+  // Act as the victim: its next acquire observes the wound and aborts.
+  Status victim = Status::OK();
+  for (int i = 0; i < 200 && victim.ok(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    victim = lm.Acquire(5, LockId::Key(1, "T", Value{0}), LockMode::kShared);
+  }
+  EXPECT_TRUE(victim.IsAborted()) << victim;
+  EXPECT_NE(victim.ToString().find("wounded"), std::string::npos) << victim;
+  lm.ReleaseAll(5);
+  older.join();
+  EXPECT_TRUE(escalated.load());
+  EXPECT_TRUE(lm.Holds(1, LockId::Table(0, "T"), LockMode::kExclusive));
+  EXPECT_EQ(lm.EscalationStatsOf(1).escalations, 1u);
+  EXPECT_EQ(lm.EscalationStatsOf(1).entries_reclaimed, 4u);
+  EXPECT_EQ(lm.TotalLocks(), 1u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.TotalLocks(), 0u);
+}
+
+TEST(LockEscalationTest, PeakShardEntriesTracksHighWaterMark) {
+  LockManager lm(/*num_shards=*/1);
+  for (int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(
+        lm.Acquire(1, LockId::Key(0, "T", Value{k}), LockMode::kExclusive)
+            .ok());
+  }
+  EXPECT_EQ(lm.PeakShardEntries(), 10u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.PeakShardEntries(), 10u);  // the peak persists past release
+  lm.ResetPeakEntries();
+  EXPECT_EQ(lm.PeakShardEntries(), 0u);
+  // With escalation the same footprint peaks at threshold + 1 (the keys
+  // plus the fragment lock, just before the reclaim), not the key count.
+  lm.set_escalation_threshold(4);
+  for (int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(
+        lm.Acquire(2, LockId::Key(0, "T", Value{k}), LockMode::kExclusive)
+            .ok());
+  }
+  EXPECT_EQ(lm.PeakShardEntries(), 5u);
+  lm.ReleaseAll(2);
+}
+
+SystemConfig EscalationConfig(int threshold) {
+  SystemConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.rows_per_page = 8;
+  cfg.enable_locking = true;
+  cfg.lock_policy = LockPolicy::kWaitDie;
+  cfg.lock_wait_timeout_ms = 500;
+  cfg.maintain_max_attempts = 8;
+  cfg.maintain_retry_base_us = 1000;
+  cfg.lock_escalation_threshold = threshold;
+  return cfg;
+}
+
+TEST(LockEscalationTest, BulkDeltaEscalatesAndStaysConsistent) {
+  // End to end: a bulk maintenance delta's per-row key locks collapse into
+  // fragment locks, the peak lock-table footprint drops accordingly, and
+  // the view still matches the from-scratch join.
+  auto run = [](int threshold, uint64_t* escalations, size_t* peak) {
+    ParallelSystem sys(EscalationConfig(threshold));
+    ViewManager manager(&sys);
+    RegisterSimpleView(sys, manager);
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < 64; ++i) {
+      rows.push_back({Value{1000 + i}, Value{i % 5}, Value{i}});
+    }
+    sys.locks().ResetPeakEntries();
+    MaintenanceAnalysis analysis;
+    manager.ApplyDelta(DeltaBatch::Inserts("A", std::move(rows)), &analysis)
+        .status()
+        .Check();
+    EXPECT_EQ(sys.locks().TotalLocks(), 0u);
+    ASSERT_TRUE(manager.CheckAllConsistent().ok());
+    *escalations = analysis.escalations;
+    *peak = sys.locks().PeakShardEntries();
+  };
+  uint64_t esc_off = 0, esc_on = 0;
+  size_t peak_off = 0, peak_on = 0;
+  run(/*threshold=*/0, &esc_off, &peak_off);
+  run(/*threshold=*/8, &esc_on, &peak_on);
+  EXPECT_EQ(esc_off, 0u);
+  EXPECT_GT(esc_on, 0u);
+  EXPECT_LT(peak_on, peak_off);
+}
+
+TEST(LockEscalationTest, MaintenanceRetryAbsorbsEscalationConflicts) {
+  // A blocker's key lock on the delta's fragment makes the escalating
+  // maintenance transaction abort (wait-die: the maintenance txn is
+  // younger); the bounded retry loop absorbs the aborts and commits once
+  // the blocker goes away.
+  ParallelSystem sys(EscalationConfig(/*threshold=*/8));
+  ViewManager manager(&sys);
+  RegisterSimpleView(sys, manager);
+  Row contested = {Value{100}, Value{1}, Value{1}};
+  uint64_t blocker = sys.Begin();
+  ASSERT_TRUE(sys.Insert("A", contested, blocker).ok());
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    sys.Abort(blocker).Check();
+  });
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 64; ++i) {
+    rows.push_back({Value{1000 + i}, Value{i % 5}, Value{i}});
+  }
+  MaintenanceAnalysis analysis;
+  Result<MaintenanceReport> result =
+      manager.ApplyDelta(DeltaBatch::Inserts("A", std::move(rows)), &analysis);
+  releaser.join();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(analysis.escalations, 0u);
   EXPECT_EQ(sys.locks().TotalLocks(), 0u);
   ASSERT_TRUE(manager.CheckAllConsistent().ok());
 }

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+#include <thread>
+
 #include "common/metrics.h"
 #include "net/message.h"
 #include "net/network.h"
@@ -167,6 +171,39 @@ TEST(NetworkTest, InterleavedBroadcastDrainsSeeOnlyOwnTxn) {
     EXPECT_EQ(got->txn_id, 1u);
     EXPECT_EQ(got->from, 0);
   }
+  EXPECT_FALSE(net.HasPending());
+}
+
+TEST(NetworkTest, ConcurrentPerTxnDrainsNeverCrossTransactions) {
+  // The live version of the interleaving hazard: two transactions run
+  // broadcast+drain rounds from different threads against the same per-node
+  // queues. A drain loop built on plain Poll() dequeues whichever message is
+  // at the head — including the other transaction's; PollTxn must hand each
+  // thread exactly its own copies, in its own FIFO order, every round.
+  constexpr int kNodes = 4;
+  constexpr int kRounds = 200;
+  CostTracker cost(kNodes);
+  Network net(kNodes, &cost);
+  auto driver = [&](uint64_t txn, int from) {
+    for (int r = 0; r < kRounds; ++r) {
+      Message msg;
+      msg.txn_id = txn;
+      msg.table = std::to_string(txn) + ":" + std::to_string(r);
+      EXPECT_TRUE(net.Broadcast(from, msg).ok());
+      for (int node = 0; node < kNodes; ++node) {
+        std::optional<Message> got = net.PollTxn(node, txn);
+        ASSERT_TRUE(got.has_value()) << "txn " << txn << " round " << r
+                                     << " node " << node;
+        EXPECT_EQ(got->txn_id, txn);
+        EXPECT_EQ(got->table, msg.table);
+        EXPECT_EQ(got->from, from);
+      }
+    }
+  };
+  std::thread t1([&] { driver(1, 0); });
+  std::thread t2([&] { driver(2, 1); });
+  t1.join();
+  t2.join();
   EXPECT_FALSE(net.HasPending());
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -203,6 +204,93 @@ TEST_F(TraceMaintenanceTest, ExplainAnalyzeThroughSql) {
   exec.Execute("EXPLAIN ANALYZE DELETE FROM A VALUES (900, 5, 1)", os2)
       .Check();
   EXPECT_NE(os2.str().find("(+0/-1 base rows)"), std::string::npos);
+}
+
+TEST_F(TraceMaintenanceTest, AnalysisUnpollutedByConcurrentTransactions) {
+  // Regression: per-node attribution used to diff global CostTracker
+  // snapshots around the transaction, so anything a *concurrent* maintenance
+  // transaction did meanwhile was attributed to the bracketed one. The
+  // per-txn meter must report the same per-node I/O for the same delta
+  // whether the system is otherwise idle or busy on unrelated tables.
+  SystemConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.rows_per_page = 4;
+  cfg.enable_locking = true;
+  cfg.lock_policy = LockPolicy::kWaitDie;
+  cfg.lock_wait_timeout_ms = 500;
+  ParallelSystem sys(cfg);
+  ViewManager manager(&sys);
+  for (const char* base : {"A", "C"}) {
+    sys.CreateTable(MakeTableDef(base, ASchema(), "a")).Check();
+  }
+  for (const char* dim : {"B", "D"}) {
+    sys.CreateTable(MakeTableDef(dim, BSchema(), "b")).Check();
+    for (int64_t k = 0; k < 10; ++k) {
+      sys.Insert(dim, {Value{k}, Value{k % 5}, Value{k}}).Check();
+    }
+  }
+  auto make_view = [](const char* name, const char* a, const char* b) {
+    JoinViewDef def;
+    def.name = name;
+    def.bases = {{a, a}, {b, b}};
+    def.edges = {{{a, "c"}, {b, "d"}}};
+    def.partition_on = ColumnRef{a, "e"};
+    return def;
+  };
+  ASSERT_TRUE(manager
+                  .RegisterView(make_view("JV_AB", "A", "B"),
+                                MaintenanceMethod::kAuxRelation)
+                  .ok());
+  ASSERT_TRUE(manager
+                  .RegisterView(make_view("JV_CD", "C", "D"),
+                                MaintenanceMethod::kAuxRelation)
+                  .ok());
+
+  // One warm-up insert/delete cycle so both measured runs see the same
+  // physical pages (first-touch page allocations happen here).
+  Row probe = {Value{100}, Value{1}, Value{1}};
+  manager.InsertRow("A", probe).status().Check();
+  manager.DeleteRow("A", probe).status().Check();
+
+  MaintenanceAnalysis solo;
+  manager.ApplyDelta(DeltaBatch::Inserts("A", {probe}), &solo)
+      .status()
+      .Check();
+  manager.DeleteRow("A", probe).status().Check();
+
+  // Noise: a second thread hammers the unrelated C/D view while we measure.
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> noise_key{1000};
+  std::thread noise([&] {
+    while (!stop.load()) {
+      int64_t k = noise_key.fetch_add(1);
+      manager.InsertRow("C", {Value{k}, Value{k % 5}, Value{k}})
+          .status()
+          .Check();
+    }
+  });
+  // Let the noise thread demonstrably run before and during the bracket.
+  while (noise_key.load() < 1005) std::this_thread::yield();
+  MaintenanceAnalysis conc;
+  manager.ApplyDelta(DeltaBatch::Inserts("A", {probe}), &conc)
+      .status()
+      .Check();
+  stop.store(true);
+  noise.join();
+
+  // Different tables, different lock fragments: no retries to excuse drift.
+  EXPECT_EQ(conc.attempts, 1);
+  ASSERT_EQ(conc.per_node.size(), solo.per_node.size());
+  for (size_t n = 0; n < solo.per_node.size(); ++n) {
+    EXPECT_EQ(conc.per_node[n].searches, solo.per_node[n].searches)
+        << "node " << n;
+    EXPECT_EQ(conc.per_node[n].fetches, solo.per_node[n].fetches)
+        << "node " << n;
+    EXPECT_EQ(conc.per_node[n].inserts, solo.per_node[n].inserts)
+        << "node " << n;
+    EXPECT_EQ(conc.per_node[n].sends, solo.per_node[n].sends) << "node " << n;
+  }
+  manager.CheckAllConsistent().Check();
 }
 
 // ----------------------------------------------------- trace fan-out shape

@@ -225,6 +225,61 @@ TEST(GroupCommitTest, CrashReplayOfPartiallyForcedBatch) {
             Sorted({{Value{1}, Value{10}}, {Value{3}, Value{30}}}));
 }
 
+TEST(GroupCommitTest, CheckpointForcesUnforcedTailBeforeTruncation) {
+  // Regression: Clear() used to advance durable_lsn_ over records that were
+  // never forced to the device. A checkpoint taken between a commit's append
+  // and its force would then claim durability the device never provided, and
+  // the next DiscardUnforced "crash" silently kept rows that should be lost.
+  // Clear() must pay one real device write for an unforced tail.
+  Wal wal;
+  wal.ConfigureForce(/*force_ns=*/1'000'000, /*group_commit=*/true,
+                     /*window_us=*/0);
+  Counter* forces =
+      MetricsRegistry::Global().counter("pjvm_wal_checkpoint_forces");
+  const uint64_t before = forces->value();
+  wal.Append({0, 1, LogRecordType::kInsert, "T", {Value{1}}});
+  uint64_t b = wal.Append({0, 1, LogRecordType::kCommit, "", {}});
+  ASSERT_LT(wal.durable_lsn(), b);  // tail is unforced
+  wal.Clear();
+  // The checkpoint paid the device write instead of lying about durability.
+  EXPECT_EQ(forces->value(), before + 1);
+  EXPECT_EQ(wal.durable_lsn(), b);
+  EXPECT_EQ(wal.size(), 0u);
+  // Crash semantics stay honest after the checkpoint: a fresh unforced
+  // append is above the watermark and a crash discard drops it.
+  uint64_t c = wal.Append({0, 2, LogRecordType::kInsert, "T", {Value{2}}});
+  EXPECT_GT(c, wal.durable_lsn());
+  wal.DiscardUnforced();
+  EXPECT_EQ(wal.size(), 0u);
+  // An already-durable checkpoint costs nothing.
+  uint64_t d = wal.Append({0, 3, LogRecordType::kInsert, "T", {Value{3}}});
+  ASSERT_TRUE(wal.Force(d).ok());
+  wal.Clear();
+  EXPECT_EQ(forces->value(), before + 1);
+}
+
+TEST(GroupCommitTest, CheckpointRidesOutInFlightForceRound) {
+  // A checkpoint that arrives while a leader's round is open must wait for
+  // that round rather than start a second device write. The leader snapshots
+  // its target after the accumulation window, so the round also covers an
+  // append made mid-window — the checkpoint then truncates for free.
+  Wal wal;
+  wal.ConfigureForce(/*force_ns=*/1'000'000, /*group_commit=*/true,
+                     /*window_us=*/100'000);
+  Counter* forces =
+      MetricsRegistry::Global().counter("pjvm_wal_checkpoint_forces");
+  const uint64_t before = forces->value();
+  uint64_t lsn1 = wal.Append({0, 1, LogRecordType::kPrepare, "", {}});
+  std::thread leader([&] { EXPECT_TRUE(wal.Force(lsn1).ok()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  uint64_t lsn2 = wal.Append({0, 2, LogRecordType::kPrepare, "", {}});
+  wal.Clear();  // rides out the leader's round, which covers lsn2
+  leader.join();
+  EXPECT_EQ(forces->value(), before);  // no extra checkpoint force
+  EXPECT_GE(wal.durable_lsn(), lsn2);
+  EXPECT_EQ(wal.size(), 0u);
+}
+
 // ------------------------------------------------------------- TxnManager
 
 TEST(TxnManagerTest, LifecycleStates) {
