@@ -36,6 +36,27 @@
 // locks collapse into a handful of fragment locks without costing
 // throughput. Written to BENCH_contention_bulk.json.
 //
+// A mixed read/write sweep measures the MVCC snapshot read path instead
+// (SystemConfig::mvcc_reads): R reader threads run explicit read
+// transactions against a fixed pool of A rows while W writer threads drive
+// update maintenance transactions over the same pool. Both sides are
+// open-loop: the sweep offers a FIXED aggregate update rate spread evenly
+// across the writer threads, and each reader issues one read per fixed
+// think-time slot. Growing W therefore scales how many writers hold key X
+// locks concurrently — the variable under test — without scaling CPU
+// demand, and reader throughput measures whether readers meet their
+// offered rate, not what share of the machine the scheduler hands them
+// (closed-loop threads would turn the flatness claim into a CPU-share
+// measurement on small machines). With mvcc_reads off the readers'
+// table-granularity S locks collide with the writers' key X locks
+// (wait-die kills the younger reader), so reads miss their slots and pay
+// multi-millisecond tails; with it on the readers probe pinned snapshots
+// and hold zero locks, so reader throughput and tail latency stay flat as
+// writers are added. The mvcc-on cells assert that flatness in-bench: reader
+// throughput at {4, 8} writers must stay >= 0.8x the same reader count's
+// single-writer baseline, with zero reader lock acquisitions and zero
+// reader aborts. Written to BENCH_contention_mixed.json.
+//
 // Usage: bench_contention [txns_per_thread] [nodes] [sweep]
 //   sweep = "full" (default): modes {baseline, scalable} x policies x
 //           key pools {1, 8, 64, 1024} x threads {1, 2, 4, 8}
@@ -43,6 +64,10 @@
 //           64 keys, baseline vs scalable)
 //   sweep = "bulk": the escalation-threshold sweep; [txns_per_thread] is
 //           reinterpreted as rows in the single bulk delta
+//   sweep = "mixed": the MVCC read/write grid, readers {1, 2, 4, 8} x
+//           writers {1, 4, 8} x mvcc_reads {off, on}
+//   sweep = "mixed-ci": the four mixed cells CI smokes (2 readers,
+//           writers {1, 8}, mvcc off vs on)
 
 #include <atomic>
 #include <chrono>
@@ -68,6 +93,7 @@ struct ContentionConfig {
   int nodes = 4;
   bool ci_only = false;
   bool bulk = false;
+  bool mixed = false;
 };
 
 /// One sweep cell: an engine mode x lock policy x load shape.
@@ -360,6 +386,298 @@ void RunBulk(const ContentionConfig& cc) {
   report.Write();
 }
 
+// ------------------------------------------------ mixed read/write sweep
+
+/// Preloaded A rows the mixed cells read and update. Small enough that the
+/// writers' key locks blanket the table, large enough that every writer
+/// count in the grid owns a disjoint slice.
+constexpr int64_t kMixedPool = 64;
+// A cheaper simulated force than the write-only sweep's: writer commits
+// still hold locks across a multi-millisecond window, but a cell is not
+// dominated by WAL sleeps.
+constexpr uint64_t kMixedForceNs = 2'000'000;
+// Aggregate spacing of the open-loop writer schedule: one update is
+// offered every 8ms regardless of W (writer w fires txn i at cell start +
+// (i*W + w) * spacing, so the offered load is uniform and W only changes
+// how many writers can be mid-transaction at once). 125 updates/s sits
+// below what one writer sustains closed-loop even with readers
+// interfering, so the schedule never falls behind.
+constexpr int64_t kMixedWriterSpacingUs = 8'000;
+// Per-reader think time: each reader offers one read per 500us slot
+// (2000 reads/s/reader). A snapshot read costs ~10us, so even 8 readers
+// plus the writer load fit in a fraction of one core — a reader that
+// misses slots is blocked on the lock protocol, not starved of CPU.
+constexpr int64_t kMixedReaderPeriodUs = 500;
+
+struct MixedCell {
+  bool mvcc = false;
+  int readers = 1;
+  int writers = 1;
+};
+
+struct MixedResult {
+  MixedCell cell;
+  uint64_t writer_committed = 0;
+  uint64_t reader_reads = 0;
+  /// Wait-die kills of reader transactions (client-visible Aborted).
+  uint64_t reader_aborts = 0;
+  /// Sum over successful reads of locks().HeldCount(reader txn) sampled
+  /// just before commit: the direct "readers acquire zero locks" evidence.
+  uint64_t reader_locks_held = 0;
+  double wall_ms = 0.0;
+  double reader_reads_per_sec = 0.0;
+  double writer_committed_per_sec = 0.0;
+  HistogramData read_latency;
+};
+
+MixedResult RunMixedCell(const ContentionConfig& cc, const MixedCell& cell) {
+  MixedResult result;
+  result.cell = cell;
+
+  SystemConfig cfg;
+  cfg.num_nodes = cc.nodes;
+  cfg.rows_per_page = 8;
+  cfg.enable_locking = true;
+  cfg.lock_policy = LockPolicy::kWaitDie;
+  cfg.lock_wait_timeout_ms = 500;
+  cfg.maintain_max_attempts = 16;
+  cfg.maintain_retry_base_us = 100;
+  cfg.lock_shards = 16;
+  cfg.rw_latches = true;
+  cfg.wal_force_ns = kMixedForceNs;
+  cfg.group_commit = true;
+  cfg.group_commit_window_us = kWindowUs;
+  cfg.mvcc_reads = cell.mvcc;
+  ParallelSystem sys(cfg);
+
+  TwoTableConfig tt;
+  tt.b_join_keys = 16;
+  tt.fanout = 2;
+  LoadTwoTable(&sys, tt).Check();
+  // The shared A pool goes in before the view registers, so backfill
+  // materializes its join rows.
+  for (int64_t k = 0; k < kMixedPool; ++k) {
+    sys.Insert("A", MakeDeltaA(tt, k)).Check();
+  }
+  ViewManager manager(&sys);
+  manager.RegisterView(MakeModelView(), MaintenanceMethod::kAuxRelation)
+      .Check();
+
+  LatencyHistogram read_latency;
+  std::atomic<bool> writers_done{false};
+  std::atomic<uint64_t> writer_committed{0};
+  std::atomic<uint64_t> reader_reads{0};
+  std::atomic<uint64_t> reader_aborts{0};
+  std::atomic<uint64_t> reader_locks_held{0};
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(cell.writers + cell.readers);
+  for (int w = 0; w < cell.writers; ++w) {
+    threads.emplace_back([&, w] {
+      // Each writer owns the pool keys congruent to it mod W, so writers
+      // never contend with each other on base rows (their collisions are on
+      // the AR/JV structures); each tracks its rows' current images so the
+      // update's delete half matches exactly.
+      std::vector<Row> owned;
+      for (int64_t k = w; k < kMixedPool; k += cell.writers) {
+        owned.push_back(MakeDeltaA(tt, k));
+      }
+      const auto spacing = std::chrono::microseconds(kMixedWriterSpacingUs);
+      for (int i = 0; i < cc.txns_per_thread; ++i) {
+        // Open-loop schedule: this writer's slot in the fixed aggregate
+        // offered rate (see kMixedWriterSpacingUs). A no-op if the cell
+        // has fallen behind schedule.
+        std::this_thread::sleep_until(
+            start + spacing * (int64_t{i} * cell.writers + w));
+        Row& row = owned[i % owned.size()];
+        Row next = row;
+        next[2] = Value{next[2].AsInt64() + kMixedPool * 3};
+        for (;;) {
+          auto report = manager.UpdateRow("A", row, next);
+          if (report.ok()) break;
+          if (!report.status().IsAborted()) report.status().Check();
+        }
+        row = next;
+        writer_committed.fetch_add(1);
+      }
+    });
+  }
+  for (int r = 0; r < cell.readers; ++r) {
+    threads.emplace_back([&, r] {
+      // Probe the join attribute: A has no index on c, so the mvcc-off path
+      // takes a table-granularity S lock per node — squarely in conflict
+      // with every writer's key X locks — while the mvcc-on path reads a
+      // pinned snapshot and locks nothing.
+      int64_t key = r;
+      const auto period = std::chrono::microseconds(kMixedReaderPeriodUs);
+      // Staggered open-loop slots (see kMixedReaderPeriodUs). Latency is
+      // measured from the scheduled slot, not the actual start, so a
+      // reader delayed by the lock protocol shows the backlog in its tail
+      // (no coordinated omission).
+      auto t0 = start + period * r / cell.readers;
+      while (!writers_done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_until(t0);
+        bool read_ok = false;
+        while (!read_ok && !writers_done.load(std::memory_order_relaxed)) {
+          uint64_t txn = sys.Begin();
+          Result<std::vector<Row>> rows =
+              sys.SelectEq("A", "c", Value{key % tt.b_join_keys}, txn);
+          if (rows.ok()) {
+            reader_locks_held.fetch_add(sys.locks().HeldCount(txn));
+            sys.Commit(txn).Check();
+            read_ok = true;
+          } else {
+            if (!rows.status().IsAborted()) rows.status().Check();
+            sys.Abort(txn);
+            reader_aborts.fetch_add(1);
+          }
+        }
+        if (!read_ok) break;
+        auto t1 = std::chrono::steady_clock::now();
+        reader_reads.fetch_add(1);
+        read_latency.Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+        t0 += period;
+        ++key;
+      }
+    });
+  }
+  for (int i = 0; i < cell.writers; ++i) threads[i].join();
+  auto end = std::chrono::steady_clock::now();
+  writers_done.store(true);
+  for (size_t i = cell.writers; i < threads.size(); ++i) threads[i].join();
+
+  result.writer_committed = writer_committed.load();
+  result.reader_reads = reader_reads.load();
+  result.reader_aborts = reader_aborts.load();
+  result.reader_locks_held = reader_locks_held.load();
+  result.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          end - start)
+          .count();
+  result.reader_reads_per_sec =
+      result.wall_ms > 0.0 ? 1000.0 * result.reader_reads / result.wall_ms
+                           : 0.0;
+  result.writer_committed_per_sec =
+      result.wall_ms > 0.0 ? 1000.0 * result.writer_committed / result.wall_ms
+                           : 0.0;
+  result.read_latency = read_latency.Snapshot();
+
+  manager.CheckAllConsistent().Check();
+  if (sys.locks().TotalLocks() != 0) {
+    Status::Internal("lock table not empty after mixed cell").Check();
+  }
+  return result;
+}
+
+std::string MixedJson(const MixedResult& r) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("mvcc").Str(r.cell.mvcc ? "on" : "off")
+      .Key("readers").Int(r.cell.readers)
+      .Key("writers").Int(r.cell.writers)
+      .Key("writer_committed").Uint(r.writer_committed)
+      .Key("writer_committed_per_sec").Num(r.writer_committed_per_sec)
+      .Key("reader_reads").Uint(r.reader_reads)
+      .Key("reader_reads_per_sec").Num(r.reader_reads_per_sec)
+      .Key("reader_aborts").Uint(r.reader_aborts)
+      .Key("reader_locks_held").Uint(r.reader_locks_held)
+      .Key("wall_ms").Num(r.wall_ms)
+      .Key("reader_latency_ns").Raw(LatencyJson(r.read_latency))
+      .EndObject();
+  return w.str();
+}
+
+void RunMixed(const ContentionConfig& cc) {
+  const std::vector<int> reader_counts =
+      cc.ci_only ? std::vector<int>{2} : std::vector<int>{1, 2, 4, 8};
+  const std::vector<int> writer_counts =
+      cc.ci_only ? std::vector<int>{1, 8} : std::vector<int>{1, 4, 8};
+  PrintHeader("mixed read/write sweep: readers x writers x mvcc {off,on}, " +
+              std::to_string(cc.txns_per_thread) + " txns/writer, " +
+              std::to_string(cc.nodes) + " nodes");
+  BenchReport report("contention_mixed");
+  {
+    JsonWriter w;
+    w.BeginObject()
+        .Key("txns_per_writer").Int(cc.txns_per_thread)
+        .Key("nodes").Int(cc.nodes)
+        .Key("a_pool").Int(kMixedPool)
+        .Key("b_join_keys").Int(16)
+        .Key("wal_force_ns").Uint(kMixedForceNs)
+        .Key("writer_spacing_us").Int(kMixedWriterSpacingUs)
+        .Key("reader_period_us").Int(kMixedReaderPeriodUs)
+        .Key("sweep").Str(cc.ci_only ? "mixed-ci" : "mixed")
+        .EndObject();
+    report.Add("config", w.str());
+  }
+  // results[mvcc][readers] -> per-writer-count cells, in writer_counts order.
+  std::vector<MixedResult> all;
+  JsonWriter sweep;
+  sweep.BeginArray();
+  for (bool mvcc : {false, true}) {
+    for (int readers : reader_counts) {
+      for (int writers : writer_counts) {
+        MixedResult r = RunMixedCell(cc, {mvcc, readers, writers});
+        std::cout << "mvcc=" << (mvcc ? "on" : "off")
+                  << " readers=" << r.cell.readers
+                  << " writers=" << r.cell.writers
+                  << ": reads=" << r.reader_reads
+                  << " reads/s=" << r.reader_reads_per_sec
+                  << " read_p95=" << r.read_latency.P95() / 1e6 << "ms"
+                  << " reader_aborts=" << r.reader_aborts
+                  << " reader_locks=" << r.reader_locks_held
+                  << " writes/s=" << r.writer_committed_per_sec << "\n";
+        sweep.Raw(MixedJson(r));
+        all.push_back(std::move(r));
+      }
+    }
+  }
+  sweep.EndArray();
+  report.Add("sweep", sweep.str());
+  report.Write();
+
+  // The PR's claims, enforced in-bench for the mvcc-on cells: snapshot
+  // readers acquire no locks and are never wait-die victims, and reader
+  // throughput stays within 0.8x of the same reader count's single-writer
+  // baseline as writers are added.
+  for (const MixedResult& r : all) {
+    if (!r.cell.mvcc) continue;
+    if (r.reader_locks_held != 0) {
+      Status::Internal("mvcc reader held locks").Check();
+    }
+    if (r.reader_aborts != 0) {
+      Status::Internal("mvcc reader aborted").Check();
+    }
+  }
+  for (int readers : reader_counts) {
+    double base = 0.0;
+    for (const MixedResult& r : all) {
+      if (r.cell.mvcc && r.cell.readers == readers && r.cell.writers == 1) {
+        base = r.reader_reads_per_sec;
+      }
+    }
+    if (base <= 0.0) continue;
+    for (const MixedResult& r : all) {
+      if (!r.cell.mvcc || r.cell.readers != readers || r.cell.writers == 1) {
+        continue;
+      }
+      if (r.reader_reads_per_sec < 0.8 * base) {
+        Status::Internal(
+            "mvcc reader throughput not flat: readers=" +
+            std::to_string(readers) + " writers=" +
+            std::to_string(r.cell.writers) + " " +
+            std::to_string(r.reader_reads_per_sec) + "/s vs baseline " +
+            std::to_string(base) + "/s")
+            .Check();
+      }
+    }
+  }
+  std::cout << "mixed sweep asserts passed: mvcc readers lock-free and flat\n";
+}
+
 std::vector<Cell> BuildSweep(const ContentionConfig& cc) {
   std::vector<Cell> cells;
   if (cc.ci_only) {
@@ -389,6 +707,10 @@ std::vector<Cell> BuildSweep(const ContentionConfig& cc) {
 void Run(const ContentionConfig& cc) {
   if (cc.bulk) {
     RunBulk(cc);
+    return;
+  }
+  if (cc.mixed) {
+    RunMixed(cc);
     return;
   }
   std::vector<Cell> cells = BuildSweep(cc);
@@ -436,8 +758,10 @@ int main(int argc, char** argv) {
   if (argc > 1) cc.txns_per_thread = std::stoi(argv[1]);
   if (argc > 2) cc.nodes = std::stoi(argv[2]);
   if (argc > 3) {
-    cc.ci_only = std::string(argv[3]) == "ci";
-    cc.bulk = std::string(argv[3]) == "bulk";
+    const std::string sweep = argv[3];
+    cc.ci_only = sweep == "ci" || sweep == "mixed-ci";
+    cc.bulk = sweep == "bulk";
+    cc.mixed = sweep == "mixed" || sweep == "mixed-ci";
   }
   pjvm::bench::Run(cc);
   return 0;

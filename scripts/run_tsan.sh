@@ -4,20 +4,21 @@
 # tests, the maintenance property tests that drive every parallel phase, the
 # lock manager (wait-die, wound-wait, sharding) + maintenance-retry tests,
 # the reader/writer node-latch and WAL group-commit suites, the network
-# queue tests, and the observability suites (lock-free tracer buffers,
-# concurrent histogram recording, tracing-on maintenance runs).
+# queue tests, the observability suites (lock-free tracer buffers,
+# concurrent histogram recording, tracing-on maintenance runs), and the MVCC
+# snapshot-isolation suite (readers vs. parked/racing writers, version GC).
 #
 # Usage: scripts/run_tsan.sh [extra ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-FILTER="${1:-NodeExecutor|ParallelEquivalence|NetworkTest|Maintenance|MethodEquivalence|Tracer|LatencyHistogram|CostTracker|TraceMaintenance|WaitDie|MaintenanceRetry|LockManager|EngineLocking|LockShard|WoundWait|NodeLatch|GroupCommit|LockEscalation}"
+FILTER="${1:-NodeExecutor|ParallelEquivalence|NetworkTest|Maintenance|MethodEquivalence|Tracer|LatencyHistogram|CostTracker|TraceMaintenance|WaitDie|MaintenanceRetry|LockManager|EngineLocking|LockShard|WoundWait|NodeLatch|GroupCommit|LockEscalation|SnapshotIsolation}"
 
 cmake -B "$BUILD_DIR" -S . -G Ninja -DPJVM_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target executor_test maintenance_test obs_test trace_maintenance_test \
-  lock_test txn_test net_test
+  lock_test txn_test net_test snapshot_isolation_test
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$BUILD_DIR" -R "$FILTER" --output-on-failure
 echo "TSan run clean."

@@ -4,9 +4,38 @@
 #include <cstdlib>
 #include <vector>
 
+#include "obs/metrics_registry.h"
+
 namespace pjvm {
 
 namespace {
+
+// Process-wide latch acquisition counters. The snapshot-isolation tests
+// assert these stay flat across a reader window with mvcc_reads on — the
+// measurable form of "readers take no latches".
+Counter* LatchSharedCounter() {
+  static Counter* c = MetricsRegistry::Global().counter("pjvm_node_latch_shared");
+  return c;
+}
+
+Counter* LatchExclusiveCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("pjvm_node_latch_exclusive");
+  return c;
+}
+
+// MVCC version bookkeeping: live chain deltas across all fragments, and
+// deltas reclaimed by folds.
+Gauge* VersionsLiveGauge() {
+  static Gauge* g = MetricsRegistry::Global().gauge("pjvm_mvcc_versions_live");
+  return g;
+}
+
+Counter* GcReclaimedCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("pjvm_mvcc_gc_reclaimed");
+  return c;
+}
 
 struct SharedDepthEntry {
   const NodeLatch* latch;
@@ -45,6 +74,7 @@ void NodeLatch::DropSharedDepth(const NodeLatch* latch) {
 }
 
 void NodeLatch::AcquireShared() const {
+  LatchSharedCounter()->Increment();
   if (!rw_enabled_) {
     AcquireExclusive();
     return;
@@ -91,6 +121,7 @@ void NodeLatch::ReleaseShared() const {
 }
 
 void NodeLatch::AcquireExclusive() const {
+  LatchExclusiveCounter()->Increment();
   const std::thread::id me = std::this_thread::get_id();
   if (writer_.load(std::memory_order_acquire) == me) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -131,6 +162,7 @@ Status Node::CreateFragment(const TableDef& def, int rows_per_page) {
     PJVM_ASSIGN_OR_RETURN(int col, def.schema.ColumnIndex(idx.column));
     PJVM_RETURN_NOT_OK(frag->CreateIndex(col, idx.clustered));
   }
+  if (snaps_ != nullptr) frag->EnableMvcc(snaps_->current_epoch());
   fragments_.emplace(def.name, std::move(frag));
   kinds_[def.name] = def.kind;
   return Status::OK();
@@ -151,8 +183,42 @@ CostTracker::WriteKind Node::WriteKindOf(const std::string& table) const {
   return CostTracker::WriteKind::kBase;
 }
 
+void Node::RecordVersionOp(uint64_t txn_id, const std::string& table,
+                           TableFragment* frag, MvccOp::Kind kind, Row row) {
+  MvccOp op;
+  op.kind = kind;
+  op.row = std::move(row);
+  op.pages_after = frag->num_pages();
+  op.rows_after = frag->num_rows();
+  if (txn_id != kAutoCommitTxnId) {
+    txns_->PushVersionOp(txn_id, TxnVersionOp{id_, table, std::move(op)});
+    return;
+  }
+  // Autocommit: the write is already durable (WAL append above) and there
+  // is no 2PC decision to wait for, so publish right away. Publishing under
+  // the node latch is safe: the publish path takes no latches (lock order
+  // latch -> publish_mu_).
+  std::vector<MvccOp> ops;
+  ops.push_back(std::move(op));
+  snaps_->Publish(
+      [&](uint64_t epoch) { frag->MvccPublish(epoch, std::move(ops)); });
+  VersionsLiveGauge()->Add(1.0);
+  snaps_->Fold([&](uint64_t watermark) {
+    size_t folded = frag->MvccMaybeFold(watermark);
+    if (folded > 0) {
+      VersionsLiveGauge()->Add(-static_cast<double>(folded));
+      GcReclaimedCounter()->Increment(folded);
+    }
+  });
+}
+
 Status Node::DropFragment(const std::string& table) {
   kinds_.erase(table);
+  auto it = fragments_.find(table);
+  if (it != fragments_.end() && snaps_ != nullptr) {
+    size_t dropped = it->second->MvccChainDeltas();
+    if (dropped > 0) VersionsLiveGauge()->Add(-static_cast<double>(dropped));
+  }
   if (fragments_.erase(table) == 0) {
     return Status::NotFound("node " + std::to_string(id_) +
                             " has no fragment '" + table + "'");
@@ -202,6 +268,10 @@ Result<LocalRowId> Node::Insert(uint64_t txn_id, const std::string& table,
   }
   PJVM_ASSIGN_OR_RETURN(LocalRowId lrid, frag->Insert(std::move(row)));
   tracker_->ChargeWrite(id_, WriteKindOf(table));
+  if (snaps_ != nullptr && frag->mvcc_enabled()) {
+    RecordVersionOp(txn_id, table, frag, MvccOp::Kind::kInsert,
+                    *frag->Get(lrid));
+  }
   return lrid;
 }
 
@@ -234,6 +304,9 @@ Status Node::DeleteExact(uint64_t txn_id, const std::string& table,
   PJVM_RETURN_NOT_OK(frag->DeleteExact(row).status());
   // The write itself is INSERT-weighted (one page read-modify-write).
   tracker_->ChargeWrite(id_, WriteKindOf(table));
+  if (snaps_ != nullptr && frag->mvcc_enabled()) {
+    RecordVersionOp(txn_id, table, frag, MvccOp::Kind::kDelete, row);
+  }
   return Status::OK();
 }
 
@@ -299,6 +372,17 @@ Status Node::ApplyLogRecord(const LogRecord& record) {
     default:
       return Status::InvalidArgument("recovery: non-data record");
   }
+}
+
+void Node::WipeFragments() {
+  if (snaps_ != nullptr) {
+    double dropped = 0;
+    for (const auto& [name, frag] : fragments_) {
+      dropped += static_cast<double>(frag->MvccChainDeltas());
+    }
+    if (dropped > 0) VersionsLiveGauge()->Add(-dropped);
+  }
+  fragments_.clear();
 }
 
 Status Node::RecreateFragments(const Catalog& catalog, int rows_per_page) {

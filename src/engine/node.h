@@ -16,6 +16,7 @@
 #include "engine/catalog.h"
 #include "storage/table_fragment.h"
 #include "txn/lock_manager.h"
+#include "txn/snapshot_manager.h"
 #include "txn/txn_manager.h"
 #include "txn/wal.h"
 
@@ -101,8 +102,9 @@ class NodeLatch {
 class Node {
  public:
   Node(int id, CostTracker* tracker, TxnManager* txns,
-       LockManager* locks = nullptr)
-      : id_(id), tracker_(tracker), txns_(txns), locks_(locks) {}
+       LockManager* locks = nullptr, SnapshotManager* snaps = nullptr)
+      : id_(id), tracker_(tracker), txns_(txns), locks_(locks),
+        snaps_(snaps) {}
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -156,7 +158,7 @@ class Node {
 
   /// Drops all fragment contents (simulated crash losing volatile state).
   /// Fragment definitions (schemas/indexes) are re-created by the caller.
-  void WipeFragments() { fragments_.clear(); }
+  void WipeFragments();
 
   /// Re-creates an empty fragment set from catalog definitions (recovery).
   Status RecreateFragments(const Catalog& catalog, int rows_per_page);
@@ -178,10 +180,22 @@ class Node {
   Status LockForWrite(uint64_t txn_id, const std::string& table,
                       const TableFragment& frag, const Row& row);
 
+  /// Records one mutation for MVCC snapshot publication. `row` is the
+  /// inserted tuple or the delete victim's content — version identity is by
+  /// content, never by heap lrid (the free list recycles lrids, so an lrid
+  /// can alias a different row by publish time). Must be called under the
+  /// node latch, right after the heap changed (pages_after / rows_after
+  /// capture the fragment's shape at that instant). Autocommit ops publish
+  /// immediately; explicit-transaction ops are buffered in the TxnManager
+  /// until the 2PC decision.
+  void RecordVersionOp(uint64_t txn_id, const std::string& table,
+                       TableFragment* frag, MvccOp::Kind kind, Row row);
+
   int id_;
   CostTracker* tracker_;
   TxnManager* txns_;
   LockManager* locks_;
+  SnapshotManager* snaps_;
   mutable NodeLatch latch_;
   Wal wal_;
   std::map<std::string, std::unique_ptr<TableFragment>> fragments_;

@@ -2,12 +2,55 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
 namespace pjvm {
+
+namespace {
+
+// Shared with node.cc's version bookkeeping: same names resolve to the same
+// registry handles.
+Gauge* VersionsLiveGauge() {
+  static Gauge* g = MetricsRegistry::Global().gauge("pjvm_mvcc_versions_live");
+  return g;
+}
+
+Counter* GcReclaimedCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("pjvm_mvcc_gc_reclaimed");
+  return c;
+}
+
+/// Epoch pin for one read entry point: reuses the innermost SnapshotScope's
+/// epoch when the caller opened one (one logical statement reads one
+/// consistent epoch across operators), otherwise pins a fresh epoch for the
+/// duration of this call.
+class ReadEpoch {
+ public:
+  explicit ReadEpoch(SnapshotManager* mgr) {
+    SnapshotScope* active = SnapshotScope::Active();
+    if (active != nullptr && active->manager() == mgr) {
+      epoch_ = active->epoch();
+    } else {
+      scope_.emplace(mgr);
+      epoch_ = scope_->epoch();
+    }
+  }
+
+  uint64_t value() const { return epoch_; }
+
+ private:
+  std::optional<SnapshotScope> scope_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace
 
 ParallelSystem::ParallelSystem(SystemConfig config)
     : config_(config),
@@ -34,8 +77,9 @@ ParallelSystem::ParallelSystem(SystemConfig config)
   locks_.set_escalation_threshold(config_.lock_escalation_threshold);
   nodes_.reserve(config_.num_nodes);
   LockManager* locks = config_.enable_locking ? &locks_ : nullptr;
+  SnapshotManager* snaps = config_.mvcc_reads ? &snapshots_ : nullptr;
   for (int i = 0; i < config_.num_nodes; ++i) {
-    nodes_.push_back(std::make_unique<Node>(i, &cost_, &txns_, locks));
+    nodes_.push_back(std::make_unique<Node>(i, &cost_, &txns_, locks, snaps));
     nodes_.back()->latch().set_rw_enabled(config_.rw_latches);
     nodes_.back()->wal().ConfigureForce(config_.wal_force_ns,
                                         config_.group_commit,
@@ -138,6 +182,9 @@ Status ParallelSystem::CreateIndexOn(const std::string& table,
   for (auto& node : nodes_) {
     PJVM_RETURN_NOT_OK(node->fragment(table)->CreateIndex(col, clustered));
   }
+  // The snapshot base images carry index metadata; rebuild them so snapshot
+  // reads pick the new access path (DDL is a quiescent point).
+  if (config_.mvcc_reads) ResetSnapshots({table});
   return Status::OK();
 }
 
@@ -199,12 +246,23 @@ Status ParallelSystem::DeleteExact(const std::string& table, const Row& row,
 
 std::vector<Row> ParallelSystem::ScanAll(const std::string& table) const {
   std::vector<std::vector<Row>> per_node(config_.num_nodes);
-  executor_->RunOnAllNodes([&](int i) -> Status {
-    NodeLatchGuard latch(*nodes_[i], LatchMode::kShared);
-    const TableFragment* frag = nodes_[i]->fragment(table);
-    if (frag != nullptr) per_node[i] = frag->AllRows();
-    return Status::OK();
-  }).Check();
+  if (config_.mvcc_reads) {
+    ReadEpoch epoch(&snapshots_);
+    executor_->RunOnAllNodes([&](int i) -> Status {
+      const TableFragment* frag = nodes_[i]->fragment(table);
+      if (frag != nullptr && frag->mvcc_enabled()) {
+        per_node[i] = MvccAllRows(*frag->MvccHead(), epoch.value());
+      }
+      return Status::OK();
+    }).Check();
+  } else {
+    executor_->RunOnAllNodes([&](int i) -> Status {
+      NodeLatchGuard latch(*nodes_[i], LatchMode::kShared);
+      const TableFragment* frag = nodes_[i]->fragment(table);
+      if (frag != nullptr) per_node[i] = frag->AllRows();
+      return Status::OK();
+    }).Check();
+  }
   std::vector<Row> rows;
   for (std::vector<Row>& part : per_node) {
     rows.insert(rows.end(), std::make_move_iterator(part.begin()),
@@ -215,6 +273,16 @@ std::vector<Row> ParallelSystem::ScanAll(const std::string& table) const {
 
 size_t ParallelSystem::RowCount(const std::string& table) const {
   size_t count = 0;
+  if (config_.mvcc_reads) {
+    ReadEpoch epoch(&snapshots_);
+    for (const auto& node : nodes_) {
+      const TableFragment* frag = node->fragment(table);
+      if (frag != nullptr && frag->mvcc_enabled()) {
+        count += MvccNumRows(*frag->MvccHead(), epoch.value());
+      }
+    }
+    return count;
+  }
   for (const auto& node : nodes_) {
     NodeLatchGuard latch(*node, LatchMode::kShared);
     const TableFragment* frag = node->fragment(table);
@@ -245,10 +313,72 @@ size_t ParallelSystem::TablePages(const std::string& table) const {
 
 Result<std::vector<Row>> ParallelSystem::SelectEq(const std::string& table,
                                                   const std::string& column,
-                                                  const Value& key) {
+                                                  const Value& key,
+                                                  uint64_t txn_id) {
   PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
   PJVM_ASSIGN_OR_RETURN(int col, def->schema.ColumnIndex(column));
+  const bool routed =
+      def->partition.is_hash() && def->partition.column == column;
+  if (config_.mvcc_reads) {
+    // Snapshot path: one wait-free load per fragment, no locks, no latches.
+    // Charges mirror the live path exactly (SEARCH + per-row FETCH on a
+    // non-clustered probe; per-page I/O on a scan).
+    ReadEpoch epoch(&snapshots_);
+    auto snap_node = [&](int i, std::vector<Row>* out) -> Status {
+      const TableFragment* frag = nodes_[i]->fragment(table);
+      std::shared_ptr<const MvccState> state = frag->MvccHead();
+      const MvccIndexMeta* meta = MvccFindIndex(*state, col);
+      MvccProbeOut r;
+      if (meta != nullptr) {
+        cost_.ChargeSearch(i);
+        r = MvccProbe(*state, epoch.value(), col, key);
+        if (!meta->clustered) cost_.ChargeFetch(i, r.rows.size());
+      } else {
+        cost_.ChargeIOPages(i, MvccNumPages(*state, epoch.value()));
+        r = MvccProbe(*state, epoch.value(), col, key);
+      }
+      out->insert(out->end(), std::make_move_iterator(r.rows.begin()),
+                  std::make_move_iterator(r.rows.end()));
+      return Status::OK();
+    };
+    if (routed) {
+      std::vector<Row> out;
+      PJVM_RETURN_NOT_OK(snap_node(HomeNodeForKey(key), &out));
+      return out;
+    }
+    std::vector<std::vector<Row>> per_node(config_.num_nodes);
+    PJVM_RETURN_NOT_OK(executor_->RunOnAllNodes([&](int i) {
+      SpanGuard span("select_eq", "task", i, &cost_);
+      return snap_node(i, &per_node[i]);
+    }));
+    std::vector<Row> out;
+    for (std::vector<Row>& part : per_node) {
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return out;
+  }
   auto probe_node = [&](int i, std::vector<Row>* out) -> Status {
+    if (txn_id != kAutoCommitTxnId) {
+      // Explicit transaction: S locks first — lock acquires may block and
+      // must never happen under the latch. An index probe locks the probed
+      // key inside IndexProbe; a full scan S-locks the whole fragment.
+      TableFragment* frag = nodes_[i]->fragment(table);
+      if (frag->HasIndexOn(col)) {
+        PJVM_ASSIGN_OR_RETURN(
+            ProbeResult r, nodes_[i]->IndexProbe(table, col, key, txn_id));
+        out->insert(out->end(), std::make_move_iterator(r.rows.begin()),
+                    std::make_move_iterator(r.rows.end()));
+      } else {
+        PJVM_RETURN_NOT_OK(nodes_[i]->AcquireTableShared(txn_id, table));
+        NodeLatchGuard latch(*nodes_[i], LatchMode::kShared);
+        cost_.ChargeIOPages(i, frag->num_pages());
+        ProbeResult r = frag->ScanEq(col, key);
+        out->insert(out->end(), std::make_move_iterator(r.rows.begin()),
+                    std::make_move_iterator(r.rows.end()));
+      }
+      return Status::OK();
+    }
     NodeLatchGuard latch(*nodes_[i], LatchMode::kShared);
     TableFragment* frag = nodes_[i]->fragment(table);
     if (frag->HasIndexOn(col)) {
@@ -264,18 +394,28 @@ Result<std::vector<Row>> ParallelSystem::SelectEq(const std::string& table,
     }
     return Status::OK();
   };
-  if (def->partition.is_hash() && def->partition.column == column) {
+  if (routed) {
     std::vector<Row> out;
     PJVM_RETURN_NOT_OK(probe_node(HomeNodeForKey(key), &out));
     return out;
   }
-  // Fan-out: every node probes its fragment on its own worker; results are
-  // concatenated in node order, matching the sequential loop exactly.
   std::vector<std::vector<Row>> per_node(config_.num_nodes);
-  PJVM_RETURN_NOT_OK(executor_->RunOnAllNodes([&](int i) {
-    SpanGuard span("select_eq", "task", i, &cost_);
-    return probe_node(i, &per_node[i]);
-  }));
+  if (txn_id != kAutoCommitTxnId) {
+    // Blocking S-lock acquires are only legal on the client thread, so an
+    // explicit transaction's fan-out runs inline in node order (charges are
+    // identical to the worker fan-out — see ParallelEquivalence).
+    for (int i = 0; i < config_.num_nodes; ++i) {
+      SpanGuard span("select_eq", "task", i, &cost_);
+      PJVM_RETURN_NOT_OK(probe_node(i, &per_node[i]));
+    }
+  } else {
+    // Fan-out: every node probes its fragment on its own worker; results are
+    // concatenated in node order, matching the sequential loop exactly.
+    PJVM_RETURN_NOT_OK(executor_->RunOnAllNodes([&](int i) {
+      SpanGuard span("select_eq", "task", i, &cost_);
+      return probe_node(i, &per_node[i]);
+    }));
+  }
   std::vector<Row> out;
   for (std::vector<Row>& part : per_node) {
     out.insert(out.end(), std::make_move_iterator(part.begin()),
@@ -287,19 +427,51 @@ Result<std::vector<Row>> ParallelSystem::SelectEq(const std::string& table,
 Result<std::vector<Row>> ParallelSystem::SelectRange(const std::string& table,
                                                      const std::string& column,
                                                      const Value& lo,
-                                                     const Value& hi) {
+                                                     const Value& hi,
+                                                     uint64_t txn_id) {
   PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
   PJVM_ASSIGN_OR_RETURN(int col, def->schema.ColumnIndex(column));
   std::vector<Row> out;
   if (hi < lo) return out;
-  // Hash partitioning cannot route a range: every node range-scans its own
-  // fragment on its worker thread.
   std::vector<std::vector<Row>> per_node(config_.num_nodes);
-  PJVM_RETURN_NOT_OK(executor_->RunOnAllNodes([&](int i) -> Status {
-    SpanGuard span("select_range", "task", i, &cost_);
-    NodeLatchGuard latch(*nodes_[i], LatchMode::kShared);
+  if (config_.mvcc_reads) {
+    // Snapshot path: same per-node charges as the live scan below, against
+    // the pinned epoch's image. No locks, no latches.
+    ReadEpoch epoch(&snapshots_);
+    PJVM_RETURN_NOT_OK(executor_->RunOnAllNodes([&](int i) -> Status {
+      SpanGuard span("select_range", "task", i, &cost_);
+      std::vector<Row>& local = per_node[i];
+      const TableFragment* frag = nodes_[i]->fragment(table);
+      std::shared_ptr<const MvccState> state = frag->MvccHead();
+      if (MvccFindIndex(*state, col) != nullptr) {
+        cost_.ChargeSearch(i);  // One seek to the range's start.
+        size_t delivered =
+            MvccScanRange(*state, epoch.value(), col, lo, hi, &local);
+        cost_.ChargeFetch(i, delivered);
+      } else {
+        cost_.ChargeIOPages(i, MvccNumPages(*state, epoch.value()));
+        MvccScanRange(*state, epoch.value(), col, lo, hi, &local);
+      }
+      return Status::OK();
+    }));
+    for (std::vector<Row>& part : per_node) {
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return out;
+  }
+  // Hash partitioning cannot route a range: every node range-scans its own
+  // fragment on its worker thread (inline on the client thread for an
+  // explicit transaction, whose fragment S-lock acquires may block).
+  auto scan_node = [&](int i) -> Status {
     std::vector<Row>& local = per_node[i];
     TableFragment* frag = nodes_[i]->fragment(table);
+    if (txn_id != kAutoCommitTxnId) {
+      // Coarse fragment S lock before the latch: covers the whole range
+      // (phantom-safe) and may block, which is illegal under the latch.
+      PJVM_RETURN_NOT_OK(nodes_[i]->AcquireTableShared(txn_id, table));
+    }
+    NodeLatchGuard latch(*nodes_[i], LatchMode::kShared);
     const LocalIndex* index = frag->FindIndex(col);
     if (index != nullptr) {
       cost_.ChargeSearch(i);  // One seek to the range's start.
@@ -318,7 +490,18 @@ Result<std::vector<Row>> ParallelSystem::SelectRange(const std::string& table,
       });
     }
     return Status::OK();
-  }));
+  };
+  if (txn_id != kAutoCommitTxnId) {
+    for (int i = 0; i < config_.num_nodes; ++i) {
+      SpanGuard span("select_range", "task", i, &cost_);
+      PJVM_RETURN_NOT_OK(scan_node(i));
+    }
+  } else {
+    PJVM_RETURN_NOT_OK(executor_->RunOnAllNodes([&](int i) -> Status {
+      SpanGuard span("select_range", "task", i, &cost_);
+      return scan_node(i);
+    }));
+  }
   for (std::vector<Row>& part : per_node) {
     out.insert(out.end(), std::make_move_iterator(part.begin()),
                std::make_move_iterator(part.end()));
@@ -386,6 +569,11 @@ Status ParallelSystem::Commit(uint64_t txn_id) {
     nodes_[node_id]->wal().Append(
         LogRecord{0, txn_id, LogRecordType::kCommit, "", {}});
   }
+  // Version visibility follows the durable commit decision: a reader that
+  // sees the new epoch sees only transactions recovery would also replay.
+  // Published before lock release so a later writer of the same rows can
+  // never publish at an earlier epoch than this transaction.
+  if (config_.mvcc_reads) PublishVersions(txn_id);
   txns_.DiscardUndo(txn_id);
   locks_.ReleaseAll(txn_id);  // Strict 2PL: everything released at commit.
   // Working state is done; the durable commit decision survives in the
@@ -453,7 +641,65 @@ Status ParallelSystem::Recover() {
         });
     PJVM_RETURN_NOT_OK(replay_status);
   }
+  // Fragments were recreated with empty snapshot bases (no version ops are
+  // recorded during replay); rebuild every snapshot from the recovered
+  // rows. A reader at the new epoch sees exactly the committed state.
+  if (config_.mvcc_reads) ResetSnapshots(catalog_.ListNames());
   return Status::OK();
+}
+
+void ParallelSystem::PublishVersions(uint64_t txn_id) {
+  std::vector<TxnVersionOp> ops = txns_.TakeVersionOps(txn_id);
+  if (ops.empty()) return;
+  SpanGuard span("mvcc_publish", "txn");
+  span.set_detail("txn " + std::to_string(txn_id) + ": " +
+                  std::to_string(ops.size()) + " ops");
+  // One delta per written fragment, each preserving that fragment's op
+  // execution order; all installed at a single epoch so the transaction
+  // becomes visible atomically across nodes.
+  std::map<std::pair<int, std::string>, std::vector<MvccOp>> by_frag;
+  for (TxnVersionOp& op : ops) {
+    by_frag[{op.node, op.table}].push_back(std::move(op.op));
+  }
+  double published = 0;
+  snapshots_.Publish([&](uint64_t epoch) {
+    for (auto& [where, frag_ops] : by_frag) {
+      TableFragment* frag = nodes_[where.first]->fragment(where.second);
+      if (frag == nullptr) continue;  // table dropped mid-transaction
+      frag->MvccPublish(epoch, std::move(frag_ops));
+      published += 1.0;
+    }
+  });
+  if (published > 0) VersionsLiveGauge()->Add(published);
+  // Piggybacked GC: fold any written fragment whose chain is both long
+  // enough and entirely below the minimum active read epoch.
+  snapshots_.Fold([&](uint64_t watermark) {
+    for (const auto& [where, frag_ops] : by_frag) {
+      (void)frag_ops;
+      TableFragment* frag = nodes_[where.first]->fragment(where.second);
+      if (frag == nullptr) continue;
+      size_t folded = frag->MvccMaybeFold(watermark);
+      if (folded > 0) {
+        VersionsLiveGauge()->Add(-static_cast<double>(folded));
+        GcReclaimedCounter()->Increment(folded);
+      }
+    }
+  });
+}
+
+void ParallelSystem::ResetSnapshots(const std::vector<std::string>& tables) {
+  double dropped = 0;
+  snapshots_.Publish([&](uint64_t epoch) {
+    for (auto& node : nodes_) {
+      for (const std::string& name : tables) {
+        TableFragment* frag = node->fragment(name);
+        if (frag != nullptr) {
+          dropped += static_cast<double>(frag->MvccResetFromLive(epoch));
+        }
+      }
+    }
+  });
+  if (dropped > 0) VersionsLiveGauge()->Add(-dropped);
 }
 
 Status ParallelSystem::CheckInvariants() const {

@@ -25,6 +25,18 @@ ColumnStats ComputeColumnStats(const TableFragment& fragment, int column) {
   return stats;
 }
 
+ColumnStats ComputeColumnStats(const MvccState& state, uint64_t epoch,
+                               int column) {
+  ColumnStats stats;
+  std::unordered_set<uint64_t> seen;
+  for (const Row& row : MvccAllRows(state, epoch)) {
+    ++stats.row_count;
+    seen.insert(row[column].Hash());
+  }
+  stats.distinct_count = seen.size();
+  return stats;
+}
+
 ColumnStats MergeColumnStats(const std::vector<ColumnStats>& parts) {
   ColumnStats out;
   for (const ColumnStats& p : parts) {

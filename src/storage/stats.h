@@ -25,6 +25,12 @@ struct ColumnStats {
 /// Exact column stats computed by scanning one fragment.
 ColumnStats ComputeColumnStats(const TableFragment& fragment, int column);
 
+/// Column stats of one fragment's MVCC snapshot at `epoch` — the same
+/// numbers the live overload reports for the same committed state, gathered
+/// without touching the fragment (planning under mvcc_reads).
+ColumnStats ComputeColumnStats(const MvccState& state, uint64_t epoch,
+                               int column);
+
 /// Merges per-fragment stats of the same column into table-level stats.
 /// Distinct counts are summed, which is exact when the table is partitioned
 /// on this column and an upper bound otherwise (good enough for planning).

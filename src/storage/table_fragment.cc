@@ -161,6 +161,92 @@ std::vector<Row> TableFragment::AllRows() const {
   return rows;
 }
 
+std::shared_ptr<const MvccBase> TableFragment::BuildBaseFromLive(
+    uint64_t epoch) const {
+  auto base = std::make_shared<MvccBase>();
+  base->epoch = epoch;
+  base->rows_per_page = heap_.rows_per_page();
+  base->num_pages = heap_.num_pages();
+  base->rows.reserve(heap_.num_rows());
+  heap_.ForEach([&](LocalRowId, const Row& row) {
+    base->rows.push_back(row);
+    return true;
+  });
+  base->index_meta.reserve(indexes_.size());
+  for (const auto& idx : indexes_) {
+    base->index_meta.push_back(MvccIndexMeta{idx->column, idx->clustered});
+  }
+  base->postings.resize(base->index_meta.size());
+  for (size_t i = 0; i < base->index_meta.size(); ++i) {
+    int col = base->index_meta[i].column;
+    for (size_t slot = 0; slot < base->rows.size(); ++slot) {
+      base->postings[i][base->rows[slot][col]].push_back(slot);
+    }
+  }
+  return base;
+}
+
+void TableFragment::EnableMvcc(uint64_t epoch) {
+  if (mvcc_enabled_) return;
+  mvcc_enabled_ = true;
+  auto state = std::make_shared<MvccState>();
+  state->base = BuildBaseFromLive(epoch);
+  mvcc_.store(std::move(state), std::memory_order_release);
+}
+
+void TableFragment::MvccPublish(uint64_t epoch, std::vector<MvccOp> ops) {
+  if (!mvcc_enabled_ || ops.empty()) return;
+  std::shared_ptr<const MvccState> old =
+      mvcc_.load(std::memory_order_acquire);
+  auto delta = std::make_shared<MvccDelta>();
+  delta->epoch = epoch;
+  delta->num_pages = ops.back().pages_after;
+  delta->num_rows = ops.back().rows_after;
+  delta->prev = old->head;
+  delta->chain_ops =
+      ops.size() + (old->head != nullptr ? old->head->chain_ops : 0);
+  delta->ops = std::move(ops);
+  auto state = std::make_shared<MvccState>();
+  state->base = old->base;
+  state->head = std::move(delta);
+  mvcc_.store(std::move(state), std::memory_order_release);
+}
+
+size_t TableFragment::MvccMaybeFold(uint64_t watermark) {
+  if (!mvcc_enabled_) return 0;
+  std::shared_ptr<const MvccState> old =
+      mvcc_.load(std::memory_order_acquire);
+  if (old == nullptr || old->head == nullptr) return 0;
+  if (old->head->chain_ops < mvcc_fold_ops_) return 0;
+  // Folding is all-or-nothing: it waits until the newest delta clears the
+  // watermark, then collapses the whole chain. A pinned reader keeps the
+  // chain alive (and growing) rather than risking a torn snapshot.
+  if (old->head->epoch > watermark) return 0;
+  size_t reclaimed = MvccChainLength(*old);
+  auto state = std::make_shared<MvccState>();
+  state->base = MvccFoldAll(*old);
+  mvcc_.store(std::move(state), std::memory_order_release);
+  return reclaimed;
+}
+
+size_t TableFragment::MvccResetFromLive(uint64_t epoch) {
+  if (!mvcc_enabled_) return 0;
+  std::shared_ptr<const MvccState> old =
+      mvcc_.load(std::memory_order_acquire);
+  size_t dropped = old != nullptr ? MvccChainLength(*old) : 0;
+  auto state = std::make_shared<MvccState>();
+  state->base = BuildBaseFromLive(epoch);
+  mvcc_.store(std::move(state), std::memory_order_release);
+  return dropped;
+}
+
+size_t TableFragment::MvccChainDeltas() const {
+  if (!mvcc_enabled_) return 0;
+  std::shared_ptr<const MvccState> state =
+      mvcc_.load(std::memory_order_acquire);
+  return state != nullptr ? MvccChainLength(*state) : 0;
+}
+
 void TableFragment::IndexInsert(LocalRowId lrid, const Row& row) {
   for (auto& idx : indexes_) {
     idx->tree.Insert(row[idx->column], lrid);

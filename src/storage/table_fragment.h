@@ -1,6 +1,7 @@
 #ifndef PJVM_STORAGE_TABLE_FRAGMENT_H_
 #define PJVM_STORAGE_TABLE_FRAGMENT_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -12,6 +13,7 @@
 #include "common/status.h"
 #include "storage/btree.h"
 #include "storage/heap_file.h"
+#include "storage/mvcc.h"
 #include "storage/row_id.h"
 
 namespace pjvm {
@@ -106,6 +108,43 @@ class TableFragment {
   /// indexed key, and every live row appears in every index.
   Status CheckInvariants() const;
 
+  // --- Multi-version snapshot state (see storage/mvcc.h) ---
+  //
+  // When enabled, the fragment carries an immutable versioned snapshot
+  // (base image + delta chain) published through one atomic shared_ptr.
+  // Readers capture it with MvccHead() — a single wait-free acquire load —
+  // and never touch the live heap/indexes. All *stores* (publish, fold,
+  // reset) are serialized by the SnapshotManager's publish lock; the
+  // fragment itself takes no locks.
+
+  /// Builds the initial base image from the current live rows at `epoch`.
+  void EnableMvcc(uint64_t epoch);
+  bool mvcc_enabled() const { return mvcc_enabled_; }
+
+  /// Current snapshot state (null when MVCC is off). Wait-free.
+  std::shared_ptr<const MvccState> MvccHead() const {
+    return mvcc_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes one committed transaction's ops as a delta at `epoch`.
+  /// Caller holds the SnapshotManager publish lock.
+  void MvccPublish(uint64_t epoch, std::vector<MvccOp> ops);
+
+  /// Folds the delta chain into a fresh base image when it has grown past
+  /// the fold threshold AND every delta is at or below `watermark` (the
+  /// minimum active read epoch) — folding a delta a live reader has not yet
+  /// applied would tear its snapshot. Returns the number of deltas folded
+  /// away (0 when nothing was done). Caller holds the publish lock.
+  size_t MvccMaybeFold(uint64_t watermark);
+
+  /// Rebuilds the snapshot state from the live rows at `epoch` (recovery,
+  /// checkpoint restore, index DDL — quiescent points). Returns the number
+  /// of chain deltas dropped. Caller holds the publish lock.
+  size_t MvccResetFromLive(uint64_t epoch);
+
+  /// Deltas currently chained above the base (metrics / tests).
+  size_t MvccChainDeltas() const;
+
  private:
   void IndexInsert(LocalRowId lrid, const Row& row);
   Status IndexRemove(LocalRowId lrid, const Row& row);
@@ -117,6 +156,14 @@ class TableFragment {
 
   bool row_lookup_enabled_ = false;
   std::unordered_map<uint64_t, std::vector<LocalRowId>> row_lookup_;
+
+  std::shared_ptr<const MvccBase> BuildBaseFromLive(uint64_t epoch) const;
+
+  bool mvcc_enabled_ = false;
+  /// Fold once the chain carries at least this many ops (and the watermark
+  /// allows). Amortizes the O(rows) fold against the writes that caused it.
+  size_t mvcc_fold_ops_ = 64;
+  std::atomic<std::shared_ptr<const MvccState>> mvcc_;
 };
 
 }  // namespace pjvm

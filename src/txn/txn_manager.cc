@@ -90,6 +90,21 @@ void TxnManager::DiscardUndo(uint64_t txn_id) {
   undo_.erase(txn_id);
 }
 
+void TxnManager::PushVersionOp(uint64_t txn_id, TxnVersionOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  version_ops_[txn_id].push_back(std::move(op));
+}
+
+std::vector<TxnVersionOp> TxnManager::TakeVersionOps(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TxnVersionOp> ops;
+  auto it = version_ops_.find(txn_id);
+  if (it == version_ops_.end()) return ops;
+  ops = std::move(it->second);
+  version_ops_.erase(it);
+  return ops;
+}
+
 void TxnManager::AddParticipant(uint64_t txn_id, int node) {
   std::lock_guard<std::mutex> lock(mu_);
   participants_[txn_id].insert(node);
@@ -107,6 +122,7 @@ void TxnManager::Forget(uint64_t txn_id) {
   states_.erase(txn_id);
   undo_.erase(txn_id);
   participants_.erase(txn_id);
+  version_ops_.erase(txn_id);
 }
 
 size_t TxnManager::PruneCommittedBelow(uint64_t low_water) {
@@ -143,6 +159,7 @@ void TxnManager::CrashAndRecover() {
   states_.clear();
   undo_.clear();
   participants_.clear();
+  version_ops_.clear();
   failure_ = FailurePoint::kNone;
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/row.h"
 #include "common/status.h"
+#include "storage/mvcc.h"
 #include "storage/row_id.h"
 
 namespace pjvm {
@@ -38,6 +39,15 @@ enum class FailurePoint {
   /// Crash after the coordinator logged commit but before participants were
   /// told: transaction must still commit on recovery.
   kAfterDecision,
+};
+
+/// \brief One pending MVCC version operation, buffered per transaction
+/// until commit publish (autocommit ops publish immediately and never pass
+/// through here).
+struct TxnVersionOp {
+  int node;
+  std::string table;
+  MvccOp op;
 };
 
 /// \brief One compensating action for rolling back an in-flight transaction.
@@ -105,6 +115,12 @@ class TxnManager {
   /// Drops the undo list (on commit).
   void DiscardUndo(uint64_t txn_id);
 
+  /// Buffers one MVCC version op to publish if this transaction commits
+  /// (snapshot reads enabled only). Safe from concurrent node workers.
+  void PushVersionOp(uint64_t txn_id, TxnVersionOp op);
+  /// Takes (and clears) the buffered version ops in execution order.
+  std::vector<TxnVersionOp> TakeVersionOps(uint64_t txn_id);
+
   /// Records that `node` executed a write for this transaction (it must be
   /// included in the 2PC vote round). Safe from concurrent node workers.
   void AddParticipant(uint64_t txn_id, int node);
@@ -156,6 +172,7 @@ class TxnManager {
   uint64_t next_txn_id_ = 1;
   std::unordered_map<uint64_t, TxnState> states_;
   std::unordered_map<uint64_t, std::vector<UndoOp>> undo_;
+  std::unordered_map<uint64_t, std::vector<TxnVersionOp>> version_ops_;
   std::unordered_map<uint64_t, std::set<int>> participants_;
   std::set<uint64_t> committed_ids_;
   FailurePoint failure_ = FailurePoint::kNone;

@@ -7,6 +7,7 @@
 #include "exec/local_join.h"
 #include "obs/trace.h"
 #include "storage/stats.h"
+#include "txn/snapshot_manager.h"
 
 namespace pjvm {
 
@@ -67,6 +68,26 @@ double Maintainer::EstimateKeyFanout(int base, int full_col,
   const std::string& table = bound().base_def(base).name;
   double total = 0.0;
   bool any_index = false;
+  if (sys_->config().mvcc_reads) {
+    // Planning estimates read the last committed snapshot — no latches, so
+    // estimation never stalls behind a writer. The in-flight maintenance
+    // transaction's own unpublished writes are invisible here, which only
+    // matters for a self-join view probing the table it just updated (the
+    // estimate is then one row stale; plans for the paper's views are
+    // unaffected).
+    SnapshotScope scope(&sys_->snapshots());
+    for (int i = 0; i < sys_->num_nodes(); ++i) {
+      const TableFragment* frag = sys_->node(i)->fragment(table);
+      if (frag == nullptr || !frag->mvcc_enabled()) continue;
+      std::shared_ptr<const MvccState> state = frag->MvccHead();
+      if (MvccFindIndex(*state, full_col) == nullptr) continue;
+      any_index = true;
+      total += static_cast<double>(
+          MvccProbeCount(*state, scope.epoch(), full_col, key));
+    }
+    if (!any_index) return EstimateFanout(base, full_col);
+    return total;
+  }
   for (int i = 0; i < sys_->num_nodes(); ++i) {
     NodeLatchGuard latch(*sys_->node(i), LatchMode::kShared);
     const TableFragment* frag = sys_->node(i)->fragment(table);
@@ -84,10 +105,20 @@ double Maintainer::EstimateKeyFanout(int base, int full_col,
 double Maintainer::EstimateFanout(int base, int full_col) const {
   const std::string& table = bound().base_def(base).name;
   std::vector<ColumnStats> parts;
-  for (int i = 0; i < sys_->num_nodes(); ++i) {
-    NodeLatchGuard latch(*sys_->node(i), LatchMode::kShared);
-    const TableFragment* frag = sys_->node(i)->fragment(table);
-    if (frag != nullptr) parts.push_back(ComputeColumnStats(*frag, full_col));
+  if (sys_->config().mvcc_reads) {
+    SnapshotScope scope(&sys_->snapshots());
+    for (int i = 0; i < sys_->num_nodes(); ++i) {
+      const TableFragment* frag = sys_->node(i)->fragment(table);
+      if (frag == nullptr || !frag->mvcc_enabled()) continue;
+      parts.push_back(
+          ComputeColumnStats(*frag->MvccHead(), scope.epoch(), full_col));
+    }
+  } else {
+    for (int i = 0; i < sys_->num_nodes(); ++i) {
+      NodeLatchGuard latch(*sys_->node(i), LatchMode::kShared);
+      const TableFragment* frag = sys_->node(i)->fragment(table);
+      if (frag != nullptr) parts.push_back(ComputeColumnStats(*frag, full_col));
+    }
   }
   ColumnStats merged = MergeColumnStats(parts);
   double fanout = merged.AvgFanout();

@@ -36,7 +36,12 @@ class MaterializedView {
                       bool is_delete, size_t* applied);
 
   /// All output rows of the view (test/inspection utility; uncharged).
-  std::vector<Row> Contents() const { return sys_->ScanAll(table_name()); }
+  /// With `mvcc_reads` on, the scan runs inside one snapshot scope, so the
+  /// result is the view's state at a single commit epoch across all nodes —
+  /// never a torn mid-maintenance mixture. (Previously this was a bare
+  /// ScanAll outside any transaction or snapshot: each node's fragment was
+  /// read under its own latch at a different instant.)
+  std::vector<Row> Contents() const;
   size_t RowCount() const { return sys_->RowCount(table_name()); }
 
  private:
