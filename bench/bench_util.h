@@ -3,12 +3,15 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -172,6 +175,41 @@ inline std::string FigureJson(const model::Figure& fig) {
   return w.str();
 }
 
+/// Run metadata stamped into every bench report — enough to answer "which
+/// build, when, on how many cores" when BENCH_*.json files from different
+/// commits are compared. The git sha comes from PJVM_GIT_SHA when set (CI
+/// exports it; no .git directory needed there), else from `git rev-parse`.
+inline std::string RunMetadataJson() {
+  std::string sha = "unknown";
+  if (const char* env = std::getenv("PJVM_GIT_SHA");
+      env != nullptr && env[0] != '\0') {
+    sha = env;
+  } else if (FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (!line.empty()) sha = line;
+    }
+    ::pclose(pipe);
+  }
+  char date[32] = "unknown";
+  std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  if (gmtime_r(&now, &tm) != nullptr) {
+    std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  }
+  JsonWriter w;
+  w.BeginObject()
+      .Key("git_sha").Str(sha)
+      .Key("date").Str(date)
+      .Key("host_cores").Uint(std::thread::hardware_concurrency())
+      .EndObject();
+  return w.str();
+}
+
 /// \brief Collects named JSON sections and writes BENCH_<name>.json.
 class BenchReport {
  public:
@@ -197,6 +235,7 @@ class BenchReport {
   void Write() const {
     JsonWriter w;
     w.BeginObject().Key("bench").Str(name_);
+    w.Key("meta").Raw(RunMetadataJson());
     for (const auto& [key, json] : sections_) w.Key(key).Raw(json);
     w.EndObject();
     std::string path = OutputDir() + "/BENCH_" + name_ + ".json";

@@ -261,12 +261,15 @@ Result<LocalRowId> Node::Insert(uint64_t txn_id, const std::string& table,
   PJVM_RETURN_NOT_OK(LockForWrite(txn_id, table, *frag, row));
   NodeLatchGuard latch(*this);
   wal_.Append(LogRecord{0, txn_id, LogRecordType::kInsert, table, row});
-  if (txn_id != kAutoCommitTxnId) {
-    txns_->AddParticipant(txn_id, id_);
-    txns_->PushUndo(txn_id,
-                    UndoOp{UndoOp::Kind::kDeleteInserted, id_, table, row});
-  }
+  if (txn_id != kAutoCommitTxnId) txns_->AddParticipant(txn_id, id_);
+  Row undo_row = txn_id != kAutoCommitTxnId ? row : Row{};
   PJVM_ASSIGN_OR_RETURN(LocalRowId lrid, frag->Insert(std::move(row)));
+  // Undo is recorded after the insert so it carries the assigned lrid (and
+  // so a failed insert leaves no bogus compensating action).
+  if (txn_id != kAutoCommitTxnId) {
+    txns_->PushUndo(txn_id, UndoOp{UndoOp::Kind::kDeleteInserted, id_, table,
+                                   std::move(undo_row), lrid});
+  }
   tracker_->ChargeWrite(id_, WriteKindOf(table));
   if (snaps_ != nullptr && frag->mvcc_enabled()) {
     RecordVersionOp(txn_id, table, frag, MvccOp::Kind::kInsert,
@@ -291,17 +294,26 @@ Status Node::DeleteExact(uint64_t txn_id, const std::string& table,
   tracker_->ChargeSearch(id_);
   // Confirm existence before logging so the WAL only records deletes that
   // actually happened (replay must never fail).
-  if (!frag->FindExact(row).ok()) {
+  Result<LocalRowId> found = frag->FindExact(row);
+  if (!found.ok()) {
     return Status::NotFound("no row " + RowToString(row) + " in '" + table +
                             "' at node " + std::to_string(id_));
   }
+  LocalRowId lrid = *found;
   wal_.Append(LogRecord{0, txn_id, LogRecordType::kDelete, table, row});
-  if (txn_id != kAutoCommitTxnId) {
+  bool transactional = txn_id != kAutoCommitTxnId;
+  if (transactional) {
     txns_->AddParticipant(txn_id, id_);
-    txns_->PushUndo(txn_id,
-                    UndoOp{UndoOp::Kind::kReinsertDeleted, id_, table, row});
+    txns_->PushUndo(txn_id, UndoOp{UndoOp::Kind::kReinsertDeleted, id_, table,
+                                   row, lrid});
   }
-  PJVM_RETURN_NOT_OK(frag->DeleteExact(row).status());
+  // A transactional delete keeps its slot reserved until the 2PC outcome:
+  // if the transaction aborts, the undo pass restores the row at this exact
+  // lrid, which committed global-index entries may reference. An immediate
+  // free would let a concurrent insert recycle the slot first, forcing the
+  // restored row to a new lrid and leaving those entries dangling.
+  PJVM_RETURN_NOT_OK(frag->DeleteByRid(lrid, /*keep_slot=*/transactional));
+  if (transactional) deferred_frees_[txn_id].emplace_back(table, lrid);
   // The write itself is INSERT-weighted (one page read-modify-write).
   tracker_->ChargeWrite(id_, WriteKindOf(table));
   if (snaps_ != nullptr && frag->mvcc_enabled()) {
@@ -351,11 +363,31 @@ Status Node::ApplyUndo(const UndoOp& op) {
   NodeLatchGuard latch(*this);
   switch (op.kind) {
     case UndoOp::Kind::kDeleteInserted:
-      return frag->DeleteExact(op.row).status();
+      // The row never committed, so nothing durable references its lrid;
+      // free the slot normally.
+      return frag->DeleteByRid(op.lrid);
     case UndoOp::Kind::kReinsertDeleted:
-      return frag->Insert(op.row).status();
+      // Restore the row into the slot the delete reserved — the lrid that
+      // committed global-index entries still point at.
+      return frag->InsertAt(op.lrid, op.row);
   }
   return Status::Internal("abort: unknown undo kind");
+}
+
+void Node::ReleaseDeferredSlots(uint64_t txn_id) {
+  NodeLatchGuard latch(*this);
+  auto it = deferred_frees_.find(txn_id);
+  if (it == deferred_frees_.end()) return;
+  for (const auto& [table, lrid] : it->second) {
+    TableFragment* frag = fragment(table);
+    if (frag != nullptr) frag->ReleaseSlot(lrid);
+  }
+  deferred_frees_.erase(it);
+}
+
+void Node::AbandonDeferredSlots(uint64_t txn_id) {
+  NodeLatchGuard latch(*this);
+  deferred_frees_.erase(txn_id);
 }
 
 Status Node::ApplyLogRecord(const LogRecord& record) {
@@ -383,6 +415,9 @@ void Node::WipeFragments() {
     if (dropped > 0) VersionsLiveGauge()->Add(-dropped);
   }
   fragments_.clear();
+  // Reservations described slots in the heaps that just vanished; recovery
+  // rebuilds heaps (and global indexes) from checkpoint + WAL.
+  deferred_frees_.clear();
 }
 
 Status Node::RecreateFragments(const Catalog& catalog, int rows_per_page) {

@@ -8,6 +8,9 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/row.h"
@@ -151,7 +154,21 @@ class Node {
   /// Applies one compensating action during transaction rollback: mutates
   /// the fragment under the latch without logging or cost charging (the
   /// forward operation already paid; recovery replays only committed work).
+  /// Compensation is lrid-exact: an undone insert frees the slot it
+  /// occupied, and an undone delete restores the row into its reserved slot
+  /// (see DeleteExact) so committed global-index entries keep resolving.
   Status ApplyUndo(const UndoOp& op);
+
+  /// Commit epilogue: recycles the heap slots of this transaction's
+  /// transactional deletes (they were kept reserved so an abort could
+  /// restore each row at its original lrid). Call once per participant
+  /// after the commit decision is durable.
+  void ReleaseDeferredSlots(uint64_t txn_id);
+
+  /// Abort epilogue: drops the reserved-slot bookkeeping without freeing
+  /// anything — the undo pass re-occupied those slots with the restored
+  /// rows. Call once per participant after undo completes.
+  void AbandonDeferredSlots(uint64_t txn_id);
 
   /// Applies a WAL record during recovery: no logging, no cost charging.
   Status ApplyLogRecord(const LogRecord& record);
@@ -200,6 +217,14 @@ class Node {
   Wal wal_;
   std::map<std::string, std::unique_ptr<TableFragment>> fragments_;
   std::map<std::string, TableKind> kinds_;
+  /// Heap slots emptied by this node's transactional deletes, keyed by txn:
+  /// reserved (off the free list) until the 2PC outcome — commit recycles
+  /// them, abort re-occupies them via undo. Guarded by the node latch.
+  /// Volatile by design: a crash wipes the heaps and recovery rebuilds them
+  /// (and the global indexes) from checkpoint + WAL, so no reservation
+  /// outlives the slots it described.
+  std::unordered_map<uint64_t, std::vector<std::pair<std::string, LocalRowId>>>
+      deferred_frees_;
   // Simulated durable checkpoint: survives Crash() like the WAL does.
   bool has_checkpoint_ = false;
   std::map<std::string, std::vector<Row>> checkpoint_;

@@ -315,6 +315,19 @@ Result<std::vector<Row>> ParallelSystem::SelectEq(const std::string& table,
                                                   const std::string& column,
                                                   const Value& key,
                                                   uint64_t txn_id) {
+  // Client-scope span over the whole operation (the per-node "task" spans
+  // below nest inside it); a driver's WorkloadTag lands in the span detail
+  // and a tenant-labeled read counter.
+  SpanGuard client_span("select_eq", "client");
+  if (const WorkloadTag* tag = WorkloadTagScope::Current(); tag != nullptr) {
+    client_span.set_detail(table + " tenant=" + tag->tenant);
+    MetricsRegistry::Global()
+        .counter("pjvm_client_reads",
+                 {{"op", "point"}, {"tenant", tag->tenant}})
+        ->Increment();
+  } else {
+    client_span.set_detail(table);
+  }
   PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
   PJVM_ASSIGN_OR_RETURN(int col, def->schema.ColumnIndex(column));
   const bool routed =
@@ -429,6 +442,16 @@ Result<std::vector<Row>> ParallelSystem::SelectRange(const std::string& table,
                                                      const Value& lo,
                                                      const Value& hi,
                                                      uint64_t txn_id) {
+  SpanGuard client_span("select_range", "client");
+  if (const WorkloadTag* tag = WorkloadTagScope::Current(); tag != nullptr) {
+    client_span.set_detail(table + " tenant=" + tag->tenant);
+    MetricsRegistry::Global()
+        .counter("pjvm_client_reads",
+                 {{"op", "range"}, {"tenant", tag->tenant}})
+        ->Increment();
+  } else {
+    client_span.set_detail(table);
+  }
   PJVM_ASSIGN_OR_RETURN(const TableDef* def, catalog_.Get(table));
   PJVM_ASSIGN_OR_RETURN(int col, def->schema.ColumnIndex(column));
   std::vector<Row> out;
@@ -575,6 +598,11 @@ Status ParallelSystem::Commit(uint64_t txn_id) {
   // never publish at an earlier epoch than this transaction.
   if (config_.mvcc_reads) PublishVersions(txn_id);
   txns_.DiscardUndo(txn_id);
+  // The transaction can no longer abort, so the heap slots its deletes kept
+  // reserved (for lrid-exact undo) are safe to recycle.
+  for (int node_id : txns_.participants(txn_id)) {
+    nodes_[node_id]->ReleaseDeferredSlots(txn_id);
+  }
   locks_.ReleaseAll(txn_id);  // Strict 2PL: everything released at commit.
   // Working state is done; the durable commit decision survives in the
   // TxnManager's decision set until a checkpoint prunes it.
@@ -591,6 +619,9 @@ Status ParallelSystem::Abort(uint64_t txn_id) {
     PJVM_RETURN_NOT_OK(nodes_[op.node]->ApplyUndo(op));
   }
   for (int node_id : txns_.participants(txn_id)) {
+    // Undo re-occupied the reserved slots with the restored rows; drop the
+    // reservation bookkeeping without freeing anything.
+    nodes_[node_id]->AbandonDeferredSlots(txn_id);
     nodes_[node_id]->wal().Append(
         LogRecord{0, txn_id, LogRecordType::kAbort, "", {}});
   }

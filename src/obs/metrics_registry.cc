@@ -6,6 +6,34 @@
 
 namespace pjvm {
 
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string LabeledName(const std::string& base,
+                        const std::vector<MetricLabel>& labels) {
+  if (labels.empty()) return base;
+  std::string out = base + "{";
+  const char* sep = "";
+  for (const MetricLabel& label : labels) {
+    out += sep;
+    out += label.key + "=\"" + EscapeLabelValue(label.value) + "\"";
+    sep = ",";
+  }
+  out += "}";
+  return out;
+}
+
 int HistogramData::BucketIndex(uint64_t v) {
   if (v == 0) return 0;
   return 64 - std::countl_zero(v);  // floor(log2(v)) + 1, in [1, 64]
@@ -103,6 +131,77 @@ void LatencyHistogram::Reset() {
   max_.store(0, std::memory_order_relaxed);
 }
 
+WindowedHistogram::WindowedHistogram(uint64_t window_ns, int num_windows)
+    : window_ns_(window_ns == 0 ? 1 : window_ns) {
+  slots_.reserve(std::max(1, num_windows));
+  for (int i = 0; i < std::max(1, num_windows); ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+void WindowedHistogram::Record(uint64_t v, uint64_t now_ns) {
+  const uint64_t epoch = now_ns / window_ns_;
+  Slot& slot = *slots_[epoch % slots_.size()];
+  uint64_t cur = slot.epoch.load(std::memory_order_acquire);
+  while (cur != epoch) {
+    // The ring only moves forward: a late recorder whose slot was already
+    // claimed by a newer epoch records into that newer window rather than
+    // resurrecting the old one.
+    if (cur != kEmpty && cur > epoch) break;
+    if (slot.epoch.compare_exchange_weak(cur, epoch,
+                                         std::memory_order_acq_rel)) {
+      slot.hist.Reset();
+      break;
+    }
+  }
+  slot.hist.Record(v);
+  cumulative_.Record(v);
+}
+
+std::vector<WindowedHistogram::Window> WindowedHistogram::Windows() const {
+  std::vector<Window> out;
+  for (const auto& slot : slots_) {
+    uint64_t epoch = slot->epoch.load(std::memory_order_acquire);
+    if (epoch == kEmpty) continue;
+    Window w;
+    w.index = epoch;
+    w.start_ns = epoch * window_ns_;
+    w.data = slot->hist.Snapshot();
+    if (w.data.count == 0) continue;
+    out.push_back(std::move(w));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Window& a, const Window& b) { return a.index < b.index; });
+  return out;
+}
+
+HistogramData WindowedHistogram::Cumulative() const {
+  return cumulative_.Snapshot();
+}
+
+void WindowedHistogram::Reset() {
+  for (auto& slot : slots_) {
+    slot->epoch.store(kEmpty, std::memory_order_release);
+    slot->hist.Reset();
+  }
+  cumulative_.Reset();
+}
+
+namespace {
+
+thread_local const WorkloadTag* tl_workload_tag = nullptr;
+
+}  // namespace
+
+WorkloadTagScope::WorkloadTagScope(WorkloadTag tag)
+    : tag_(std::move(tag)), prev_(tl_workload_tag) {
+  tl_workload_tag = &tag_;
+}
+
+WorkloadTagScope::~WorkloadTagScope() { tl_workload_tag = prev_; }
+
+const WorkloadTag* WorkloadTagScope::Current() { return tl_workload_tag; }
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
@@ -129,6 +228,23 @@ LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
   return slot.get();
 }
 
+WindowedHistogram* MetricsRegistry::windowed(const std::string& name,
+                                             uint64_t window_ns,
+                                             int num_windows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = windowed_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<WindowedHistogram>(window_ns, num_windows);
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::SetHelp(const std::string& base,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[base] = help;
+}
+
 namespace {
 
 /// Splits "base{a="b"}" into ("base", "a=\"b\"").
@@ -138,6 +254,18 @@ std::pair<std::string, std::string> SplitLabels(const std::string& name) {
   std::string labels = name.substr(brace + 1);
   if (!labels.empty() && labels.back() == '}') labels.pop_back();
   return {name.substr(0, brace), labels};
+}
+
+/// Escapes a metric name for use as a JSON object key: labeled series names
+/// contain literal double quotes (`a="b"`).
+std::string JsonKey(const std::string& name) {
+  std::string out = "\"";
+  for (char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
 }
 
 std::string WithLabels(const std::string& base, const std::string& labels,
@@ -155,34 +283,89 @@ std::string WithLabels(const std::string& base, const std::string& labels,
 
 std::string MetricsRegistry::PrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::ostringstream os;
-  for (const auto& [name, counter] : counters_) {
-    auto [base, labels] = SplitLabels(name);
-    os << "# TYPE " << base << " counter\n";
-    os << WithLabels(base, labels) << " " << counter->value() << "\n";
-  }
-  for (const auto& [name, gauge] : gauges_) {
-    auto [base, labels] = SplitLabels(name);
-    os << "# TYPE " << base << " gauge\n";
-    os << WithLabels(base, labels) << " " << gauge->value() << "\n";
-  }
-  for (const auto& [name, hist] : histograms_) {
-    auto [base, labels] = SplitLabels(name);
-    HistogramData d = hist->Snapshot();
-    os << "# TYPE " << base << " histogram\n";
+  // The exposition format requires all lines of one metric family to be
+  // contiguous, with a single HELP/TYPE header. Lexicographic iteration over
+  // the raw series names does not guarantee that (`foo` < `foo_bar` <
+  // `foo{...}` interleaves two families), so series are grouped by base name
+  // first.
+  struct Family {
+    const char* type = "untyped";
+    std::vector<std::string> lines;
+  };
+  std::map<std::string, Family> families;
+
+  auto render_histogram = [](const std::string& base,
+                             const std::string& labels,
+                             const HistogramData& d,
+                             std::vector<std::string>* lines) {
     uint64_t cum = 0;
     for (int i = 0; i < HistogramData::kNumBuckets; ++i) {
       if (d.buckets[i] == 0) continue;
       cum += d.buckets[i];
-      os << WithLabels(base + "_bucket", labels,
-                       "le=\"" + std::to_string(HistogramData::BucketHi(i)) +
-                           "\"")
-         << " " << cum << "\n";
+      lines->push_back(
+          WithLabels(base + "_bucket", labels,
+                     "le=\"" + std::to_string(HistogramData::BucketHi(i)) +
+                         "\"") +
+          " " + std::to_string(cum));
     }
-    os << WithLabels(base + "_bucket", labels, "le=\"+Inf\"") << " " << d.count
-       << "\n";
-    os << WithLabels(base + "_sum", labels) << " " << d.sum << "\n";
-    os << WithLabels(base + "_count", labels) << " " << d.count << "\n";
+    lines->push_back(WithLabels(base + "_bucket", labels, "le=\"+Inf\"") + " " +
+                     std::to_string(d.count));
+    lines->push_back(WithLabels(base + "_sum", labels) + " " +
+                     std::to_string(d.sum));
+    lines->push_back(WithLabels(base + "_count", labels) + " " +
+                     std::to_string(d.count));
+  };
+
+  for (const auto& [name, counter] : counters_) {
+    auto [base, labels] = SplitLabels(name);
+    Family& fam = families[base];
+    fam.type = "counter";
+    fam.lines.push_back(WithLabels(base, labels) + " " +
+                        std::to_string(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    auto [base, labels] = SplitLabels(name);
+    Family& fam = families[base];
+    fam.type = "gauge";
+    std::ostringstream v;
+    v.precision(12);
+    v << gauge->value();
+    fam.lines.push_back(WithLabels(base, labels) + " " + v.str());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    auto [base, labels] = SplitLabels(name);
+    Family& fam = families[base];
+    fam.type = "histogram";
+    render_histogram(base, labels, hist->Snapshot(), &fam.lines);
+  }
+  // Windowed histograms expose their all-time cumulative merge; per-window
+  // quantiles live in ToJson (Prometheus derives windows by scraping).
+  for (const auto& [name, wh] : windowed_) {
+    auto [base, labels] = SplitLabels(name);
+    Family& fam = families[base];
+    fam.type = "histogram";
+    render_histogram(base, labels, wh->Cumulative(), &fam.lines);
+  }
+
+  std::ostringstream os;
+  for (const auto& [base, fam] : families) {
+    auto help = help_.find(base);
+    // HELP text is free-form but must escape backslash and newline.
+    std::string help_text =
+        help != help_.end() ? help->second : "pjvm metric " + base;
+    std::string escaped;
+    for (char c : help_text) {
+      if (c == '\\') {
+        escaped += "\\\\";
+      } else if (c == '\n') {
+        escaped += "\\n";
+      } else {
+        escaped += c;
+      }
+    }
+    os << "# HELP " << base << " " << escaped << "\n";
+    os << "# TYPE " << base << " " << fam.type << "\n";
+    for (const std::string& line : fam.lines) os << line << "\n";
   }
   return os.str();
 }
@@ -193,24 +376,45 @@ std::string MetricsRegistry::ToJson() const {
   os << "{\n  \"counters\": {";
   const char* sep = "";
   for (const auto& [name, counter] : counters_) {
-    os << sep << "\n    \"" << name << "\": " << counter->value();
+    os << sep << "\n    " << JsonKey(name) << ": " << counter->value();
     sep = ",";
   }
   os << "\n  },\n  \"gauges\": {";
   sep = "";
   for (const auto& [name, gauge] : gauges_) {
-    os << sep << "\n    \"" << name << "\": " << gauge->value();
+    os << sep << "\n    " << JsonKey(name) << ": " << gauge->value();
     sep = ",";
   }
   os << "\n  },\n  \"histograms\": {";
   sep = "";
+  auto hist_json = [](std::ostringstream& o, const HistogramData& d) {
+    o << "{\"count\": " << d.count << ", \"sum\": " << d.sum
+      << ", \"mean\": " << d.Mean() << ", \"min\": " << d.min
+      << ", \"max\": " << d.max << ", \"p50\": " << d.P50()
+      << ", \"p95\": " << d.P95() << ", \"p99\": " << d.P99() << "}";
+  };
   for (const auto& [name, hist] : histograms_) {
-    HistogramData d = hist->Snapshot();
-    os << sep << "\n    \"" << name << "\": {\"count\": " << d.count
-       << ", \"sum\": " << d.sum << ", \"mean\": " << d.Mean()
-       << ", \"min\": " << d.min << ", \"max\": " << d.max
-       << ", \"p50\": " << d.P50() << ", \"p95\": " << d.P95()
-       << ", \"p99\": " << d.P99() << "}";
+    os << sep << "\n    " << JsonKey(name) << ": ";
+    hist_json(os, hist->Snapshot());
+    sep = ",";
+  }
+  os << "\n  },\n  \"windowed\": {";
+  sep = "";
+  for (const auto& [name, wh] : windowed_) {
+    os << sep << "\n    " << JsonKey(name) << ": {\"window_ns\": "
+       << wh->window_ns() << ", \"cumulative\": ";
+    hist_json(os, wh->Cumulative());
+    os << ", \"windows\": [";
+    const char* wsep = "";
+    for (const WindowedHistogram::Window& w : wh->Windows()) {
+      os << wsep << "{\"index\": " << w.index
+         << ", \"start_ns\": " << w.start_ns;
+      os << ", \"data\": ";
+      hist_json(os, w.data);
+      os << "}";
+      wsep = ",";
+    }
+    os << "]}";
     sep = ",";
   }
   os << "\n  }\n}\n";
@@ -222,6 +426,7 @@ void MetricsRegistry::Reset() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, w] : windowed_) w->Reset();
 }
 
 }  // namespace pjvm

@@ -8,8 +8,25 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace pjvm {
+
+/// \brief One label dimension of a metric series ("tenant" -> "t3").
+struct MetricLabel {
+  std::string key;
+  std::string value;
+};
+
+/// Escapes a label value for Prometheus text exposition: backslash, double
+/// quote, and newline become \\, \", and \n.
+std::string EscapeLabelValue(const std::string& v);
+
+/// Renders `base{k1="v1",k2="v2"}` with escaped values — the canonical series
+/// name for a labeled family member. Call sites that build label sets by hand
+/// must escape values themselves (or, better, go through this).
+std::string LabeledName(const std::string& base,
+                        const std::vector<MetricLabel>& labels);
 
 /// \brief Merged, non-atomic view of a latency histogram: what callers
 /// aggregate across nodes/runs and compute quantiles from.
@@ -63,6 +80,61 @@ class LatencyHistogram {
   std::atomic<uint64_t> max_{0};
 };
 
+/// \brief Time-windowed rotating latency histogram: a ring of per-window
+/// LatencyHistograms plus an all-time cumulative one.
+///
+/// Record(v, now_ns) lands `v` in the window containing `now_ns` (windows
+/// are aligned to a fixed `window_ns` grid from time 0). The ring retains
+/// the most recent `num_windows` windows; older ones are overwritten as time
+/// advances, so quantiles are reportable *per window* — warmup and steady
+/// state stay distinguishable instead of blurring into one cumulative
+/// histogram. The cumulative histogram never rotates.
+///
+/// Thread-safety: Record is lock-free (per-window LatencyHistograms plus an
+/// atomic epoch per slot). A Record racing a slot rotation may land in the
+/// freshly-reset window — at most a few boundary samples shift one window,
+/// which is below bucket resolution for any steady workload.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(uint64_t window_ns = 1'000'000'000,
+                             int num_windows = 16);
+
+  /// Records `v` into the window containing `now_ns` (monotonic clock of the
+  /// caller's choosing; all Records to one histogram must share a timebase).
+  void Record(uint64_t v, uint64_t now_ns);
+
+  /// One retained window: its grid index, start time, and merged data.
+  struct Window {
+    uint64_t index = 0;     ///< now_ns / window_ns at recording time.
+    uint64_t start_ns = 0;  ///< index * window_ns.
+    HistogramData data;
+  };
+
+  /// The retained windows, oldest first. Empty slots (never recorded into,
+  /// or overwritten by a later epoch) are omitted.
+  std::vector<Window> Windows() const;
+
+  /// All-time merge across every window ever recorded (not just retained).
+  HistogramData Cumulative() const;
+
+  uint64_t window_ns() const { return window_ns_; }
+  int num_windows() const { return static_cast<int>(slots_.size()); }
+
+  void Reset();
+
+ private:
+  struct Slot {
+    /// Grid index currently stored here; kEmpty when never used.
+    std::atomic<uint64_t> epoch{kEmpty};
+    LatencyHistogram hist;
+  };
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  uint64_t window_ns_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  LatencyHistogram cumulative_;
+};
+
 /// \brief Monotonic counter.
 class Counter {
  public:
@@ -103,12 +175,41 @@ class MetricsRegistry {
   Counter* counter(const std::string& name);
   Gauge* gauge(const std::string& name);
   LatencyHistogram* histogram(const std::string& name);
+  /// Windowed histogram: `window_ns`/`num_windows` apply only on first
+  /// registration of `name`; later lookups return the existing instance.
+  WindowedHistogram* windowed(const std::string& name,
+                              uint64_t window_ns = 1'000'000'000,
+                              int num_windows = 16);
 
-  /// Prometheus text exposition format (counters, gauges, and cumulative
-  /// histogram buckets with _sum/_count).
+  /// Labeled-family conveniences: handle for `base` + `labels` (escaped).
+  Counter* counter(const std::string& base,
+                   const std::vector<MetricLabel>& labels) {
+    return counter(LabeledName(base, labels));
+  }
+  LatencyHistogram* histogram(const std::string& base,
+                              const std::vector<MetricLabel>& labels) {
+    return histogram(LabeledName(base, labels));
+  }
+  WindowedHistogram* windowed(const std::string& base,
+                              const std::vector<MetricLabel>& labels,
+                              uint64_t window_ns = 1'000'000'000,
+                              int num_windows = 16) {
+    return windowed(LabeledName(base, labels), window_ns, num_windows);
+  }
+
+  /// Help text emitted as the family's `# HELP` line. Unset families get a
+  /// placeholder so every family still exposes a HELP line.
+  void SetHelp(const std::string& base, const std::string& help);
+
+  /// Prometheus text exposition format. Series are grouped by family (base
+  /// name) with exactly one `# HELP`/`# TYPE` pair per family, histogram
+  /// buckets carry cumulative counts with a `+Inf` bound, and label values
+  /// written through LabeledName are escaped — output parses under a real
+  /// scraper. Windowed histograms expose their cumulative merge.
   std::string PrometheusText() const;
   /// One JSON object: counters/gauges verbatim, histograms as
-  /// {count, sum, mean, min, max, p50, p95, p99}.
+  /// {count, sum, mean, min, max, p50, p95, p99}, windowed histograms as
+  /// {window_ns, cumulative, windows: [{index, start_ns, count, p50, ...}]}.
   std::string ToJson() const;
 
   /// Zeroes every metric (registrations and handles survive).
@@ -119,6 +220,38 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> windowed_;
+  std::map<std::string, std::string> help_;
+};
+
+/// \brief Ambient attribution for the work the current thread is doing:
+/// which tenant, against which view, in which operation class.
+///
+/// Multi-tenant drivers (workload/openloop.h) set a scope around each
+/// dispatched operation; the engine and view layers read it when they emit
+/// spans and metrics, so per-tenant series exist without threading tenant
+/// arguments through every engine call. Empty fields mean "untagged".
+struct WorkloadTag {
+  std::string tenant;
+  std::string view;
+  std::string op_class;
+};
+
+/// \brief RAII thread-local WorkloadTag scope (nestable; inner wins).
+class WorkloadTagScope {
+ public:
+  explicit WorkloadTagScope(WorkloadTag tag);
+  ~WorkloadTagScope();
+
+  WorkloadTagScope(const WorkloadTagScope&) = delete;
+  WorkloadTagScope& operator=(const WorkloadTagScope&) = delete;
+
+  /// The innermost tag on this thread, or nullptr when untagged.
+  static const WorkloadTag* Current();
+
+ private:
+  WorkloadTag tag_;
+  const WorkloadTag* prev_;
 };
 
 }  // namespace pjvm

@@ -23,13 +23,29 @@ const Row* HeapFile::Get(LocalRowId lrid) const {
 }
 
 Status HeapFile::Delete(LocalRowId lrid) {
+  PJVM_RETURN_NOT_OK(DeleteKeepSlot(lrid));
+  free_list_.push_back(lrid);
+  return Status::OK();
+}
+
+Status HeapFile::DeleteKeepSlot(LocalRowId lrid) {
   if (lrid >= slots_.size() || !slots_[lrid].has_value()) {
     return Status::NotFound("heap: no row at lrid " + std::to_string(lrid));
   }
   byte_size_ -= RowByteSize(*slots_[lrid]);
   --live_count_;
   slots_[lrid].reset();
-  free_list_.push_back(lrid);
+  return Status::OK();
+}
+
+Status HeapFile::InsertAt(LocalRowId lrid, Row row) {
+  if (lrid >= slots_.size() || slots_[lrid].has_value()) {
+    return Status::Internal("heap: slot " + std::to_string(lrid) +
+                            " is not an empty reserved slot");
+  }
+  byte_size_ += RowByteSize(row);
+  ++live_count_;
+  slots_[lrid] = std::move(row);
   return Status::OK();
 }
 

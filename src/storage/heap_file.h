@@ -32,6 +32,22 @@ class HeapFile {
   /// Deletes the row at `lrid`; NotFound if the slot is empty.
   Status Delete(LocalRowId lrid);
 
+  /// Deletes the row at `lrid` but keeps the slot reserved: it is NOT added
+  /// to the free list, so no later Insert can recycle the lrid until
+  /// ReleaseSlot(lrid). Transactional deletes use this so an abort can
+  /// restore the row at its original lrid — committed global-index entries
+  /// reference (node, lrid), so a row that comes back anywhere else leaves
+  /// them dangling.
+  Status DeleteKeepSlot(LocalRowId lrid);
+
+  /// Recycles a slot previously emptied by DeleteKeepSlot (commit path).
+  void ReleaseSlot(LocalRowId lrid) { free_list_.push_back(lrid); }
+
+  /// Restores a row into its reserved slot (abort path). The slot must be
+  /// empty and must not be on the free list — guaranteed for slots emptied
+  /// by DeleteKeepSlot and not yet released.
+  Status InsertAt(LocalRowId lrid, Row row);
+
   /// Replaces the row at `lrid`; NotFound if the slot is empty.
   Status Update(LocalRowId lrid, Row row);
 

@@ -11,7 +11,10 @@ namespace pjvm {
 /// \brief Identifier of a row within one node's fragment of a table.
 ///
 /// Local row ids are stable for the lifetime of the row: they survive other
-/// rows' inserts and deletes, and slots are recycled only after a delete.
+/// rows' inserts and deletes, and a slot is recycled only once its delete is
+/// past the point of rollback (autocommit deletes free immediately;
+/// transactional deletes keep the slot reserved until commit so an abort can
+/// restore the row at the same lrid — see HeapFile::DeleteKeepSlot).
 using LocalRowId = uint64_t;
 
 /// \brief Identifier of a row anywhere in the parallel system.

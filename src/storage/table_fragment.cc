@@ -65,7 +65,7 @@ Result<LocalRowId> TableFragment::Insert(Row row) {
   return lrid;
 }
 
-Status TableFragment::DeleteByRid(LocalRowId lrid) {
+Status TableFragment::DeleteByRid(LocalRowId lrid, bool keep_slot) {
   const Row* row = heap_.Get(lrid);
   if (row == nullptr) {
     return Status::NotFound("fragment: no row at lrid " + std::to_string(lrid));
@@ -79,7 +79,7 @@ Status TableFragment::DeleteByRid(LocalRowId lrid) {
       if (rids.empty()) row_lookup_.erase(it);
     }
   }
-  return heap_.Delete(lrid);
+  return keep_slot ? heap_.DeleteKeepSlot(lrid) : heap_.Delete(lrid);
 }
 
 Result<LocalRowId> TableFragment::FindExact(const Row& row) const {
@@ -109,10 +109,20 @@ Result<LocalRowId> TableFragment::FindExact(const Row& row) const {
   return found;
 }
 
-Result<LocalRowId> TableFragment::DeleteExact(const Row& row) {
+Result<LocalRowId> TableFragment::DeleteExact(const Row& row, bool keep_slot) {
   PJVM_ASSIGN_OR_RETURN(LocalRowId lrid, FindExact(row));
-  PJVM_RETURN_NOT_OK(DeleteByRid(lrid));
+  PJVM_RETURN_NOT_OK(DeleteByRid(lrid, keep_slot));
   return lrid;
+}
+
+Status TableFragment::InsertAt(LocalRowId lrid, Row row) {
+  PJVM_RETURN_NOT_OK(schema_.ValidateRow(row));
+  uint64_t row_hash = row_lookup_enabled_ ? HashRow(row) : 0;
+  PJVM_RETURN_NOT_OK(heap_.InsertAt(lrid, std::move(row)));
+  const Row& stored = *heap_.Get(lrid);
+  IndexInsert(lrid, stored);
+  if (row_lookup_enabled_) row_lookup_[row_hash].push_back(lrid);
+  return Status::OK();
 }
 
 Result<ProbeResult> TableFragment::Probe(int column, const Value& key) const {

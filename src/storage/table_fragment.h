@@ -72,12 +72,22 @@ class TableFragment {
   /// Inserts a row (validated against the schema), maintaining all indexes.
   Result<LocalRowId> Insert(Row row);
 
-  /// Deletes the row at `lrid`, maintaining all indexes.
-  Status DeleteByRid(LocalRowId lrid);
+  /// Deletes the row at `lrid`, maintaining all indexes. With `keep_slot`
+  /// the heap slot stays reserved (see HeapFile::DeleteKeepSlot) so the row
+  /// can be restored at the same lrid by InsertAt — the transactional-delete
+  /// path, which must survive an abort without moving the row.
+  Status DeleteByRid(LocalRowId lrid, bool keep_slot = false);
 
   /// Deletes one row equal to `row` (bag semantics: exactly one instance).
   /// Uses the row-lookup structure when enabled, otherwise scans.
-  Result<LocalRowId> DeleteExact(const Row& row);
+  Result<LocalRowId> DeleteExact(const Row& row, bool keep_slot = false);
+
+  /// Recycles a slot previously deleted with `keep_slot` (commit path).
+  void ReleaseSlot(LocalRowId lrid) { heap_.ReleaseSlot(lrid); }
+
+  /// Restores a row into its reserved slot, maintaining all indexes (abort
+  /// path; the inverse of a keep_slot delete).
+  Status InsertAt(LocalRowId lrid, Row row);
 
   /// Finds the rid of one row equal to `row` without deleting it.
   Result<LocalRowId> FindExact(const Row& row) const;

@@ -52,13 +52,18 @@ struct TxnVersionOp {
 
 /// \brief One compensating action for rolling back an in-flight transaction.
 ///
-/// Undo is by row content (delete what was inserted / re-insert what was
-/// deleted), applied in reverse order.
+/// Undo is by row id (delete the slot that was inserted / re-insert the row
+/// into the slot it was deleted from), applied in reverse order. Restoring a
+/// deleted row at its *original* lrid matters: committed global-index entries
+/// reference (node, lrid), so a compensating re-insert that lands anywhere
+/// else would leave them dangling. The slot is guaranteed free: transactional
+/// deletes reserve it (HeapFile::DeleteKeepSlot) until commit.
 struct UndoOp {
   enum class Kind { kDeleteInserted, kReinsertDeleted } kind;
   int node;
   std::string table;
   Row row;
+  LocalRowId lrid = 0;
 };
 
 /// \brief Transaction coordinator: ids, states, the durable decision log,

@@ -329,9 +329,15 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
   std::unique_ptr<CostTracker::TxnMeter> meter;
   const uint64_t t0 = Tracer::NowNs();
 
+  // Ambient multi-tenant attribution: when a driver tagged this thread
+  // (workload/openloop.h), spans carry the tenant and the emitted metric
+  // series gain tenant/view labels, so per-tenant SLO telemetry exists
+  // without a tenant parameter on this API.
+  const WorkloadTag* tag = WorkloadTagScope::Current();
   SpanGuard txn_span("maintain_txn", "view");
   txn_span.set_detail(delta.table + " +" + std::to_string(delta.inserts.size()) +
-                      "/-" + std::to_string(delta.deletes.size()));
+                      "/-" + std::to_string(delta.deletes.size()) +
+                      (tag != nullptr ? " tenant=" + tag->tenant : ""));
 
   auto run = [&](uint64_t txn) -> Result<MaintenanceReport> {
     MaintenanceReport total;
@@ -388,6 +394,17 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
           .histogram(std::string("pjvm_maintain_view_ns{method=\"") +
                      method_str + "\"}")
           ->Record(view_ns);
+      if (tag != nullptr) {
+        // The updating tenant pays for maintaining every dependent view —
+        // including other tenants' — so the labeled series carries both the
+        // payer (tenant) and the maintained view.
+        MetricsRegistry::Global()
+            .histogram("pjvm_maintain_view_ns",
+                       {{"method", method_str},
+                        {"tenant", tag->tenant},
+                        {"view", name}})
+            ->Record(view_ns);
+      }
       if (analysis != nullptr) {
         std::vector<NodeCounters> view_after = meter->Snapshot();
         for (size_t i = 0; i < view_after.size(); ++i) {
@@ -489,6 +506,16 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
   const uint64_t txn_ns = Tracer::NowNs() - t0;
   MetricsRegistry::Global().counter("pjvm_maintain_txns")->Increment();
   MetricsRegistry::Global().histogram("pjvm_maintain_txn_ns")->Record(txn_ns);
+  if (tag != nullptr) {
+    MetricsRegistry::Global()
+        .histogram("pjvm_maintain_txn_ns", {{"tenant", tag->tenant}})
+        ->Record(txn_ns);
+    // Windowed per-tenant maintenance latency: one rotating histogram per
+    // tenant so warmup and steady state report separately (1s windows).
+    MetricsRegistry::Global()
+        .windowed("pjvm_slo_maintain_txn_ns", {{"tenant", tag->tenant}})
+        ->Record(txn_ns, t0);
+  }
   if (analysis != nullptr) {
     analysis->table = delta.table;
     analysis->base_inserts = delta.inserts.size();

@@ -1,0 +1,485 @@
+#include "workload/openloop.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.h"
+#include "workload/zipf.h"
+
+namespace pjvm {
+
+const char* ArrivalProcessToString(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kFixedRate: return "fixed";
+  }
+  return "?";
+}
+
+const char* OpClassToString(OpClass op) {
+  switch (op) {
+    case OpClass::kPointRead: return "point_read";
+    case OpClass::kRangeScan: return "range_scan";
+    case OpClass::kUpdate: return "update";
+  }
+  return "?";
+}
+
+std::vector<Arrival> BuildArrivalSchedule(const TenantSpec& spec,
+                                          uint64_t duration_ns) {
+  std::vector<Arrival> out;
+  if (spec.rate_per_sec <= 0.0 || duration_ns == 0) return out;
+  Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 0x5bd1e995);
+  const double gap_ns = 1e9 / spec.rate_per_sec;
+  double point = std::max(0.0, spec.point_read_frac);
+  double range = std::max(0.0, spec.range_scan_frac);
+  double update = std::max(0.0, spec.update_frac);
+  double total = point + range + update;
+  if (total <= 0.0) {
+    point = total = 1.0;  // Degenerate mix: everything a point read.
+  }
+  double t_ns = 0.0;
+  for (;;) {
+    if (spec.process == ArrivalProcess::kPoisson) {
+      // Exponential gap via inverse CDF; UniformDouble() < 1 so the log
+      // argument stays positive.
+      t_ns += -std::log(1.0 - rng.UniformDouble()) * gap_ns;
+    } else {
+      t_ns += gap_ns;
+    }
+    if (t_ns >= static_cast<double>(duration_ns)) break;
+    Arrival a;
+    a.at_ns = static_cast<uint64_t>(t_ns);
+    double dice = rng.UniformDouble() * total;
+    a.op = dice < point             ? OpClass::kPointRead
+           : dice < point + range   ? OpClass::kRangeScan
+                                    : OpClass::kUpdate;
+    out.push_back(a);
+  }
+  return out;
+}
+
+Status RegisterTenantViews(ViewManager* manager,
+                           std::vector<TenantSpec>* tenants,
+                           MaintenanceMethod method) {
+  for (TenantSpec& spec : *tenants) {
+    JoinViewDef def;
+    def.name = "JV_" + spec.name;
+    def.bases = {{"A", "A"}, {"B", "B"}};
+    def.edges = {{{"A", "c"}, {"B", "d"}}};
+    def.partition_on = ColumnRef{"A", "e"};
+    PJVM_RETURN_NOT_OK(manager->RegisterView(def, method));
+    spec.view = def.name;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Tenant row-id stride: keeps concurrently-updating tenants' A keys (and
+/// hence their views' A-side rows) disjoint.
+constexpr int64_t kTenantIdStride = 1'000'000'000;
+
+/// One enqueued operation, fully materialized at schedule time so workers
+/// never touch the (single-threaded) per-tenant generators.
+struct PendingOp {
+  int tenant = 0;
+  OpClass op = OpClass::kPointRead;
+  uint64_t scheduled_ns = 0;
+  Value point_key;
+  Value range_lo, range_hi;
+  DeltaBatch batch;
+};
+
+/// MPMC FIFO queue with shutdown; Pop blocks until an op or done-and-empty.
+class OpQueue {
+ public:
+  void Push(PendingOp op) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      q_.push_back(std::move(op));
+    }
+    cv_.notify_one();
+  }
+
+  bool Pop(PendingOp* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !q_.empty() || done_; });
+    if (q_.empty()) return false;
+    *out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t Depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingOp> q_;
+  bool done_ = false;
+};
+
+/// Lock-free accumulation for one (tenant, op class) pair.
+struct Accum {
+  std::atomic<uint64_t> offered{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> resubmits{0};
+  std::atomic<uint64_t> violations{0};
+  LatencyHistogram latency;
+  LatencyHistogram queue_wait;
+  LatencyHistogram service;
+  std::unique_ptr<WindowedHistogram> windowed;
+};
+
+std::vector<WindowQuantiles> ToWindowQuantiles(const WindowedHistogram& wh) {
+  std::vector<WindowQuantiles> out;
+  for (const WindowedHistogram::Window& w : wh.Windows()) {
+    WindowQuantiles q;
+    q.index = w.index;
+    q.start_ms = static_cast<double>(w.start_ns) / 1e6;
+    q.count = w.data.count;
+    q.p50 = w.data.P50();
+    q.p95 = w.data.P95();
+    q.p99 = w.data.P99();
+    q.mean = w.data.Mean();
+    q.max = w.data.count > 0 ? static_cast<double>(w.data.max) : 0.0;
+    out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace
+
+OpenLoopDriver::OpenLoopDriver(ViewManager* manager, OpenLoopConfig config)
+    : manager_(manager), config_(std::move(config)) {}
+
+Result<OpenLoopResult> OpenLoopDriver::Run() {
+  if (ran_) return Status::InvalidArgument("OpenLoopDriver::Run called twice");
+  ran_ = true;
+  if (config_.tenants.empty()) {
+    return Status::InvalidArgument("open-loop config has no tenants");
+  }
+  ParallelSystem* sys = manager_->system();
+  for (const TenantSpec& spec : config_.tenants) {
+    if (manager_->view(spec.view) == nullptr) {
+      return Status::NotFound("tenant '" + spec.name + "': view '" +
+                              spec.view + "' is not registered");
+    }
+  }
+  const int num_tenants = static_cast<int>(config_.tenants.size());
+  const uint64_t duration_ns = config_.duration_ms * 1'000'000;
+  const uint64_t window_ns = std::max<uint64_t>(1, config_.window_ms) * 1'000'000;
+  // Windows are bucketed by scheduled arrival time, which is bounded by the
+  // horizon — size the ring to retain every window of the run.
+  const int num_windows = static_cast<int>(duration_ns / window_ns) + 2;
+
+  // --- Per-tenant generator state (scheduler-thread-only once started). ---
+  struct TenantRuntime {
+    std::vector<Arrival> schedule;
+    std::unique_ptr<ZipfGenerator> zipf;
+    std::unique_ptr<UpdateStreamGenerator> stream;
+    std::unique_ptr<Rng> read_rng;
+    /// Upper bound of row ids this tenant's stream has handed out; point
+    /// reads draw from [0, this) (a missed probe still pays its cost).
+    int64_t issued_rows = 0;
+  };
+  std::vector<TenantRuntime> runtimes(num_tenants);
+  for (int t = 0; t < num_tenants; ++t) {
+    const TenantSpec& spec = config_.tenants[t];
+    TenantRuntime& rt = runtimes[t];
+    rt.schedule = BuildArrivalSchedule(spec, duration_ns);
+    rt.zipf = std::make_unique<ZipfGenerator>(
+        std::max<int64_t>(1, config_.b_join_keys), spec.zipf_theta,
+        spec.seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+    rt.read_rng = std::make_unique<Rng>(spec.seed ^ 0x0f0f0f0f0f0f0f0fULL);
+    ZipfGenerator* zipf = rt.zipf.get();
+    const int64_t base_id = kTenantIdStride * (t + 1);
+    TenantRuntime* rt_ptr = &rt;
+    rt.stream = std::make_unique<UpdateStreamGenerator>(
+        "A", spec.update_mix, spec.seed,
+        [zipf, base_id, rt_ptr](int64_t i) -> Row {
+          const int64_t id = base_id + i;
+          rt_ptr->issued_rows = i + 1;
+          // Join attribute from the Zipf sampler: rank 0 is the hot key.
+          return {Value{id}, Value{zipf->Next()}, Value{id * 3}};
+        },
+        [](const Row& row, Rng& rng) -> Row {
+          // The updated image changes the non-key payload e, so maintenance
+          // replaces the row's view tuples without moving its join edges.
+          return {row[0], row[1],
+                  Value{row[2].AsInt64() + 7 + static_cast<int64_t>(
+                                                   rng.Next() % 1024)}};
+        });
+  }
+
+  // Warmup: seed each tenant's live rows through full maintenance, before
+  // any clock starts; excluded from every histogram and counter.
+  for (int t = 0; t < num_tenants; ++t) {
+    if (config_.warmup_rows_per_tenant <= 0) break;
+    DeltaBatch batch =
+        runtimes[t].stream->NextBatch(config_.warmup_rows_per_tenant);
+    PJVM_RETURN_NOT_OK(manager_->ApplyDelta(std::move(batch)).status());
+  }
+
+  // --- Telemetry sinks. ---
+  std::vector<std::array<Accum, kNumOpClasses>> accums(num_tenants);
+  std::vector<std::unique_ptr<WindowedHistogram>> tenant_windows;
+  for (int t = 0; t < num_tenants; ++t) {
+    for (int o = 0; o < kNumOpClasses; ++o) {
+      accums[t][o].windowed =
+          std::make_unique<WindowedHistogram>(window_ns, num_windows);
+    }
+    tenant_windows.push_back(
+        std::make_unique<WindowedHistogram>(window_ns, num_windows));
+  }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (config_.publish_metrics) {
+    reg.SetHelp("pjvm_slo_latency_ns",
+                "Open-loop latency from scheduled arrival to completion");
+    reg.SetHelp("pjvm_slo_queue_wait_ns",
+                "Open-loop wait from scheduled arrival to dispatch");
+    reg.SetHelp("pjvm_slo_service_ns",
+                "Open-loop service time from dispatch to completion");
+    reg.SetHelp("pjvm_slo_ops_offered", "Open-loop scheduled arrivals");
+    reg.SetHelp("pjvm_slo_ops_completed", "Open-loop completed operations");
+    reg.SetHelp("pjvm_slo_violations",
+                "Open-loop completions over the tenant's SLO threshold");
+  }
+
+  OpQueue read_queue;
+  std::vector<OpQueue> write_queues(num_tenants);
+  std::atomic<uint64_t> last_completion_ns{0};
+  Status first_error = Status::OK();
+  std::mutex error_mu;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto now_ns = [&start]() -> uint64_t {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
+
+  // --- The worker body: dispatch, execute, measure from scheduled time. ---
+  auto execute = [&](PendingOp& op) {
+    const TenantSpec& spec = config_.tenants[op.tenant];
+    Accum& acc = accums[op.tenant][static_cast<int>(op.op)];
+    const uint64_t dispatch_ns = now_ns();
+    const uint64_t queue_wait =
+        dispatch_ns > op.scheduled_ns ? dispatch_ns - op.scheduled_ns : 0;
+    WorkloadTagScope tag_scope(
+        WorkloadTag{spec.name, spec.view, OpClassToString(op.op)});
+    bool ok = true;
+    // The client's contract is "this op happens": an Aborted status (a
+    // wait-die victim — possible for locking reads as well as for updates
+    // that exhaust the ViewManager's bounded retry) is re-submitted as part
+    // of the same arrival, and the re-submissions are counted.
+    auto run_with_resubmit = [&](auto&& attempt) {
+      for (;;) {
+        Status st = attempt();
+        if (st.ok()) return;
+        if (!st.IsAborted()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = st;
+          ok = false;
+          return;
+        }
+        acc.resubmits.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    switch (op.op) {
+      case OpClass::kPointRead:
+        run_with_resubmit([&] {
+          return sys->SelectEq(spec.view, "A.e", op.point_key).status();
+        });
+        break;
+      case OpClass::kRangeScan:
+        run_with_resubmit([&] {
+          return sys->SelectRange(spec.view, "A.c", op.range_lo, op.range_hi)
+              .status();
+        });
+        break;
+      case OpClass::kUpdate:
+        run_with_resubmit(
+            [&] { return manager_->ApplyDelta(op.batch).status(); });
+        break;
+    }
+    const uint64_t end_ns = now_ns();
+    uint64_t prev = last_completion_ns.load(std::memory_order_relaxed);
+    while (end_ns > prev && !last_completion_ns.compare_exchange_weak(
+                                prev, end_ns, std::memory_order_relaxed)) {
+    }
+    if (!ok) {
+      acc.failed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const uint64_t latency =
+        end_ns > op.scheduled_ns ? end_ns - op.scheduled_ns : 0;
+    const uint64_t service = end_ns - dispatch_ns;
+    acc.completed.fetch_add(1, std::memory_order_relaxed);
+    acc.latency.Record(latency);
+    acc.queue_wait.Record(queue_wait);
+    acc.service.Record(service);
+    acc.windowed->Record(latency, op.scheduled_ns);
+    tenant_windows[op.tenant]->Record(latency, op.scheduled_ns);
+    const bool violated = latency > spec.slo_ns;
+    if (violated) acc.violations.fetch_add(1, std::memory_order_relaxed);
+    if (config_.publish_metrics) {
+      const std::vector<MetricLabel> labels = {
+          {"tenant", spec.name}, {"op", OpClassToString(op.op)}};
+      reg.windowed("pjvm_slo_latency_ns", labels, window_ns, num_windows)
+          ->Record(latency, op.scheduled_ns);
+      reg.histogram("pjvm_slo_queue_wait_ns", labels)->Record(queue_wait);
+      reg.histogram("pjvm_slo_service_ns", labels)->Record(service);
+      reg.counter("pjvm_slo_ops_completed", labels)->Increment();
+      if (violated) reg.counter("pjvm_slo_violations", labels)->Increment();
+    }
+  };
+
+  // --- Threads: read pool, per-tenant writers, per-tenant schedulers. ---
+  std::vector<std::thread> threads;
+  const int read_workers = std::max(1, config_.read_workers);
+  threads.reserve(read_workers + 2 * num_tenants);
+  for (int w = 0; w < read_workers; ++w) {
+    threads.emplace_back([&] {
+      PendingOp op;
+      while (read_queue.Pop(&op)) execute(op);
+    });
+  }
+  for (int t = 0; t < num_tenants; ++t) {
+    threads.emplace_back([&, t] {
+      PendingOp op;
+      while (write_queues[t].Pop(&op)) execute(op);
+    });
+  }
+  std::vector<std::thread> schedulers;
+  schedulers.reserve(num_tenants);
+  for (int t = 0; t < num_tenants; ++t) {
+    schedulers.emplace_back([&, t] {
+      const TenantSpec& spec = config_.tenants[t];
+      TenantRuntime& rt = runtimes[t];
+      const int64_t key_domain = std::max<int64_t>(1, config_.b_join_keys);
+      const int64_t range_span = std::max<int64_t>(1, key_domain / 8);
+      for (const Arrival& arrival : rt.schedule) {
+        PendingOp op;
+        op.tenant = t;
+        op.op = arrival.op;
+        op.scheduled_ns = arrival.at_ns;
+        switch (arrival.op) {
+          case OpClass::kPointRead: {
+            // Probe the view's partitioning attribute (A.e = 3 * row id):
+            // routed to one node, over the tenant's own id range.
+            const int64_t hi = std::max<int64_t>(1, rt.issued_rows);
+            const int64_t id = kTenantIdStride * (t + 1) +
+                               rt.read_rng->UniformInt(0, hi - 1);
+            op.point_key = Value{id * 3};
+            break;
+          }
+          case OpClass::kRangeScan: {
+            const int64_t lo = rt.read_rng->UniformInt(0, key_domain - 1);
+            op.range_lo = Value{lo};
+            op.range_hi = Value{lo + range_span};
+            break;
+          }
+          case OpClass::kUpdate: {
+            // Materialized here, in schedule order, so the stream's
+            // delete/update targets are applied FIFO by this tenant's
+            // single writer thread.
+            op.batch = rt.stream->NextBatch(spec.update_batch_rows);
+            break;
+          }
+        }
+        // Open-loop: release the op at its scheduled instant, never earlier
+        // and regardless of whether earlier ops completed. sleep_until is a
+        // no-op once the schedule is in the past.
+        std::this_thread::sleep_until(
+            start + std::chrono::nanoseconds(arrival.at_ns));
+        accums[t][static_cast<int>(arrival.op)].offered.fetch_add(
+            1, std::memory_order_relaxed);
+        if (config_.publish_metrics) {
+          reg.counter("pjvm_slo_ops_offered",
+                      {{"tenant", spec.name},
+                       {"op", OpClassToString(arrival.op)}})
+              ->Increment();
+        }
+        if (arrival.op == OpClass::kUpdate) {
+          write_queues[t].Push(std::move(op));
+        } else {
+          read_queue.Push(std::move(op));
+        }
+      }
+    });
+  }
+  for (std::thread& th : schedulers) th.join();
+  // All arrivals offered; let the workers drain the backlog and exit.
+  read_queue.Close();
+  for (OpQueue& q : write_queues) q.Close();
+  for (std::thread& th : threads) th.join();
+
+  {
+    std::lock_guard<std::mutex> lock(error_mu);
+    PJVM_RETURN_NOT_OK(first_error);
+  }
+
+  // --- Assemble the report. ---
+  OpenLoopResult result;
+  result.horizon_ms = static_cast<double>(config_.duration_ms);
+  const uint64_t wall_ns = std::max(last_completion_ns.load(), duration_ns);
+  result.wall_ms = static_cast<double>(wall_ns) / 1e6;
+  const double wall_s = static_cast<double>(wall_ns) / 1e9;
+  const double horizon_s = static_cast<double>(duration_ns) / 1e9;
+  for (int t = 0; t < num_tenants; ++t) {
+    TenantResult tr;
+    tr.tenant = config_.tenants[t].name;
+    for (int o = 0; o < kNumOpClasses; ++o) {
+      Accum& acc = accums[t][o];
+      OpClassStats& s = tr.ops[o];
+      s.offered = acc.offered.load();
+      s.completed = acc.completed.load();
+      s.failed = acc.failed.load();
+      s.resubmits = acc.resubmits.load();
+      s.slo_violations = acc.violations.load();
+      s.latency = acc.latency.Snapshot();
+      s.queue_wait = acc.queue_wait.Snapshot();
+      s.service = acc.service.Snapshot();
+      s.windows = ToWindowQuantiles(*acc.windowed);
+      tr.offered += s.offered;
+      tr.completed += s.completed;
+      tr.slo_violations += s.slo_violations;
+    }
+    tr.windows = ToWindowQuantiles(*tenant_windows[t]);
+    tr.offered_per_sec =
+        horizon_s > 0.0 ? static_cast<double>(tr.offered) / horizon_s : 0.0;
+    tr.achieved_per_sec =
+        wall_s > 0.0 ? static_cast<double>(tr.completed) / wall_s : 0.0;
+    tr.goodput_per_sec =
+        wall_s > 0.0
+            ? static_cast<double>(tr.completed - tr.slo_violations) / wall_s
+            : 0.0;
+    result.total_offered += tr.offered;
+    result.total_completed += tr.completed;
+    result.tenants.push_back(std::move(tr));
+  }
+  return result;
+}
+
+}  // namespace pjvm

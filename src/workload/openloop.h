@@ -1,0 +1,194 @@
+#ifndef PJVM_WORKLOAD_OPENLOOP_H_
+#define PJVM_WORKLOAD_OPENLOOP_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics_registry.h"
+#include "view/view_manager.h"
+#include "workload/update_stream.h"
+
+namespace pjvm {
+
+/// \brief How a tenant's arrivals are spaced in time.
+///
+/// Open-loop means the NEXT arrival does not wait for the PREVIOUS
+/// operation to finish: arrivals follow a schedule fixed by the offered
+/// rate, and an overloaded system accumulates a backlog instead of silently
+/// slowing the driver down. Closed-loop drivers (every other bench in this
+/// repo) cannot see queueing delay at all — the driver IS the queue.
+enum class ArrivalProcess {
+  /// Exponential inter-arrival gaps with mean 1/rate (memoryless bursts —
+  /// the standard model of independent clients).
+  kPoisson = 0,
+  /// Deterministic gaps of exactly 1/rate (a metronome; isolates queueing
+  /// caused by service-time variance from queueing caused by burstiness).
+  kFixedRate,
+};
+
+const char* ArrivalProcessToString(ArrivalProcess p);
+
+/// \brief The three operation classes a tenant mixes.
+enum class OpClass {
+  kPointRead = 0,  ///< Partition-routed SelectEq on the tenant's view.
+  kRangeScan,      ///< Fan-out SelectRange on the view's join attribute.
+  kUpdate,         ///< A maintenance transaction (ViewManager::ApplyDelta).
+};
+
+inline constexpr int kNumOpClasses = 3;
+
+const char* OpClassToString(OpClass op);
+
+/// \brief One tenant of the open-loop driver: its own view over the shared
+/// base tables, an offered arrival rate, an op mix, and an SLO threshold.
+struct TenantSpec {
+  std::string name;
+  /// The tenant's registered join view (see RegisterTenantViews).
+  std::string view;
+  /// Offered load: scheduled arrivals per second across all op classes.
+  double rate_per_sec = 100.0;
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  /// Op mix (normalized by their sum).
+  double point_read_frac = 0.5;
+  double range_scan_frac = 0.3;
+  double update_frac = 0.2;
+  /// Zipf skew of the update stream's join-attribute draws over the shared
+  /// B key domain (0 = uniform; ~1 = classic hot-key skew).
+  double zipf_theta = 0.9;
+  /// Base-table rows changed per update arrival.
+  int update_batch_rows = 1;
+  /// Insert/delete/update composition of the tenant's update stream.
+  UpdateMix update_mix{0.6, 0.2, 0.2};
+  uint64_t seed = 1;
+  /// Per-op latency SLO, measured from the SCHEDULED arrival time.
+  uint64_t slo_ns = 20'000'000;
+};
+
+/// \brief One scheduled arrival: offset from run start plus op class.
+struct Arrival {
+  uint64_t at_ns = 0;
+  OpClass op = OpClass::kPointRead;
+};
+
+/// Precomputes a tenant's full arrival schedule over `duration_ns`.
+/// Deterministic in the spec's seed; pure (no clock, no engine).
+std::vector<Arrival> BuildArrivalSchedule(const TenantSpec& spec,
+                                          uint64_t duration_ns);
+
+/// \brief Knobs of one open-loop run.
+struct OpenLoopConfig {
+  std::vector<TenantSpec> tenants;
+  /// Arrival-generation horizon. Every arrival scheduled inside it is
+  /// executed (the run drains its backlog), so at overload the wall clock
+  /// exceeds the horizon and the tail latencies show it.
+  uint64_t duration_ms = 1000;
+  /// Telemetry window width for the per-window quantiles.
+  uint64_t window_ms = 250;
+  /// Shared pool executing point reads and range scans. Updates do NOT run
+  /// here: each tenant's update stream is applied by a dedicated per-tenant
+  /// writer thread, in arrival order (a tenant's stream is a sequence, and
+  /// its generator's delete/update targets assume in-order application).
+  int read_workers = 4;
+  /// Join-key domain of the shared B relation the Zipf ranks map onto.
+  int64_t b_join_keys = 64;
+  /// Update-stream ops applied per tenant before the clock starts (seeds
+  /// the tenant's live rows; excluded from all telemetry).
+  int warmup_rows_per_tenant = 0;
+  /// Mirror per-tenant series into MetricsRegistry::Global() (the
+  /// pjvm_slo_* families) in addition to the returned result.
+  bool publish_metrics = true;
+};
+
+/// \brief Quantiles of one telemetry window (values are nanoseconds).
+struct WindowQuantiles {
+  uint64_t index = 0;     ///< scheduled_ns / window_ns.
+  double start_ms = 0.0;  ///< Window start, relative to run start.
+  uint64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// \brief Telemetry of one (tenant, op class) pair.
+///
+/// `latency` is end-to-end from the scheduled arrival time — queue wait
+/// included, so coordinated omission cannot flatter the numbers.
+/// `queue_wait` (dispatch - scheduled) and `service` (completion -
+/// dispatch) decompose it.
+struct OpClassStats {
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  /// Client-visible aborted maintenance attempts that were re-submitted
+  /// (updates only; the re-submission is part of the same arrival).
+  uint64_t resubmits = 0;
+  uint64_t slo_violations = 0;
+  HistogramData latency;
+  HistogramData queue_wait;
+  HistogramData service;
+  /// Per-window latency quantiles, bucketed by SCHEDULED arrival time (so a
+  /// window describes the arrivals offered in it, however late they ran).
+  std::vector<WindowQuantiles> windows;
+};
+
+/// \brief One tenant's aggregate SLO report.
+struct TenantResult {
+  std::string tenant;
+  double offered_per_sec = 0.0;
+  double achieved_per_sec = 0.0;
+  /// Completions that met the tenant's SLO, per second of wall time.
+  double goodput_per_sec = 0.0;
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t slo_violations = 0;
+  std::array<OpClassStats, kNumOpClasses> ops;
+  /// All op classes merged, windowed by scheduled arrival.
+  std::vector<WindowQuantiles> windows;
+};
+
+/// \brief The run's outcome: offered vs achieved, per-tenant breakdowns.
+struct OpenLoopResult {
+  double horizon_ms = 0.0;  ///< The configured generation horizon.
+  double wall_ms = 0.0;     ///< Start to last completion (drain included).
+  uint64_t total_offered = 0;
+  uint64_t total_completed = 0;
+  std::vector<TenantResult> tenants;
+};
+
+/// Registers one join view per tenant ("JV_<tenant name>", A join B on
+/// c = d, partitioned on A.e) under `method` and fills each spec's `view`.
+/// The base tables must already exist (LoadTwoTable).
+Status RegisterTenantViews(ViewManager* manager,
+                           std::vector<TenantSpec>* tenants,
+                           MaintenanceMethod method);
+
+/// \brief The open-loop multi-tenant workload driver.
+///
+/// One scheduler thread per tenant walks the precomputed arrival schedule
+/// and enqueues operations at their scheduled instants; a shared worker
+/// pool executes reads and a per-tenant writer applies the update stream in
+/// order. Latency is measured from the scheduled arrival, queue wait and
+/// service time are recorded separately, and per-window quantiles expose
+/// warmup vs steady state. See DESIGN.md "Open-loop SLO harness".
+class OpenLoopDriver {
+ public:
+  OpenLoopDriver(ViewManager* manager, OpenLoopConfig config);
+
+  /// Runs the configured schedule to completion (including backlog drain)
+  /// and returns the SLO report. Call once per driver instance.
+  Result<OpenLoopResult> Run();
+
+ private:
+  ViewManager* manager_;
+  OpenLoopConfig config_;
+  bool ran_ = false;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_WORKLOAD_OPENLOOP_H_

@@ -145,7 +145,185 @@ TEST(LatencyHistogramTest, ResetZeroes) {
   EXPECT_EQ(d.max, 3u);
 }
 
-// ---------------------------------------------------------- MetricsRegistry
+// ----------------------------------------- Quantile error bounds and merges
+
+TEST(HistogramDataTest, QuantileRelativeErrorBoundedByBucketWidth) {
+  // Bucket i holds [2^(i-1), 2^i - 1]: any point inside is within 2x of any
+  // other. With interpolation clamped to the bucket, the reported quantile
+  // can therefore be off from the exact order statistic by at most 2x in
+  // either direction. Check against exact quantiles of a deterministic
+  // pseudo-random sample.
+  HistogramData d;
+  std::vector<uint64_t> values;
+  uint64_t x = 88172645463325252ULL;
+  for (int i = 0; i < 50000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    uint64_t v = 1 + x % 1'000'000;
+    values.push_back(v);
+    d.Add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 0.999}) {
+    double exact = static_cast<double>(
+        values[static_cast<size_t>(q * (values.size() - 1))]);
+    double approx = d.Quantile(q);
+    EXPECT_GE(approx, exact / 2.0) << "q=" << q;
+    EXPECT_LE(approx, exact * 2.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramDataTest, MergeIsAssociativeAndCommutativeBitEqual) {
+  // Merge is element-wise addition, so any merge tree over the same parts
+  // must produce identical buckets/count/sum/min/max — and therefore
+  // bit-equal quantiles. This is what makes per-thread histograms safe to
+  // combine in whatever order workers finish.
+  HistogramData parts[3];
+  uint64_t x = 2463534242;
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 1000; ++i) {
+      x ^= x << 13;
+      x ^= x >> 17;
+      x ^= x << 5;
+      parts[p].Add(x % (1u << (10 + 4 * p)));
+    }
+  }
+  HistogramData left = parts[0];   // (a + b) + c
+  left.Merge(parts[1]);
+  left.Merge(parts[2]);
+  HistogramData right = parts[1];  // a + (b + c)
+  right.Merge(parts[2]);
+  HistogramData right2 = parts[0];
+  right2.Merge(right);
+  HistogramData swapped = parts[2];  // c + b + a
+  swapped.Merge(parts[1]);
+  swapped.Merge(parts[0]);
+  for (const HistogramData* m : {&right2, &swapped}) {
+    EXPECT_EQ(left.buckets, m->buckets);
+    EXPECT_EQ(left.count, m->count);
+    EXPECT_EQ(left.sum, m->sum);
+    EXPECT_EQ(left.min, m->min);
+    EXPECT_EQ(left.max, m->max);
+    EXPECT_EQ(left.P50(), m->P50());    // bit-equal, not just approximate
+    EXPECT_EQ(left.P99(), m->P99());
+  }
+}
+
+TEST(LatencyHistogramTest, CrossThreadSnapshotsMergeToDirectRecording) {
+  // Four threads record disjoint ranges into their own histograms; merging
+  // the snapshots (in any order) equals recording everything into one.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  LatencyHistogram per_thread[kThreads];
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&per_thread, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        per_thread[t].Record(static_cast<uint64_t>(t * kPerThread + i) * 31);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  HistogramData direct;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      direct.Add(static_cast<uint64_t>(t * kPerThread + i) * 31);
+    }
+  }
+  HistogramData forward, backward;
+  for (int t = 0; t < kThreads; ++t) forward.Merge(per_thread[t].Snapshot());
+  for (int t = kThreads - 1; t >= 0; --t) {
+    backward.Merge(per_thread[t].Snapshot());
+  }
+  EXPECT_EQ(forward.buckets, direct.buckets);
+  EXPECT_EQ(backward.buckets, direct.buckets);
+  EXPECT_EQ(forward.count, direct.count);
+  EXPECT_EQ(forward.sum, direct.sum);
+  EXPECT_EQ(forward.min, direct.min);
+  EXPECT_EQ(forward.max, direct.max);
+  EXPECT_EQ(forward.P99(), backward.P99());
+}
+
+// -------------------------------------------------------- WindowedHistogram
+
+TEST(WindowedHistogramTest, RecordsLandInTheirTimeWindow) {
+  WindowedHistogram wh(/*window_ns=*/1000, /*num_windows=*/8);
+  wh.Record(100, 500);    // window 0
+  wh.Record(200, 999);    // window 0
+  wh.Record(5000, 1500);  // window 1
+  auto windows = wh.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].index, 0u);
+  EXPECT_EQ(windows[0].start_ns, 0u);
+  EXPECT_EQ(windows[0].data.count, 2u);
+  EXPECT_EQ(windows[1].index, 1u);
+  EXPECT_EQ(windows[1].start_ns, 1000u);
+  EXPECT_EQ(windows[1].data.count, 1u);
+  // Warmup (window 0) and steady state (window 1) stay distinguishable.
+  EXPECT_LT(windows[0].data.P50(), windows[1].data.P50());
+  EXPECT_EQ(wh.Cumulative().count, 3u);
+}
+
+TEST(WindowedHistogramTest, RingEvictsOldestButCumulativeKeepsAll) {
+  WindowedHistogram wh(/*window_ns=*/100, /*num_windows=*/4);
+  for (uint64_t w = 0; w < 10; ++w) {
+    wh.Record(w + 1, w * 100 + 50);
+  }
+  auto windows = wh.Windows();
+  ASSERT_EQ(windows.size(), 4u);  // only the most recent 4 retained
+  EXPECT_EQ(windows.front().index, 6u);
+  EXPECT_EQ(windows.back().index, 9u);
+  for (size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_LT(windows[i - 1].index, windows[i].index);  // oldest first
+  }
+  HistogramData all = wh.Cumulative();
+  EXPECT_EQ(all.count, 10u);  // evicted windows still counted here
+  EXPECT_EQ(all.min, 1u);
+  EXPECT_EQ(all.max, 10u);
+}
+
+TEST(WindowedHistogramTest, SparseWindowsSkipEmptySlots) {
+  WindowedHistogram wh(/*window_ns=*/100, /*num_windows=*/8);
+  wh.Record(1, 50);     // window 0
+  wh.Record(2, 650);    // window 6: windows 1..5 never recorded
+  auto windows = wh.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].index, 0u);
+  EXPECT_EQ(windows[1].index, 6u);
+}
+
+TEST(WindowedHistogramTest, ResetClearsWindowsAndCumulative) {
+  WindowedHistogram wh(/*window_ns=*/100, /*num_windows=*/4);
+  wh.Record(9, 10);
+  wh.Reset();
+  EXPECT_TRUE(wh.Windows().empty());
+  EXPECT_EQ(wh.Cumulative().count, 0u);
+  wh.Record(3, 250);
+  ASSERT_EQ(wh.Windows().size(), 1u);
+  EXPECT_EQ(wh.Windows()[0].index, 2u);
+}
+
+// ------------------------------------------------- Label escaping and names
+
+TEST(LabeledNameTest, EscapesBackslashQuoteAndNewline) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+  std::string name = LabeledName(
+      "pjvm_slo_latency_ns",
+      {{"tenant", "t\"0\""}, {"view", "JV\\x"}, {"op", "line\none"}});
+  EXPECT_EQ(name,
+            "pjvm_slo_latency_ns{tenant=\"t\\\"0\\\"\",view=\"JV\\\\x\","
+            "op=\"line\\none\"}");
+}
+
+TEST(LabeledNameTest, NoLabelsIsBareBase) {
+  EXPECT_EQ(LabeledName("pjvm_x", {}), "pjvm_x");
+}
+
+// ------------------------------------ Prometheus exposition compliance pass
 
 TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
   MetricsRegistry reg;

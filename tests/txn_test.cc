@@ -429,6 +429,69 @@ TEST(SystemTxnTest, AbortRollsBackDeletes) {
   EXPECT_EQ(Sorted(sys.ScanAll("A"))[0], row);
 }
 
+TEST(SystemTxnTest, AbortRestoresDeletedRowAtOriginalLrid) {
+  // Regression: global-index entries reference (node, lrid), so a row
+  // restored by abort must come back at the exact slot it was deleted from.
+  // Before deferred slot reclamation, the delete freed the slot immediately;
+  // an insert racing the doomed transaction could recycle it, and the undo
+  // re-insert landed at a new lrid — leaving committed GI entries dangling.
+  ParallelSystem sys(SmallConfig());
+  ASSERT_TRUE(sys.CreateTable(HashTableDef("A", "a")).ok());
+  Row victim = {Value{7}, Value{77}};
+  ASSERT_TRUE(sys.Insert("A", victim).ok());
+  int home = -1;
+  LocalRowId original_lrid = 0;
+  for (int i = 0; i < SmallConfig().num_nodes; ++i) {
+    auto found = sys.node(i)->fragment("A")->FindExact(victim);
+    if (found.ok()) {
+      home = i;
+      original_lrid = *found;
+      break;
+    }
+  }
+  ASSERT_GE(home, 0);
+
+  uint64_t t = sys.Begin();
+  ASSERT_TRUE(sys.DeleteExact("A", victim, t).ok());
+  // An unrelated insert lands on every node (one per node id keyspace walk)
+  // while the delete is still abortable: none may steal the reserved slot.
+  for (int64_t k = 1000; k < 1064; ++k) {
+    ASSERT_TRUE(sys.Insert("A", {Value{k}, Value{k}}).ok());
+  }
+  EXPECT_EQ(sys.node(home)->fragment("A")->Get(original_lrid), nullptr)
+      << "reserved slot must stay empty until the transaction resolves";
+  ASSERT_TRUE(sys.Abort(t).ok());
+
+  auto restored = sys.node(home)->fragment("A")->FindExact(victim);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, original_lrid);
+  EXPECT_TRUE(sys.CheckInvariants().ok());
+}
+
+TEST(SystemTxnTest, CommitRecyclesDeferredDeleteSlots) {
+  // The commit epilogue releases slots reserved by transactional deletes;
+  // later inserts on that node may then reuse them (bounded heap growth).
+  SystemConfig cfg = SmallConfig(1);
+  ParallelSystem sys(cfg);
+  ASSERT_TRUE(sys.CreateTable(HashTableDef("A", "a")).ok());
+  Row row = {Value{1}, Value{11}};
+  ASSERT_TRUE(sys.Insert("A", row).ok());
+  auto found = sys.node(0)->fragment("A")->FindExact(row);
+  ASSERT_TRUE(found.ok());
+  LocalRowId freed_lrid = *found;
+
+  uint64_t t = sys.Begin();
+  ASSERT_TRUE(sys.DeleteExact("A", row, t).ok());
+  ASSERT_TRUE(sys.Commit(t).ok());
+
+  // Single node: the next insert must recycle the released slot.
+  ASSERT_TRUE(sys.Insert("A", {Value{2}, Value{22}}).ok());
+  auto reused = sys.node(0)->fragment("A")->FindExact({Value{2}, Value{22}});
+  ASSERT_TRUE(reused.ok());
+  EXPECT_EQ(*reused, freed_lrid);
+  EXPECT_TRUE(sys.CheckInvariants().ok());
+}
+
 TEST(SystemTxnTest, UncommittedTxnLostOnCrash) {
   ParallelSystem sys(SmallConfig());
   ASSERT_TRUE(sys.CreateTable(HashTableDef("A", "a")).ok());
