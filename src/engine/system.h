@@ -97,6 +97,36 @@ struct SystemConfig {
   /// How long a group-commit leader holds the force open so concurrent
   /// committers' appends can join its round.
   int group_commit_window_us = 100;
+  /// Heavy/light skew-adaptive maintenance (view/heavy_light.h). When on,
+  /// ViewManager classifies each delta row by the estimated join fanout of
+  /// its key values (equi-depth histograms over the neighbour columns):
+  /// light rows take the normal eager per-tuple AR/GI/naive path, heavy rows
+  /// are buffered in a per-(view, base) deferred delta and folded in batch —
+  /// amortizing the hot-key probes and view writes, and cancelling
+  /// insert/delete churn before it ever touches the view. Folding restores
+  /// the eagerly-maintained contents exactly (tested byte-for-byte).
+  /// Routing and folds are serialized per ViewManager; the scalable
+  /// concurrent write path is heavy_light = off.
+  bool heavy_light = false;
+  /// Promotion threshold for the classifier: a delta row is heavy when some
+  /// incident join edge's neighbour column matches the row's key with
+  /// estimated fanout >= heavy_key_threshold x that column's average fanout.
+  /// Demotion happens at half this ratio (hysteresis), so a key oscillating
+  /// at the boundary does not thrash between regimes.
+  double heavy_key_threshold = 4.0;
+  /// Buffered heavy-delta rows per view at which a fold is triggered
+  /// automatically (checked after each maintenance transaction commits).
+  /// Folds also run when a delta arrives on a *different* base of the view
+  /// (the deferral invariant requires it), on CheckAllConsistent, and on
+  /// FoldAllDeferred. <= 0 folds only on those events.
+  int deferred_fold_rows = 64;
+  /// Maintenance operations (delta rows) applied to a table since its
+  /// statistics were built at which the classifier's per-fragment equi-depth
+  /// histograms for that table are rebuilt. 0 = build once and never refresh
+  /// (the pre-fix behavior: a sustained skewed stream leaves the classifier
+  /// scoring yesterday's distribution). Only consulted when heavy_light is
+  /// on.
+  int stats_refresh_ops = 1024;
   /// Turns on the global Tracer for this system's lifetime. Also switched on
   /// by the PJVM_TRACE environment variable ("1", or an output path).
   bool trace_enabled = false;

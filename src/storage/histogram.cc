@@ -46,7 +46,10 @@ double EquiDepthHistogram::EstimateEq(const Value& v) const {
              static_cast<double>(bucket.distinct);
     }
   }
-  return 0.0;
+  // Outside every bucket: floor at 1 row (see header). An insert whose key
+  // is beyond the build-time domain is not free — it matches at least the
+  // row being maintained the next time it is probed.
+  return total_rows_ > 0 ? 1.0 : 0.0;
 }
 
 double EquiDepthHistogram::EstimateRange(const Value& lo,

@@ -28,7 +28,11 @@ class EquiDepthHistogram {
   static EquiDepthHistogram Build(std::vector<Value> values, int num_buckets);
 
   /// Estimated number of rows whose column equals `v`: the containing
-  /// bucket's rows / distinct. 0 when outside every bucket.
+  /// bucket's rows / distinct. A value outside every bucket estimates 1 row,
+  /// not 0 — the histogram proves the value was absent at build time, not
+  /// that it is absent now, and a 0 makes never-seen keys look free to the
+  /// delta-aware planner (and unclassifiable to the heavy/light router).
+  /// Only an empty histogram (no rows at build time) estimates 0.
   double EstimateEq(const Value& v) const;
 
   /// Estimated number of rows with value in [lo, hi] (inclusive), assuming

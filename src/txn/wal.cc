@@ -99,9 +99,15 @@ Status Wal::Force(uint64_t lsn) {
   // Leader: hold the force open briefly so concurrent committers' appends
   // join this round, then force everything logged so far in one write.
   force_in_progress_ = true;
-  if (window_us_ > 0) {
+  if (window_us_ > 0 || window_hook_) {
+    // The hook (a test seam) runs with the window open and the log unlocked,
+    // so whatever it appends deterministically joins this round.
+    std::function<void()> hook = window_hook_;
     lock.unlock();
-    std::this_thread::sleep_for(std::chrono::microseconds(window_us_));
+    if (hook) hook();
+    if (window_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(window_us_));
+    }
     lock.lock();
   }
   uint64_t target = next_lsn_ - 1;  // everything appended up to now

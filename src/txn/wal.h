@@ -98,6 +98,16 @@ class Wal {
   /// concurrent leader's force (follower).
   Status Force(uint64_t lsn);
 
+  /// Test seam: invoked (with the log unlocked) by a group-commit leader
+  /// right after it opens its accumulation window and before the device
+  /// write. Whatever the hook appends or triggers is guaranteed to be inside
+  /// the round — the deterministic replacement for "sleep and hope the
+  /// window is still open" in timing tests. Not for production use.
+  void set_window_hook(std::function<void()> hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    window_hook_ = std::move(hook);
+  }
+
   /// Highest LSN guaranteed to survive DiscardUnforced.
   uint64_t durable_lsn() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -150,6 +160,8 @@ class Wal {
   /// becomes the round's recorded batch size.
   uint64_t round_requests_ = 0;
   std::condition_variable force_cv_;
+  /// Test seam; see set_window_hook.
+  std::function<void()> window_hook_;
 };
 
 }  // namespace pjvm

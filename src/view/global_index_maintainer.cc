@@ -140,22 +140,37 @@ Result<std::vector<Maintainer::Partial>> GlobalIndexMaintainer::GlobalIndexStep(
       sys_->executor().RunOnNodes(homes, [&](int gi_home) -> Status {
         SpanGuard span("gi_probe_node", "task", gi_home, &sys_->cost(),
                        MaintenanceMethodToString(method()));
+        // Fold mode (heavy/light deferred folds): the batch repeats a few
+        // hot keys, so the GI rid-list lookup is memoized per distinct key —
+        // one SEARCH serves every duplicate. Eager mode probes per tuple.
+        std::map<std::string, std::map<int, std::vector<LocalRowId>>> memo;
         for (size_t i : at_home[gi_home]) {
           const Partial& p = in[i];
           const Value& key = p.working[key_idx];
-          // One SEARCH in the (clustered-on-key) global index fragment.
-          PJVM_ASSIGN_OR_RETURN(
-              ProbeResult entries,
-              sys_->node(gi_home)->IndexProbe(gi_table, kGiKeyCol, key, txn));
-          ++home_rep[gi_home].probes;
-          // Group the matching global row ids by owning node — the paper's K
-          // nodes.
+          std::map<int, std::vector<LocalRowId>>* grouped = nullptr;
           std::map<int, std::vector<LocalRowId>> rids_by_node;
-          for (const Row& entry : entries.rows) {
-            rids_by_node[static_cast<int>(entry[kGiNodeCol].AsInt64())]
-                .push_back(static_cast<LocalRowId>(entry[kGiLridCol].AsInt64()));
+          auto it = fold_mode_ ? memo.find(key.ToString()) : memo.end();
+          if (it != memo.end()) {
+            grouped = &it->second;
+          } else {
+            // One SEARCH in the (clustered-on-key) global index fragment.
+            PJVM_ASSIGN_OR_RETURN(
+                ProbeResult entries,
+                sys_->node(gi_home)->IndexProbe(gi_table, kGiKeyCol, key, txn));
+            ++home_rep[gi_home].probes;
+            // Group the matching global row ids by owning node — the paper's
+            // K nodes.
+            for (const Row& entry : entries.rows) {
+              rids_by_node[static_cast<int>(entry[kGiNodeCol].AsInt64())]
+                  .push_back(
+                      static_cast<LocalRowId>(entry[kGiLridCol].AsInt64()));
+            }
+            grouped = fold_mode_
+                          ? &memo.emplace(key.ToString(), std::move(rids_by_node))
+                                 .first->second
+                          : &rids_by_node;
           }
-          for (auto& [owner, rids] : rids_by_node) {
+          for (auto& [owner, rids] : *grouped) {
             // "With the global row ids of those tuples residing at that node,
             // the tuple is sent there."
             Message msg;
@@ -166,8 +181,10 @@ Result<std::vector<Maintainer::Partial>> GlobalIndexMaintainer::GlobalIndexStep(
             msg.rows.push_back(p.working);
             msg.rids = rids;
             PJVM_RETURN_NOT_OK(Ship(std::move(msg)));
-            home_work[gi_home].push_back(
-                FetchWork{i, owner, std::move(rids), {}});
+            // The memoized rid lists are shared by later duplicates of the
+            // key, so fold mode copies them into the FetchWork.
+            home_work[gi_home].push_back(FetchWork{
+                i, owner, fold_mode_ ? rids : std::move(rids), {}});
           }
         }
         return Status::OK();
@@ -206,28 +223,48 @@ Result<std::vector<Maintainer::Partial>> GlobalIndexMaintainer::GlobalIndexStep(
           return Status::NotFound("GI step: missing fragment '" +
                                   target_def.name + "'");
         }
+        // Fold mode: duplicates of a key fetch the same rid list, so the
+        // selected-and-projected target tuples are memoized per key — the
+        // heap FETCHes (and their charges) are paid once per distinct key.
+        std::map<std::string, std::vector<Row>> memo;
         for (FetchWork* w : by_owner[owner]) {
           const Partial& p = in[w->partial_idx];
           const Value& key = p.working[key_idx];
-          size_t fetched_rows = 0;
-          for (LocalRowId rid : w->rids) {
-            const Row* row = frag->Get(rid);
-            if (row == nullptr || !((*row)[step.target_col] == key)) {
-              return Status::Internal("GI step: stale global index entry " +
-                                      GlobalRowId{owner, rid}.ToString() +
-                                      " for key " + key.ToString());
+          const std::vector<Row>* needed_rows = nullptr;
+          std::vector<Row> fresh;
+          auto it = fold_mode_ ? memo.find(key.ToString()) : memo.end();
+          if (it != memo.end()) {
+            needed_rows = &it->second;
+          } else {
+            size_t fetched_rows = 0;
+            for (LocalRowId rid : w->rids) {
+              const Row* row = frag->Get(rid);
+              if (row == nullptr || !((*row)[step.target_col] == key)) {
+                return Status::Internal("GI step: stale global index entry " +
+                                        GlobalRowId{owner, rid}.ToString() +
+                                        " for key " + key.ToString());
+              }
+              ++fetched_rows;
+              // Global indexes cover all rows; selections apply post-fetch.
+              if (!bound().RowPassesSelections(step.target_base, *row)) {
+                continue;
+              }
+              fresh.push_back(bound().ProjectNeeded(step.target_base, *row));
             }
-            ++fetched_rows;
-            // Global indexes cover all rows; selections apply post-fetch.
-            if (!bound().RowPassesSelections(step.target_base, *row)) continue;
-            Row needed = bound().ProjectNeeded(step.target_base, *row);
+            // Distributed clustered: one key's matches at a node share a page
+            // (the paper's assumption), so the whole rid list costs one FETCH.
+            // Distributed non-clustered: one FETCH per row.
+            sys_->cost().ChargeFetch(
+                owner,
+                dist_clustered ? (fetched_rows > 0 ? 1 : 0) : fetched_rows);
+            needed_rows =
+                fold_mode_
+                    ? &memo.emplace(key.ToString(), std::move(fresh)).first->second
+                    : &fresh;
+          }
+          for (const Row& needed : *needed_rows) {
             PJVM_RETURN_NOT_OK(Extend(step, p, needed, owner, &w->out));
           }
-          // Distributed clustered: one key's matches at a node share a page
-          // (the paper's assumption), so the whole rid list costs one FETCH.
-          // Distributed non-clustered: one FETCH per row.
-          sys_->cost().ChargeFetch(
-              owner, dist_clustered ? (fetched_rows > 0 ? 1 : 0) : fetched_rows);
         }
         return Status::OK();
       }));

@@ -242,13 +242,31 @@ Status Maintainer::ProbeGroupAtNode(uint64_t txn, const PlanStep& step,
   };
 
   if (choice.algorithm == JoinAlgorithm::kIndexNestedLoops) {
+    // Fold mode: a deferred batch is dominated by a few hot keys, so one
+    // probe per distinct key serves every duplicate (that amortization is
+    // the point of deferring). Eager mode probes per tuple, unmemoized, so
+    // its cost accounting is unchanged.
+    std::map<std::string, ProbeResult> memo;
     for (const Partial* partial : group) {
       const Value& key = partial->working[key_idx];
-      PJVM_ASSIGN_OR_RETURN(
-          ProbeResult probe,
-          n->IndexProbe(target.table, target.probe_col, key, txn));
-      ++report->probes;
-      for (const Row& row : probe.rows) {
+      const ProbeResult* probe = nullptr;
+      ProbeResult fresh;
+      if (fold_mode_) {
+        auto [it, missing] = memo.try_emplace(key.ToString());
+        if (missing) {
+          PJVM_ASSIGN_OR_RETURN(
+              it->second,
+              n->IndexProbe(target.table, target.probe_col, key, txn));
+          ++report->probes;
+        }
+        probe = &it->second;
+      } else {
+        PJVM_ASSIGN_OR_RETURN(
+            fresh, n->IndexProbe(target.table, target.probe_col, key, txn));
+        ++report->probes;
+        probe = &fresh;
+      }
+      for (const Row& row : probe->rows) {
         PJVM_RETURN_NOT_OK(accept(*partial, row));
       }
     }

@@ -132,6 +132,14 @@ class Maintainer {
   Result<MaintenanceReport> ApplyDelta(uint64_t txn, int updated_base,
                                        const DeltaBatch& delta);
 
+  /// Batch-fold mode (heavy/light deferred folds, view/heavy_light.h): the
+  /// delta is a buffered batch dominated by a few hot keys, so probe results
+  /// are memoized per distinct key within a step — one index probe (and one
+  /// GI rid-list fetch) serves every duplicate. Off by default; eager
+  /// maintenance keeps its per-tuple cost accounting bit-exact.
+  void set_fold_mode(bool on) { fold_mode_ = on; }
+  bool fold_mode() const { return fold_mode_; }
+
  protected:
   /// A partial join result: a working row with the bases joined so far
   /// filled in, currently materialized at `node`.
@@ -239,6 +247,7 @@ class Maintainer {
   ParallelSystem* sys_;
   MaterializedView* view_;
   const StructureResolver* resolver_;
+  bool fold_mode_ = false;
 };
 
 }  // namespace pjvm

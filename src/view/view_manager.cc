@@ -303,6 +303,14 @@ Status ViewManager::RegisterView(const JoinViewDef& def,
   return Status::OK();
 }
 
+int ViewManager::BaseIndexOf(const ViewRegistration& reg,
+                             const std::string& table) {
+  for (int i = 0; i < reg.bound.num_bases(); ++i) {
+    if (reg.bound.base_def(i).name == table) return i;
+  }
+  return -1;
+}
+
 Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
                                                   MaintenanceAnalysis* analysis) {
   if (!sys_->catalog().Has(delta.table)) {
@@ -314,6 +322,24 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
     delta.inserts.push_back(std::move(new_row));
   }
   delta.updates.clear();
+
+  // Heavy/light: hold the routing/fold mutex for the whole transaction, and
+  // restore the deferral invariant first — a view buffering deltas of one
+  // base must fold *before* a delta on any other base of it runs, or the
+  // fold would join its buffered rows against neighbours that have moved.
+  const bool hl = classifier_ != nullptr;
+  std::unique_lock<std::mutex> hl_lock;
+  if (hl) {
+    hl_lock = std::unique_lock<std::mutex>(hl_mu_);
+    for (auto& [name, reg] : views_) {
+      int base_idx = BaseIndexOf(reg, delta.table);
+      if (base_idx < 0) continue;
+      const DeferredDeltaStore::Buffer* buf = deferred_.Find(name);
+      if (buf != nullptr && buf->rows() > 0 && buf->base_idx != base_idx) {
+        PJVM_RETURN_NOT_OK(FoldViewLocked(name, reg));
+      }
+    }
+  }
 
   // Per-transaction metering: when an analysis is requested, a TxnMeter is
   // activated around each attempt, so every I/O charge this transaction
@@ -339,8 +365,21 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
                       "/-" + std::to_string(delta.deletes.size()) +
                       (tag != nullptr ? " tenant=" + tag->tenant : ""));
 
+  // Rows the current attempt routed into a view's deferred buffer. Staging
+  // is per attempt and flushed only after Commit, so a wait-die-aborted
+  // attempt neither loses nor duplicates buffered rows.
+  struct StagedRow {
+    const std::string* view;
+    int base_idx;
+    bool is_delete;
+    Row row;
+    GlobalRowId gid;
+  };
+  std::vector<StagedRow> staged;
+
   auto run = [&](uint64_t txn) -> Result<MaintenanceReport> {
     MaintenanceReport total;
+    staged.clear();
     {
       // 1. Update the base relation, capturing each row's global row id.
       //    Deletes must be located before removal (GIs reference their rids).
@@ -370,16 +409,60 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
     }
     // 3. Maintain every dependent view.
     for (auto& [name, reg] : views_) {
-      auto base_idx = [&]() -> int {
-        for (int i = 0; i < reg.bound.num_bases(); ++i) {
-          if (reg.bound.base_def(i).name == delta.table) return i;
-        }
-        return -1;
-      }();
+      int base_idx = BaseIndexOf(reg, delta.table);
       if (base_idx < 0) continue;
       if (reg.timing == MaintenanceTiming::kDeferred) {
         reg.stale = true;  // Brought current later by RefreshView().
         continue;
+      }
+      // Heavy/light routing: heavy rows are staged for the view's deferred
+      // buffer and only the light remainder is maintained eagerly in this
+      // transaction. A delete whose content matches a buffered insert MUST
+      // buffer regardless of its key's class — that insert's derivations
+      // were never applied, so an eager delete would remove view rows that
+      // don't exist (the pair annihilates at flush instead). Symmetrically,
+      // an insert matching a buffered delete buffers and annihilates.
+      const DeltaBatch* effective = &delta;
+      DeltaBatch light;
+      if (hl) {
+        light.table = delta.table;
+        std::map<std::string, int> avail_ins =
+            deferred_.SignedCounts(name, /*deletes=*/false);
+        std::map<std::string, int> avail_del =
+            deferred_.SignedCounts(name, /*deletes=*/true);
+        auto route = [&](bool is_delete, const Row& row,
+                         GlobalRowId gid) -> bool {
+          std::map<std::string, int>& opposite =
+              is_delete ? avail_ins : avail_del;
+          std::map<std::string, int>& same = is_delete ? avail_del : avail_ins;
+          std::string rendered = RowToString(row);
+          auto match = opposite.find(rendered);
+          bool buffer = false;
+          if (match != opposite.end() && match->second > 0) {
+            --match->second;  // Annihilates when the attempt commits.
+            buffer = true;
+          } else if (classifier_->IsHeavy(reg.bound, base_idx, row)) {
+            ++same[rendered];
+            buffer = true;
+          }
+          if (buffer) {
+            staged.push_back(StagedRow{&name, base_idx, is_delete, row, gid});
+          }
+          return buffer;
+        };
+        for (size_t i = 0; i < delta.deletes.size(); ++i) {
+          if (!route(true, delta.deletes[i], delta.delete_gids[i])) {
+            light.deletes.push_back(delta.deletes[i]);
+            light.delete_gids.push_back(delta.delete_gids[i]);
+          }
+        }
+        for (size_t i = 0; i < delta.inserts.size(); ++i) {
+          if (!route(false, delta.inserts[i], delta.insert_gids[i])) {
+            light.inserts.push_back(delta.inserts[i]);
+            light.insert_gids.push_back(delta.insert_gids[i]);
+          }
+        }
+        effective = &light;
       }
       const char* method_str = MaintenanceMethodToString(reg.method);
       std::vector<NodeCounters> view_before;
@@ -388,7 +471,8 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
       SpanGuard view_span("maintain_view", "view", -1, nullptr, method_str);
       view_span.set_detail(name);
       PJVM_ASSIGN_OR_RETURN(MaintenanceReport report,
-                            reg.maintainer->ApplyDelta(txn, base_idx, delta));
+                            reg.maintainer->ApplyDelta(txn, base_idx,
+                                                       *effective));
       uint64_t view_ns = Tracer::NowNs() - view_t0;
       MetricsRegistry::Global()
           .histogram(std::string("pjvm_maintain_view_ns{method=\"") +
@@ -503,6 +587,30 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
     }
   }
 
+  if (hl && result.ok()) {
+    // The transaction committed: flush its staged rows into the deferred
+    // buffers (Append cancels opposite-sign churn), account the stream
+    // against the planner statistics, and fold any buffer that crossed the
+    // size trigger. An error here surfaces even though the delta committed:
+    // the buffers are intact, so nothing is lost, and silent failure would
+    // let them grow without bound.
+    for (StagedRow& s : staged) {
+      deferred_.Append(*s.view, s.base_idx, s.is_delete, std::move(s.row),
+                       s.gid);
+    }
+    classifier_->RecordOps(delta.table,
+                           delta.inserts.size() + delta.deletes.size());
+    UpdateDeferredGauge();
+    const int trigger = sys_->config().deferred_fold_rows;
+    if (trigger > 0) {
+      for (auto& [name, reg] : views_) {
+        if (deferred_.rows(name) >= static_cast<size_t>(trigger)) {
+          PJVM_RETURN_NOT_OK(FoldViewLocked(name, reg));
+        }
+      }
+    }
+  }
+
   const uint64_t txn_ns = Tracer::NowNs() - t0;
   MetricsRegistry::Global().counter("pjvm_maintain_txns")->Increment();
   MetricsRegistry::Global().histogram("pjvm_maintain_txn_ns")->Record(txn_ns);
@@ -543,6 +651,12 @@ Status ViewManager::UnregisterView(const std::string& name) {
   if (it == views_.end()) {
     return Status::NotFound("view '" + name + "' is not registered");
   }
+  if (classifier_ != nullptr) {
+    // Buffered deltas die with the view.
+    std::lock_guard<std::mutex> lock(hl_mu_);
+    deferred_.Clear(name);
+    UpdateDeferredGauge();
+  }
   const ViewRegistration& reg = it->second;
   for (const auto& [base, col] : ProbeColumns(reg.bound)) {
     const TableDef& def = reg.bound.base_def(base);
@@ -574,6 +688,13 @@ Status ViewManager::RefreshView(const std::string& name) {
   if (reg.timing == MaintenanceTiming::kImmediate || !reg.stale) {
     return Status::OK();
   }
+  PJVM_RETURN_NOT_OK(RecomputeAndDiff(name, reg));
+  reg.stale = false;
+  return Status::OK();
+}
+
+Status ViewManager::RecomputeAndDiff(const std::string& name,
+                                     ViewRegistration& reg) {
   // Charge what the recomputation reads: a full scan of every base
   // relation's fragments (sort/hash join passes are subsumed by the
   // engine's memory budget at these scales; a refresh is scan-dominated).
@@ -610,9 +731,7 @@ Status ViewManager::RefreshView(const std::string& name) {
       PJVM_RETURN_NOT_OK(sys_->DeleteExact(name, row, txn));
     }
   }
-  PJVM_RETURN_NOT_OK(sys_->Commit(txn));
-  reg.stale = false;
-  return Status::OK();
+  return sys_->Commit(txn);
 }
 
 Status ViewManager::RefreshAllViews() {
@@ -644,7 +763,138 @@ std::vector<std::string> ViewManager::ViewNames() const {
   return names;
 }
 
+void ViewManager::UpdateDeferredGauge() {
+  MetricsRegistry::Global()
+      .gauge("pjvm_deferred_delta_rows")
+      ->Set(static_cast<double>(deferred_.total_rows()));
+  MetricsRegistry::Global()
+      .gauge("pjvm_deferred_rows_cancelled")
+      ->Set(static_cast<double>(deferred_.cancelled()));
+}
+
+Status ViewManager::FoldViewLocked(const std::string& name,
+                                   ViewRegistration& reg) {
+  const DeferredDeltaStore::Buffer* buf = deferred_.Find(name);
+  if (buf == nullptr || buf->rows() == 0) return Status::OK();
+  static Counter* folds =
+      MetricsRegistry::Global().counter("pjvm_deferred_folds");
+  static Counter* retries_counter =
+      MetricsRegistry::Global().counter("pjvm_maintain_retries");
+  SpanGuard span("deferred_fold", "view", -1, nullptr,
+                 MaintenanceMethodToString(reg.method));
+  span.set_detail(name + " rows=" + std::to_string(buf->rows()));
+
+  // The buffered rows' base and structure updates were applied eagerly when
+  // they arrived, so the fold is pure view maintenance: the same
+  // Maintainer::ApplyDelta contract as step 3 of a normal transaction.
+  DeltaBatch batch;
+  batch.table = reg.bound.base_def(buf->base_idx).name;
+  batch.inserts = buf->inserts;
+  batch.insert_gids = buf->insert_gids;
+  batch.deletes = buf->deletes;
+  batch.delete_gids = buf->delete_gids;
+  const int updated_base = buf->base_idx;
+
+  // Same bounded-retry shape as ApplyDelta: a fold can be the wait-die
+  // victim of a concurrent reader/writer and must back off and re-run under
+  // a fresh transaction id with its lineage's age.
+  const int max_attempts = std::max(1, sys_->config().maintain_max_attempts);
+  const int base_us = sys_->config().maintain_retry_base_us;
+  uint64_t lineage = 0;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    uint64_t txn = sys_->Begin();
+    if (lineage == 0) {
+      lineage = txn;
+    } else {
+      sys_->locks().SetAge(txn, lineage);
+    }
+    Status st = Status::OK();
+    if (sys_->config().enable_locking) {
+      // One fragment-granularity X lock per node on the view table up
+      // front: the fold rewrites many rows of a few hot keys, so per-key
+      // locks would flood the table and escalate anyway (PR 5); taking the
+      // fragment lock first lets the coverage fast path answer every
+      // per-row acquire below it.
+      for (int n = 0; n < sys_->num_nodes() && st.ok(); ++n) {
+        st = sys_->locks().Acquire(txn, LockId::Table(n, name),
+                                   LockMode::kExclusive);
+      }
+    }
+    if (st.ok()) {
+      reg.maintainer->set_fold_mode(true);
+      Result<MaintenanceReport> rep =
+          reg.maintainer->ApplyDelta(txn, updated_base, batch);
+      reg.maintainer->set_fold_mode(false);
+      st = rep.status();
+    }
+    if (st.ok()) {
+      // A commit failure (e.g. an injected crash mid-2PC) is not retryable;
+      // the buffer stays intact for RecoverViews to reconcile.
+      PJVM_RETURN_NOT_OK(sys_->Commit(txn));
+      // Only a durably committed fold empties the buffer: a wait-die victim
+      // retries with every buffered row intact, and a success never
+      // re-applies one.
+      deferred_.Clear(name);
+      UpdateDeferredGauge();
+      folds->Increment();
+      return Status::OK();
+    }
+    sys_->Abort(txn).Check();
+    MetricsRegistry::Global().counter("pjvm_maintain_txns_aborted")->Increment();
+    if (!st.IsAborted() || attempt == max_attempts) return st;
+    retries_counter->Increment();
+    if (base_us > 0) {
+      Rng jitter(txn * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(attempt));
+      int64_t step = static_cast<int64_t>(base_us) << std::min(attempt - 1, 6);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(step + jitter.UniformInt(0, step - 1)));
+    }
+  }
+  return Status::Internal("deferred fold: no attempt ran");
+}
+
+Status ViewManager::FoldView(const std::string& name) {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + name + "' is not registered");
+  }
+  std::lock_guard<std::mutex> lock(hl_mu_);
+  return FoldViewLocked(name, it->second);
+}
+
+Status ViewManager::FoldAllDeferred() {
+  std::lock_guard<std::mutex> lock(hl_mu_);
+  for (auto& [name, reg] : views_) {
+    PJVM_RETURN_NOT_OK(FoldViewLocked(name, reg));
+  }
+  return Status::OK();
+}
+
+size_t ViewManager::DeferredRows(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(hl_mu_);
+  return deferred_.rows(name);
+}
+
+Status ViewManager::RecoverViews() {
+  PJVM_RETURN_NOT_OK(gis_.RebuildAll());
+  std::lock_guard<std::mutex> lock(hl_mu_);
+  for (auto& [name, reg] : views_) {
+    if (deferred_.rows(name) == 0) continue;
+    // The buffered rows' base effects were recovered from the WAL, but
+    // their gids reference pre-crash heap positions (rids are not stable
+    // across a heap rebuild). Discard the buffer and reconcile the view
+    // from the recovered bases instead.
+    deferred_.Clear(name);
+    PJVM_RETURN_NOT_OK(RecomputeAndDiff(name, reg));
+  }
+  UpdateDeferredGauge();
+  return Status::OK();
+}
+
 Status ViewManager::CheckAllConsistent() {
+  // Buffered heavy-key deltas are view work the system still owes; the
+  // oracle compares settled state, so fold everything first.
+  if (classifier_ != nullptr) PJVM_RETURN_NOT_OK(FoldAllDeferred());
   for (auto& [name, reg] : views_) {
     // A stale deferred view is *expected* to lag; only fresh contents are
     // held to the oracle.

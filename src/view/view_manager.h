@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "engine/system.h"
 #include "view/ar_minimizer.h"
 #include "view/explain.h"
+#include "view/heavy_light.h"
 #include "view/maintainer.h"
 #include "view/materialized_view.h"
 #include "view/view_def.h"
@@ -104,7 +106,13 @@ struct ViewRegistration {
 class ViewManager : public StructureResolver {
  public:
   explicit ViewManager(ParallelSystem* sys)
-      : sys_(sys), ars_(sys), gis_(sys) {}
+      : sys_(sys), ars_(sys), gis_(sys) {
+    if (sys->config().heavy_light) {
+      classifier_ = std::make_unique<HeavyLightClassifier>(
+          sys, sys->config().heavy_key_threshold,
+          sys->config().stats_refresh_ops);
+    }
+  }
 
   ParallelSystem* system() { return sys_; }
 
@@ -172,6 +180,27 @@ class ViewManager : public StructureResolver {
   /// Rebuilds the global indexes from base tables (run after Recover()).
   Status RebuildGlobalIndexes() { return gis_.RebuildAll(); }
 
+  /// Full post-crash view recovery: rebuilds the global indexes, then
+  /// reconciles any view with buffered heavy-key deltas. Buffered gids
+  /// reference pre-crash heap positions (and the base rows the buffered
+  /// txns wrote *are* recovered), so the buffers are discarded and each
+  /// affected view is brought current by recompute-and-diff instead.
+  Status RecoverViews();
+
+  /// Folds one view's buffered heavy-key deltas into the view, in its own
+  /// bounded-retry transaction under fragment-level view locks. No-op when
+  /// nothing is buffered (or heavy/light is off).
+  Status FoldView(const std::string& name);
+  /// Folds every view's buffer (run before comparing against the oracle, at
+  /// a bench window's end, etc.).
+  Status FoldAllDeferred();
+  /// Buffered heavy-delta rows for one view.
+  size_t DeferredRows(const std::string& name) const;
+
+  /// The heavy/light classifier; nullptr when SystemConfig::heavy_light is
+  /// off.
+  HeavyLightClassifier* classifier() { return classifier_.get(); }
+
   ArRegistry& ars() { return ars_; }
   GiRegistry& gis() { return gis_; }
 
@@ -190,11 +219,30 @@ class ViewManager : public StructureResolver {
   Status CreateStructures(const BoundView& bound, MaintenanceMethod method);
   /// (base table, full column) pairs that some maintenance step may probe.
   static std::vector<std::pair<int, int>> ProbeColumns(const BoundView& bound);
+  /// Index of `table` within `reg`'s bases, or -1.
+  static int BaseIndexOf(const ViewRegistration& reg, const std::string& table);
+
+  /// Recomputes `name` from scratch and applies the bag difference to the
+  /// stored contents in one transaction (the deferred-refresh / recovery
+  /// reconciliation primitive).
+  Status RecomputeAndDiff(const std::string& name, ViewRegistration& reg);
+  /// FoldView body; requires hl_mu_ held.
+  Status FoldViewLocked(const std::string& name, ViewRegistration& reg);
+  void UpdateDeferredGauge();
 
   ParallelSystem* sys_;
   ArRegistry ars_;
   GiRegistry gis_;
   std::map<std::string, ViewRegistration> views_;
+
+  // Heavy/light deferred maintenance (SystemConfig::heavy_light). hl_mu_
+  // serializes routing decisions, buffer mutation, and folds: a fold joins
+  // buffered rows against the neighbours' *current* state, which must not
+  // move while it runs. The scalable concurrent write path is heavy_light
+  // off; see the knob's doc in engine/system.h.
+  mutable std::mutex hl_mu_;
+  std::unique_ptr<HeavyLightClassifier> classifier_;
+  DeferredDeltaStore deferred_;
 };
 
 }  // namespace pjvm

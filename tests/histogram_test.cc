@@ -17,7 +17,28 @@ TEST(HistogramTest, EmptyAndDegenerate) {
   EXPECT_DOUBLE_EQ(empty.EstimateEq(Value{1}), 0.0);
   EquiDepthHistogram one = EquiDepthHistogram::Build({Value{5}}, 4);
   EXPECT_DOUBLE_EQ(one.EstimateEq(Value{5}), 1.0);
-  EXPECT_DOUBLE_EQ(one.EstimateEq(Value{6}), 0.0);
+  // A value outside every bucket floors at 1 row (not 0): the histogram
+  // proves it was absent at build time, not that it is absent now.
+  EXPECT_DOUBLE_EQ(one.EstimateEq(Value{6}), 1.0);
+}
+
+TEST(HistogramTest, NeverSeenKeyFloorsAtOneRow) {
+  // Regression: EstimateEq returned 0 for any value outside every bucket,
+  // so inserts beyond the build-time domain looked free to the delta-aware
+  // planner and could never be classified heavy. Probe both sides of the
+  // domain and the gap between buckets.
+  std::vector<Value> values;
+  for (int64_t k = 10; k < 20; ++k) values.push_back(Value{k});
+  for (int64_t k = 40; k < 50; ++k) values.push_back(Value{k});
+  EquiDepthHistogram hist = EquiDepthHistogram::Build(std::move(values), 2);
+  EXPECT_DOUBLE_EQ(hist.EstimateEq(Value{int64_t{9}}), 1.0);   // below domain
+  EXPECT_DOUBLE_EQ(hist.EstimateEq(Value{int64_t{50}}), 1.0);  // above domain
+  // Boundary values stay exact.
+  EXPECT_GE(hist.EstimateEq(Value{int64_t{10}}), 1.0);
+  EXPECT_GE(hist.EstimateEq(Value{int64_t{49}}), 1.0);
+  // Only an empty histogram may estimate zero.
+  EquiDepthHistogram empty = EquiDepthHistogram::Build({}, 2);
+  EXPECT_DOUBLE_EQ(empty.EstimateEq(Value{int64_t{9}}), 0.0);
 }
 
 TEST(HistogramTest, UniformDataEstimatesFanout) {

@@ -135,19 +135,25 @@ TEST(GroupCommitTest, LeaderBatchesConcurrentForces) {
 TEST(GroupCommitTest, WindowFlushCoversAppendsThatJoinTheRound) {
   // An append made while the leader's accumulation window is open becomes
   // durable in that same round: the leader's target is snapshotted after
-  // the window.
+  // the window. The window hook injects the append deterministically —
+  // sleeping into a wall-clock window flakes under parallel ctest on a
+  // 1-core host, where the leader may finish its round before this thread
+  // is ever scheduled again.
   Wal wal;
   wal.ConfigureForce(/*force_ns=*/1'000'000, /*group_commit=*/true,
-                     /*window_us=*/200'000);
+                     /*window_us=*/0);
   LatencyHistogram* batches = MetricsRegistry::Global().histogram(
       "pjvm_group_commit_batch_size");
   const HistogramData before = batches->Snapshot();
+  uint64_t lsn2 = 0;
+  wal.set_window_hook([&] {
+    // Runs on the leader thread with its window open and the log unlocked.
+    lsn2 = wal.Append({0, 2, LogRecordType::kPrepare, "", {}});
+  });
   uint64_t lsn1 = wal.Append({0, 1, LogRecordType::kPrepare, "", {}});
-  std::thread leader([&] { EXPECT_TRUE(wal.Force(lsn1).ok()); });
-  // Join the open window (200ms) well before it closes.
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  uint64_t lsn2 = wal.Append({0, 2, LogRecordType::kPrepare, "", {}});
-  leader.join();
+  ASSERT_TRUE(wal.Force(lsn1).ok());
+  wal.set_window_hook(nullptr);
+  ASSERT_NE(lsn2, 0u);
   EXPECT_GE(wal.durable_lsn(), lsn2);
   ASSERT_TRUE(wal.Force(lsn2).ok());  // already covered: free
   const HistogramData after = batches->Snapshot();
@@ -265,16 +271,27 @@ TEST(GroupCommitTest, CheckpointRidesOutInFlightForceRound) {
   // append made mid-window — the checkpoint then truncates for free.
   Wal wal;
   wal.ConfigureForce(/*force_ns=*/1'000'000, /*group_commit=*/true,
-                     /*window_us=*/100'000);
+                     /*window_us=*/0);
   Counter* forces =
       MetricsRegistry::Global().counter("pjvm_wal_checkpoint_forces");
   const uint64_t before = forces->value();
   uint64_t lsn1 = wal.Append({0, 1, LogRecordType::kPrepare, "", {}});
-  std::thread leader([&] { EXPECT_TRUE(wal.Force(lsn1).ok()); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
-  uint64_t lsn2 = wal.Append({0, 2, LogRecordType::kPrepare, "", {}});
-  wal.Clear();  // rides out the leader's round, which covers lsn2
-  leader.join();
+  uint64_t lsn2 = 0;
+  std::thread checkpointer;
+  // The window hook replaces the old sleep-into-the-window choreography
+  // (flaky under parallel ctest on a 1-core host): it runs on the leader
+  // thread while the round is provably open, appends lsn2 into the round,
+  // and launches the checkpoint. Whether Clear() then blocks on the open
+  // round or arrives just after it closed, the round's force covers lsn2
+  // and the checkpoint never pays a device write of its own.
+  wal.set_window_hook([&] {
+    lsn2 = wal.Append({0, 2, LogRecordType::kPrepare, "", {}});
+    checkpointer = std::thread([&] { wal.Clear(); });
+  });
+  ASSERT_TRUE(wal.Force(lsn1).ok());
+  checkpointer.join();
+  wal.set_window_hook(nullptr);
+  ASSERT_NE(lsn2, 0u);
   EXPECT_EQ(forces->value(), before);  // no extra checkpoint force
   EXPECT_GE(wal.durable_lsn(), lsn2);
   EXPECT_EQ(wal.size(), 0u);
