@@ -5,6 +5,13 @@
 // (a) full-copy auxiliary relations, (b) projection-minimized ARs, (c)
 // selection+projection-minimized ARs, and (d) global indexes. Also
 // demonstrates AR sharing: two views on the same join attribute use one AR.
+//
+// The final section sweeps the merged co-clustered layout
+// (SystemConfig::merged_ar_storage, view/merged_storage.h) against the
+// separate layout on the same customer-insert delta stream, reporting
+// per-delta maintenance I/O — searches, fetches, writes, sends, and tree
+// descents — and verifying the two layouts' view contents are
+// fingerprint-identical.
 
 #include <cstdio>
 
@@ -51,6 +58,60 @@ size_t LineitemGiBytes(const JoinViewDef& def) {
     }
   }
   return 0;
+}
+
+// One layout's run over the merged-vs-separate delta sweep.
+struct LayoutRun {
+  NodeCounters totals;          // Summed over nodes, deltas only.
+  uint64_t range_ops = 0;       // Merged range descents (0 for separate).
+  size_t merged_bytes = 0;      // Merged trees' footprint (0 for separate).
+  size_t jv1_bytes = 0;         // JV1's TableBytes (incl. overlay).
+  std::map<std::string, int> jv1;  // View fingerprints after the stream.
+  std::map<std::string, int> jv2;
+};
+
+std::map<std::string, int> Fingerprint(ViewManager* manager,
+                                       const std::string& name) {
+  std::map<std::string, int> bag;
+  for (const Row& row : manager->view(name)->Contents()) {
+    bag[RowToString(row)]++;
+  }
+  return bag;
+}
+
+LayoutRun RunDeltaSweep(bool merged, int deltas) {
+  SystemConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.rows_per_page = 16;
+  cfg.merged_ar_storage = merged;
+  auto sys = std::make_unique<ParallelSystem>(cfg);
+  TpcrConfig tpcr;
+  tpcr.customers = 1000;
+  tpcr.extra_customer_keys = 256;
+  LoadTpcr(sys.get(), GenerateTpcr(tpcr)).Check();
+  ViewManager manager(sys.get());
+  manager.RegisterView(MakeJv1(), MaintenanceMethod::kAuxRelation).Check();
+  manager.RegisterView(MakeJv2(), MaintenanceMethod::kAuxRelation).Check();
+
+  MergedViewStorage* store = manager.merged_storage("JV1");
+  uint64_t range_ops_before = store != nullptr ? store->range_ops() : 0;
+  sys->cost().Reset();
+  for (int i = 0; i < deltas; ++i) {
+    manager
+        .ApplyDelta(
+            DeltaBatch::Inserts("customer", {MakeDeltaCustomer(tpcr, i)}))
+        .status()
+        .Check();
+  }
+  LayoutRun run;
+  for (const NodeCounters& c : sys->cost().Snapshot()) run.totals += c;
+  run.range_ops = store != nullptr ? store->range_ops() - range_ops_before : 0;
+  run.merged_bytes = store != nullptr ? store->TreeBytes() : 0;
+  run.jv1_bytes = sys->TableBytes("JV1");
+  run.jv1 = Fingerprint(&manager, "JV1");
+  run.jv2 = Fingerprint(&manager, "JV2");
+  manager.CheckAllConsistent().Check();
+  return run;
 }
 
 }  // namespace
@@ -134,6 +195,67 @@ int main() {
         .Key("growth_factor").Num(double(two_views) / one_view)
         .EndObject();
     report.Add("ar_sharing", sharing.str());
+  }
+
+  // Merged co-clustered layout vs separate structures, same delta stream.
+  {
+    const int kDeltas = 40;
+    LayoutRun separate = RunDeltaSweep(/*merged=*/false, kDeltas);
+    LayoutRun merged = RunDeltaSweep(/*merged=*/true, kDeltas);
+    bool identical = separate.jv1 == merged.jv1 && separate.jv2 == merged.jv2;
+    double descent_drop =
+        separate.totals.descents == 0
+            ? 0.0
+            : 1.0 - double(merged.totals.descents) /
+                        double(separate.totals.descents);
+    bench::PrintHeader(
+        "Merged co-clustered storage vs separate structures (per-delta I/O)");
+    std::printf("%-22s %12s %12s\n", "per-delta average", "separate", "merged");
+    auto per = [&](uint64_t v) { return double(v) / kDeltas; };
+    std::printf("%-22s %12.2f %12.2f\n", "searches",
+                per(separate.totals.searches), per(merged.totals.searches));
+    std::printf("%-22s %12.2f %12.2f\n", "fetches",
+                per(separate.totals.fetches), per(merged.totals.fetches));
+    std::printf("%-22s %12.2f %12.2f\n", "writes",
+                per(separate.totals.inserts), per(merged.totals.inserts));
+    std::printf("%-22s %12.2f %12.2f\n", "sends", per(separate.totals.sends),
+                per(merged.totals.sends));
+    std::printf("%-22s %12.2f %12.2f  (-%.0f%%)\n", "tree descents",
+                per(separate.totals.descents), per(merged.totals.descents),
+                descent_drop * 100);
+    std::printf("%-22s %12s %12.2f\n", "merged range ops", "-",
+                per(merged.range_ops));
+    std::printf("merged trees: %zu bytes (JV1 TableBytes %zu -> %zu)\n",
+                merged.merged_bytes, separate.jv1_bytes, merged.jv1_bytes);
+    std::printf("view fingerprints identical: %s\n",
+                identical ? "yes" : "NO -- BUG");
+    bench::JsonWriter sweep;
+    sweep.BeginObject()
+        .Key("deltas").Int(kDeltas)
+        .Key("separate").BeginObject()
+        .Key("searches").Uint(separate.totals.searches)
+        .Key("fetches").Uint(separate.totals.fetches)
+        .Key("writes").Uint(separate.totals.inserts)
+        .Key("sends").Uint(separate.totals.sends)
+        .Key("descents").Uint(separate.totals.descents)
+        .EndObject()
+        .Key("merged").BeginObject()
+        .Key("searches").Uint(merged.totals.searches)
+        .Key("fetches").Uint(merged.totals.fetches)
+        .Key("writes").Uint(merged.totals.inserts)
+        .Key("sends").Uint(merged.totals.sends)
+        .Key("descents").Uint(merged.totals.descents)
+        .Key("range_ops").Uint(merged.range_ops)
+        .Key("tree_bytes").Uint(merged.merged_bytes)
+        .EndObject()
+        .Key("descent_reduction").Num(descent_drop)
+        .Key("fingerprints_identical").Bool(identical)
+        .EndObject();
+    report.Add("merged_layout_sweep", sweep.str());
+    if (!identical) {
+      std::printf("ERROR: merged layout diverged from separate layout\n");
+      return 1;
+    }
   }
   report.Write();
   return 0;

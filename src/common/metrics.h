@@ -37,6 +37,13 @@ struct NodeCounters {
   uint64_t base_writes = 0;
   uint64_t structure_writes = 0;
   uint64_t view_writes = 0;
+  /// Tree descents: root-to-leaf traversals of any key-ordered structure
+  /// (index probe, per-index maintenance on a write, merged-tree range
+  /// descent). A locality metric, NOT part of the paper's cost model — it is
+  /// excluded from IO()/ComputeIO() so TW/RT stay bit-identical whether or
+  /// not descents are counted. The merged-storage ablation compares layouts
+  /// by this number.
+  uint64_t descents = 0;
 
   /// Weighted I/O total for this node (the paper's per-node work, which
   /// drives response time as the max over nodes).
@@ -59,6 +66,7 @@ struct NodeCounters {
     base_writes += o.base_writes;
     structure_writes += o.structure_writes;
     view_writes += o.view_writes;
+    descents += o.descents;
     return *this;
   }
   friend NodeCounters operator-(NodeCounters a, const NodeCounters& b) {
@@ -70,6 +78,7 @@ struct NodeCounters {
     a.base_writes -= b.base_writes;
     a.structure_writes -= b.structure_writes;
     a.view_writes -= b.view_writes;
+    a.descents -= b.descents;
     return a;
   }
 };
@@ -101,6 +110,7 @@ class CostTracker {
     std::atomic<uint64_t> base_writes{0};
     std::atomic<uint64_t> structure_writes{0};
     std::atomic<uint64_t> view_writes{0};
+    std::atomic<uint64_t> descents{0};
 
     NodeCounters Load() const {
       NodeCounters c;
@@ -112,6 +122,7 @@ class CostTracker {
       c.base_writes = base_writes.load(std::memory_order_relaxed);
       c.structure_writes = structure_writes.load(std::memory_order_relaxed);
       c.view_writes = view_writes.load(std::memory_order_relaxed);
+      c.descents = descents.load(std::memory_order_relaxed);
       return c;
     }
     void Clear() {
@@ -123,6 +134,7 @@ class CostTracker {
       base_writes.store(0, std::memory_order_relaxed);
       structure_writes.store(0, std::memory_order_relaxed);
       view_writes.store(0, std::memory_order_relaxed);
+      descents.store(0, std::memory_order_relaxed);
     }
   };
 
@@ -243,6 +255,15 @@ class CostTracker {
       m->nodes_[node].bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
     }
     // No stall: the paper's SEND weight is ~0 against SEARCH/FETCH/INSERT.
+  }
+  /// Counts `n` root-to-leaf tree descents on `node`. A pure locality
+  /// metric: no Stall, no contribution to IO()/TW/RT — the paper's model is
+  /// unchanged; the merged-storage ablation reads this to compare layouts.
+  void ChargeDescent(int node, uint64_t n = 1) {
+    nodes_[node].descents.fetch_add(n, std::memory_order_relaxed);
+    if (TxnMeter* m = active_meter_) {
+      m->nodes_[node].descents.fetch_add(n, std::memory_order_relaxed);
+    }
   }
   /// Charges extra I/Os that are not one of the three primitives (e.g. the
   /// page reads/writes of an external sort); counted as fetches.

@@ -271,6 +271,9 @@ Result<LocalRowId> Node::Insert(uint64_t txn_id, const std::string& table,
                                    std::move(undo_row), lrid});
   }
   tracker_->ChargeWrite(id_, WriteKindOf(table));
+  // Each secondary access path descends once to splice the new row in; an
+  // indexless fragment (merged-layout member) touches only the heap.
+  if (frag->has_indexes()) tracker_->ChargeDescent(id_, frag->num_indexes());
   if (snaps_ != nullptr && frag->mvcc_enabled()) {
     RecordVersionOp(txn_id, table, frag, MvccOp::Kind::kInsert,
                     *frag->Get(lrid));
@@ -316,6 +319,7 @@ Status Node::DeleteExact(uint64_t txn_id, const std::string& table,
   if (transactional) deferred_frees_[txn_id].emplace_back(table, lrid);
   // The write itself is INSERT-weighted (one page read-modify-write).
   tracker_->ChargeWrite(id_, WriteKindOf(table));
+  if (frag->has_indexes()) tracker_->ChargeDescent(id_, frag->num_indexes());
   if (snaps_ != nullptr && frag->mvcc_enabled()) {
     RecordVersionOp(txn_id, table, frag, MvccOp::Kind::kDelete, row);
   }
@@ -343,6 +347,7 @@ Result<ProbeResult> Node::IndexProbe(const std::string& table, int column,
                                    "' at node " + std::to_string(id_));
   }
   tracker_->ChargeSearch(id_);
+  tracker_->ChargeDescent(id_);
   PJVM_ASSIGN_OR_RETURN(ProbeResult result, frag->Probe(column, key));
   if (!index->clustered) {
     tracker_->ChargeFetch(id_, result.rows.size());

@@ -298,7 +298,27 @@ size_t ParallelSystem::TableBytes(const std::string& table) const {
     const TableFragment* frag = node->fragment(table);
     if (frag != nullptr) bytes += frag->byte_size();
   }
+  std::function<size_t()> overlay;
+  {
+    std::lock_guard<std::mutex> lock(overlay_mu_);
+    auto it = storage_overlays_.find(table);
+    if (it != storage_overlays_.end()) overlay = it->second;
+  }
+  // Invoked outside overlay_mu_ and the node latches: the callback latches
+  // the nodes itself (lock order latch-after-overlay_mu_ would invert).
+  if (overlay) bytes += overlay();
   return bytes;
+}
+
+void ParallelSystem::SetStorageOverlay(const std::string& table,
+                                       std::function<size_t()> bytes_fn) {
+  std::lock_guard<std::mutex> lock(overlay_mu_);
+  storage_overlays_[table] = std::move(bytes_fn);
+}
+
+void ParallelSystem::ClearStorageOverlay(const std::string& table) {
+  std::lock_guard<std::mutex> lock(overlay_mu_);
+  storage_overlays_.erase(table);
 }
 
 size_t ParallelSystem::TablePages(const std::string& table) const {

@@ -1,6 +1,7 @@
 #ifndef PJVM_ENGINE_SYSTEM_H_
 #define PJVM_ENGINE_SYSTEM_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -127,6 +128,18 @@ struct SystemConfig {
   /// scoring yesterday's distribution). Only consulted when heavy_light is
   /// on.
   int stats_refresh_ops = 1024;
+  /// Merged co-clustered storage for the AR method (view/merged_storage.h,
+  /// leanstore's MergedAdapter idiom). When on, each eligible AR-maintained
+  /// view registers a per-node B+-tree whose composite key
+  /// (join_key, source_tag, source_pk) interleaves the co-partitioned base
+  /// rows, the foreign AR rows, and the view tuples for that join key; the
+  /// cluster members then carry NO per-structure indexes, and a maintenance
+  /// delta becomes one range descent plus in-range edits under one
+  /// fragment-range lock instead of probes and key locks across several
+  /// B+-trees. View contents are fingerprint-identical to the separate
+  /// layout (tested); heap tables stay the recovery/MVCC source of truth and
+  /// the merged structure is rebuilt from them in RecoverViews.
+  bool merged_ar_storage = false;
   /// Turns on the global Tracer for this system's lifetime. Also switched on
   /// by the PJVM_TRACE environment variable ("1", or an output path).
   bool trace_enabled = false;
@@ -216,8 +229,19 @@ class ParallelSystem {
   /// All rows of `table` across all nodes (no cost charged; test utility).
   std::vector<Row> ScanAll(const std::string& table) const;
   size_t RowCount(const std::string& table) const;
+  /// Heap bytes of `table` plus any storage overlays registered against it
+  /// (a view's merged co-clustered tree reports its bytes on the owning
+  /// view's storage line — see SetStorageOverlay).
   size_t TableBytes(const std::string& table) const;
   size_t TablePages(const std::string& table) const;
+
+  /// Attributes extra storage to `table`'s TableBytes line: `bytes_fn` is
+  /// invoked (unlatched — it must synchronize itself) on every TableBytes
+  /// call for that table. Used by the merged storage layer so the ablation's
+  /// byte counts stay honest about where the co-clustered tree's pages live.
+  void SetStorageOverlay(const std::string& table,
+                         std::function<size_t()> bytes_fn);
+  void ClearStorageOverlay(const std::string& table);
 
   /// Rows with `column` = `key`. Routed to the single owning node when
   /// `column` is the partitioning column, otherwise fanned out to all nodes
@@ -297,6 +321,10 @@ class ParallelSystem {
   // on the hot write path.
   std::mutex round_robin_mu_;
   std::map<std::string, uint64_t> round_robin_;
+  // Storage overlays (table -> extra-bytes callback); guarded for the same
+  // reason as round_robin_ — registration and reads can race.
+  mutable std::mutex overlay_mu_;
+  std::map<std::string, std::function<size_t()>> storage_overlays_;
   // Declared last: destroyed (joined) first, while nodes are still alive.
   std::unique_ptr<NodeExecutor> executor_;
 };

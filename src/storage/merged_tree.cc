@@ -1,0 +1,158 @@
+#include "storage/merged_tree.h"
+
+#include <cstring>
+
+namespace pjvm {
+namespace mergedkey {
+
+namespace {
+
+void AppendBigEndian64(uint64_t v, std::string* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+}  // namespace
+
+std::string EncodeValueOrdered(const Value& v) {
+  std::string out;
+  switch (v.type()) {
+    case ValueType::kInt64: {
+      out.push_back('\x01');
+      // Flipping the sign bit maps the signed order onto the unsigned
+      // (byte-lexicographic) order.
+      AppendBigEndian64(static_cast<uint64_t>(v.AsInt64()) ^
+                            (uint64_t{1} << 63),
+                        &out);
+      break;
+    }
+    case ValueType::kDouble: {
+      out.push_back('\x02');
+      double d = v.AsDouble();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d), "IEEE-754 double expected");
+      std::memcpy(&bits, &d, sizeof(bits));
+      // IEEE-754 total-order transform: negatives (sign bit set) reverse
+      // under byte order, so flip all their bits; non-negatives just need
+      // the sign bit set to sort above every negative.
+      if (bits >> 63 != 0) {
+        bits = ~bits;
+      } else {
+        bits |= uint64_t{1} << 63;
+      }
+      AppendBigEndian64(bits, &out);
+      break;
+    }
+    case ValueType::kString: {
+      out.push_back('\x03');
+      for (char c : v.AsString()) {
+        if (c == '\0') {
+          // Escape NUL so the {0x00,0x00} terminator stays unique; the
+          // 0xFF continuation keeps "a\0..." sorting above "a".
+          out.push_back('\x00');
+          out.push_back('\xFF');
+        } else {
+          out.push_back(c);
+        }
+      }
+      out.push_back('\x00');
+      out.push_back('\x00');
+      break;
+    }
+  }
+  return out;
+}
+
+std::string KeyPrefix(const Value& join_key) {
+  return EncodeValueOrdered(join_key);
+}
+
+Value EncodeComposite(const Value& join_key, uint8_t tag, const Row& pk) {
+  std::string key = KeyPrefix(join_key);
+  key.push_back(static_cast<char>(tag));
+  for (const Value& v : pk) key += EncodeValueOrdered(v);
+  return Value(std::move(key));
+}
+
+Value RangeLo(const Value& join_key) { return Value(KeyPrefix(join_key)); }
+
+Value RangeHi(const Value& join_key) {
+  std::string hi = KeyPrefix(join_key);
+  hi.push_back('\xFF');  // Above every tag byte; below every other prefix.
+  return Value(std::move(hi));
+}
+
+uint8_t DecodeTag(const std::string& composite, size_t prefix_len) {
+  return static_cast<uint8_t>(composite[prefix_len]);
+}
+
+}  // namespace mergedkey
+
+void MergedTreeFragment::InsertEntry(const Value& join_key, uint8_t tag,
+                                     const Row& pk, const Row& row) {
+  Value key = mergedkey::EncodeComposite(join_key, tag, pk);
+  bytes_ += key.ByteSize() + RowByteSize(row);
+  tree_.Insert(key, row);
+}
+
+Status MergedTreeFragment::RemoveEntry(const Value& join_key, uint8_t tag,
+                                       const Row& pk, const Row& row) {
+  Value key = mergedkey::EncodeComposite(join_key, tag, pk);
+  PJVM_RETURN_NOT_OK(tree_.Remove(key, row));
+  bytes_ -= key.ByteSize() + RowByteSize(row);
+  return Status::OK();
+}
+
+void MergedTreeFragment::ScanKey(
+    const Value& join_key,
+    const std::function<bool(uint8_t, const Row&)>& fn) const {
+  const size_t prefix_len = mergedkey::KeyPrefix(join_key).size();
+  tree_.ScanRange(mergedkey::RangeLo(join_key), mergedkey::RangeHi(join_key),
+                  [&](const Value& key, const Row& row) {
+                    return fn(mergedkey::DecodeTag(key.AsString(), prefix_len),
+                              row);
+                  });
+}
+
+void MergedTreeFragment::ForEach(
+    const std::function<bool(uint8_t, const Row&)>& fn) const {
+  bool keep_going = true;
+  tree_.ForEachEntry([&](const Value& key,
+                         const BPlusTree<Row>::PostingList& list) {
+    // The tag sits right after the join-key prefix; the prefix is
+    // self-delimiting (fixed width for numerics, {0,0}-terminated for
+    // strings), so walk it instead of re-encoding.
+    const std::string& k = key.AsString();
+    size_t prefix_len = 0;
+    switch (k[0]) {
+      case '\x01':
+      case '\x02':
+        prefix_len = 9;
+        break;
+      default: {  // '\x03': scan for the unescaped {0x00,0x00} terminator.
+        size_t i = 1;
+        while (!(k[i] == '\0' && k[i + 1] == '\0')) {
+          i += (k[i] == '\0') ? 2 : 1;
+        }
+        prefix_len = i + 2;
+        break;
+      }
+    }
+    uint8_t tag = mergedkey::DecodeTag(k, prefix_len);
+    for (const Row& row : list) {
+      if (!fn(tag, row)) {
+        keep_going = false;
+        return false;
+      }
+    }
+    return keep_going;
+  });
+}
+
+void MergedTreeFragment::Clear() {
+  tree_ = BPlusTree<Row>();
+  bytes_ = 0;
+}
+
+}  // namespace pjvm

@@ -1,0 +1,117 @@
+#ifndef PJVM_STORAGE_MERGED_TREE_H_
+#define PJVM_STORAGE_MERGED_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/btree.h"
+
+namespace pjvm {
+
+/// \brief Order-preserving composite-key codec for merged co-clustered
+/// storage (leanstore's MergedAdapter idiom).
+///
+/// A merged tree interleaves the rows of several source structures (local
+/// base fragments, foreign ARs) and the view tuples for one join key under a
+/// single B+-tree, keyed by the composite
+///
+///     (join_key, source_tag, source_pk)
+///
+/// flattened into ONE byte string whose lexicographic order equals the
+/// lexicographic order of the components. All rows for one join key are then
+/// physically contiguous: a maintenance delta descends once to the key's
+/// range and performs every probe and edit in-range.
+///
+/// Encoding of a single Value (order-preserving within and across rows of
+/// the same schema; a leading type byte keeps same-typed columns aligned):
+///  - INT64  -> 0x01, then 8 bytes big-endian of (uint64)v XOR (1 << 63)
+///  - DOUBLE -> 0x02, then 8 bytes big-endian of the IEEE-754 bits with the
+///              standard total-order transform (negative: all bits flipped;
+///              non-negative: sign bit set)
+///  - STRING -> 0x03, then the bytes with 0x00 escaped as {0x00,0xFF},
+///              terminated by {0x00,0x00} (prefix-free, order-preserving)
+///
+/// The source tag byte orders base/AR members (kSourceTagFirst + member
+/// index) before the view tuples (kViewTag), so a range scan yields the join
+/// inputs first and the joined outputs last — the physical layout of
+/// snippet 2's merged (key, B-rec, C-rec, joined-rec) clustering.
+namespace mergedkey {
+
+/// Tag of the i-th source (base or AR) member of a merged cluster.
+inline constexpr uint8_t kSourceTagFirst = 0x10;
+/// Tag of the materialized-view tuples (sorts after every source tag).
+inline constexpr uint8_t kViewTag = 0x7E;
+
+/// Order-preserving encoding of one Value (see class comment).
+std::string EncodeValueOrdered(const Value& v);
+
+/// The range prefix shared by every composite key with this join key.
+std::string KeyPrefix(const Value& join_key);
+
+/// Full composite key: prefix(join_key) + tag + encoded pk columns.
+Value EncodeComposite(const Value& join_key, uint8_t tag, const Row& pk);
+
+/// Inclusive range [RangeLo, RangeHi] covering exactly the composite keys
+/// whose join-key component equals `join_key` (the codec is prefix-free, so
+/// prefix + 0xFF upper-bounds the prefix's extensions and nothing else).
+Value RangeLo(const Value& join_key);
+Value RangeHi(const Value& join_key);
+
+/// Source tag of a composite key, given its join-key prefix length.
+uint8_t DecodeTag(const std::string& composite, size_t prefix_len);
+
+}  // namespace mergedkey
+
+/// \brief One node's merged co-clustered structure: a single B+-tree over
+/// composite keys holding full rows of every cluster member plus the view.
+///
+/// Like every other per-node structure, it is synchronized externally by the
+/// owning node's latch (shared for scans, exclusive for edits) and does no
+/// cost accounting itself — the caller charges the one descent per key-range.
+class MergedTreeFragment {
+ public:
+  MergedTreeFragment() = default;
+  MergedTreeFragment(const MergedTreeFragment&) = delete;
+  MergedTreeFragment& operator=(const MergedTreeFragment&) = delete;
+
+  /// Adds `row` under (join_key, tag, pk). Duplicate rows are kept (bag
+  /// semantics, matching the posting-list behavior of every other index).
+  void InsertEntry(const Value& join_key, uint8_t tag, const Row& pk,
+                   const Row& row);
+
+  /// Removes one instance of `row` from (join_key, tag, pk). NotFound when
+  /// the composite key or the row is absent.
+  Status RemoveEntry(const Value& join_key, uint8_t tag, const Row& pk,
+                     const Row& row);
+
+  /// Visits every (tag, row) in the join key's range, grouped by tag in tag
+  /// order (sources first, view last). Returning false stops the scan.
+  void ScanKey(const Value& join_key,
+               const std::function<bool(uint8_t, const Row&)>& fn) const;
+
+  /// Visits every entry in composite-key order.
+  void ForEach(
+      const std::function<bool(uint8_t, const Row&)>& fn) const;
+
+  /// Drops everything (rebuild-from-heap path).
+  void Clear();
+
+  size_t num_entries() const { return tree_.num_items(); }
+  bool empty() const { return tree_.empty(); }
+  /// Approximate footprint: composite key bytes + row bytes.
+  size_t byte_size() const { return bytes_; }
+
+  Status CheckInvariants() const { return tree_.CheckInvariants(); }
+
+ private:
+  BPlusTree<Row> tree_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace pjvm
+
+#endif  // PJVM_STORAGE_MERGED_TREE_H_

@@ -60,6 +60,8 @@ class TableFragment {
   Status CreateIndex(int column, bool clustered);
 
   bool HasIndexOn(int column) const { return FindIndex(column) != nullptr; }
+  bool has_indexes() const { return !indexes_.empty(); }
+  size_t num_indexes() const { return indexes_.size(); }
   const LocalIndex* FindIndex(int column) const;
   /// All indexes, for callers that need to visit every access path (e.g.
   /// index-key locking).

@@ -1,5 +1,7 @@
 #include "view/aux_relation_maintainer.h"
 
+#include "view/merged_storage.h"
+
 namespace pjvm {
 
 Status AuxRelationMaintainer::ProcessSign(uint64_t txn, int updated_base,
@@ -29,7 +31,18 @@ Status AuxRelationMaintainer::ProcessSign(uint64_t txn, int updated_base,
 
   PJVM_ASSIGN_OR_RETURN(std::vector<Partial> partials,
                         SeedPartials(updated_base, rows, gids, colocate_col));
+  MergedViewStorage* merged = resolver_->MergedFor(view_->table_name());
   for (const PlanStep& step : plan.steps) {
+    // Merged co-clustered layout: a step targeting a cluster member probes
+    // the view's merged tree — one range descent instead of an AR index
+    // search per tuple. Non-member targets keep the AR path below.
+    if (merged != nullptr &&
+        merged->CoversBase(step.target_base, step.target_col)) {
+      PJVM_ASSIGN_OR_RETURN(
+          partials, MergedRoutedStep(txn, step, merged, partials, report));
+      if (partials.empty()) return Status::OK();
+      continue;
+    }
     const TableDef& target_def = bound().base_def(step.target_base);
     ProbeTarget target;
     if (target_def.partition.is_hash() &&

@@ -8,6 +8,7 @@
 #include "obs/trace.h"
 #include "storage/stats.h"
 #include "txn/snapshot_manager.h"
+#include "view/merged_storage.h"
 
 namespace pjvm {
 
@@ -384,6 +385,60 @@ Result<std::vector<Maintainer::Partial>> Maintainer::RoutedStep(
                             std::move(by_dest.find(dest)->second), key_idx,
                             /*per_tuple_index_io=*/1.0, &dest_rep[dest],
                             &dest_out[dest]);
+  }));
+  for (int dest : dests) {
+    *report += dest_rep[dest];
+    out.insert(out.end(), std::make_move_iterator(dest_out[dest].begin()),
+               std::make_move_iterator(dest_out[dest].end()));
+  }
+  return out;
+}
+
+Result<std::vector<Maintainer::Partial>> Maintainer::MergedRoutedStep(
+    uint64_t txn, const PlanStep& step, MergedViewStorage* merged,
+    const std::vector<Partial>& in, MaintenanceReport* report) {
+  std::vector<Partial> out;
+  if (in.empty()) return out;
+  SpanGuard phase_span("merged_routed_step", "phase", -1, nullptr,
+                       MaintenanceMethodToString(method()));
+  phase_span.set_detail(merged->lock_table());
+  PJVM_ASSIGN_OR_RETURN(int key_idx,
+                        bound().WorkingIndex(step.source_base, step.source_col));
+  // Same routing as RoutedStep: one SEND per partial not already at its
+  // key's hash home. The merged tree holds every cluster member's rows for
+  // that key at that node, so the probe itself never leaves the range.
+  std::map<int, std::vector<const Partial*>> by_dest;
+  for (const Partial& p : in) {
+    int dest = sys_->HomeNodeForKey(p.working[key_idx]);
+    if (dest != p.node) {
+      Message msg;
+      msg.kind = MessageKind::kProbe;
+      msg.from = p.node;
+      msg.to = dest;
+      msg.table = merged->lock_table();
+      msg.rows.push_back(p.working);
+      PJVM_RETURN_NOT_OK(Ship(std::move(msg)));
+    }
+    by_dest[dest].push_back(&p);
+  }
+  std::vector<int> dests;
+  dests.reserve(by_dest.size());
+  for (const auto& [dest, group] : by_dest) dests.push_back(dest);
+  std::vector<std::vector<Partial>> dest_out(sys_->num_nodes());
+  std::vector<MaintenanceReport> dest_rep(sys_->num_nodes());
+  PJVM_RETURN_NOT_OK(sys_->executor().RunOnNodes(dests, [&](int dest) {
+    SpanGuard span("probe_node", "task", dest, &sys_->cost(),
+                   MaintenanceMethodToString(method()));
+    for (const Partial* partial : by_dest.find(dest)->second) {
+      ++dest_rep[dest].probes;
+      PJVM_RETURN_NOT_OK(merged->ProbeMember(
+          txn, dest, step.target_base, step.target_col,
+          partial->working[key_idx],
+          [&](const Row& needed) {
+            return Extend(step, *partial, needed, dest, &dest_out[dest]);
+          }));
+    }
+    return Status::OK();
   }));
   for (int dest : dests) {
     *report += dest_rep[dest];

@@ -94,6 +94,8 @@ struct ArAccess {
   std::vector<BoundPred> residual_preds;
 };
 
+class MergedViewStorage;
+
 /// \brief How maintainers discover the auxiliary structures ViewManager
 /// maintains (implemented by ViewManager).
 class StructureResolver {
@@ -110,6 +112,12 @@ class StructureResolver {
 
   /// Global-index table for `table` on full column `col`; NotFound if none.
   virtual Result<std::string> GiFor(const std::string& table, int col) const = 0;
+
+  /// Merged co-clustered storage of view `view`, or nullptr when the view
+  /// uses the separate layout (see view/merged_storage.h).
+  virtual MergedViewStorage* MergedFor(const std::string& /*view*/) const {
+    return nullptr;
+  }
 };
 
 /// \brief Base class of the three maintenance strategies. Owns the shared
@@ -241,6 +249,17 @@ class Maintainer {
                                           const ProbeTarget& target,
                                           const std::vector<Partial>& in,
                                           MaintenanceReport* report);
+
+  /// RoutedStep's merged-layout twin: routes each partial to its key's hash
+  /// home and probes the view's merged co-clustered tree there instead of
+  /// the AR's index — one range descent per (txn, node, key), every
+  /// subsequent in-range operation free, zero per-row fetches (the member
+  /// rows are clustered within the key range by construction).
+  Result<std::vector<Partial>> MergedRoutedStep(uint64_t txn,
+                                                const PlanStep& step,
+                                                MergedViewStorage* merged,
+                                                const std::vector<Partial>& in,
+                                                MaintenanceReport* report);
 
   const BoundView& bound() const { return view_->bound(); }
 

@@ -20,7 +20,8 @@ std::vector<Row> MaterializedView::Contents() const {
 }
 
 Result<MaterializedView> MaterializedView::Create(ParallelSystem* sys,
-                                                  BoundView bound) {
+                                                  BoundView bound,
+                                                  bool merged_layout) {
   TableDef def;
   def.name = bound.def().name;
   def.schema = bound.output_schema();
@@ -29,7 +30,12 @@ Result<MaterializedView> MaterializedView::Create(ParallelSystem* sys,
     const std::string& pcol =
         def.schema.column(bound.output_partition_col()).name;
     def.partition = PartitionSpec::Hash(pcol);
-    def.indexes.push_back(IndexSpec{pcol, /*clustered=*/false});
+    // Under the merged layout the co-clustered tree is the view's ordered
+    // access path; a per-fragment index would just charge a second descent
+    // per insert for a structure nothing reads.
+    if (!merged_layout) {
+      def.indexes.push_back(IndexSpec{pcol, /*clustered=*/false});
+    }
   } else {
     def.partition = PartitionSpec::RoundRobin();
   }
@@ -96,7 +102,13 @@ Status MaterializedView::ApplyOutputs(uint64_t txn, int source_node,
     for (Row& row : delivered.rows) {
       if (is_delete) {
         PJVM_RETURN_NOT_OK(sys_->node(dest)->DeleteExact(txn, table_name(), row));
+        if (merged_hook_) {
+          PJVM_RETURN_NOT_OK(merged_hook_(txn, dest, row, /*is_delete=*/true));
+        }
       } else {
+        if (merged_hook_) {
+          PJVM_RETURN_NOT_OK(merged_hook_(txn, dest, row, /*is_delete=*/false));
+        }
         PJVM_RETURN_NOT_OK(
             sys_->node(dest)->Insert(txn, table_name(), std::move(row)).status());
       }

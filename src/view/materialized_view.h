@@ -1,7 +1,9 @@
 #ifndef PJVM_VIEW_MATERIALIZED_VIEW_H_
 #define PJVM_VIEW_MATERIALIZED_VIEW_H_
 
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/system.h"
@@ -17,8 +19,13 @@ class MaterializedView {
  public:
   /// Creates the view's backing table across the system. The table carries a
   /// non-clustered index on the partitioning attribute (the paper's model
-  /// assumption 3). The table starts empty; see ViewManager for backfill.
-  static Result<MaterializedView> Create(ParallelSystem* sys, BoundView bound);
+  /// assumption 3) — unless `merged_layout` is set, in which case the view's
+  /// merged co-clustered tree (view/merged_storage.h) is the key-ordered
+  /// access path and the per-fragment index is skipped (content deletes stay
+  /// O(1) through the row-lookup structure every fragment carries). The
+  /// table starts empty; see ViewManager for backfill.
+  static Result<MaterializedView> Create(ParallelSystem* sys, BoundView bound,
+                                         bool merged_layout = false);
 
   const BoundView& bound() const { return bound_; }
   const std::string& table_name() const { return bound_.def().name; }
@@ -44,6 +51,13 @@ class MaterializedView {
   std::vector<Row> Contents() const;
   size_t RowCount() const { return sys_->RowCount(table_name()); }
 
+  /// Mirror callback for the merged layout: invoked once per applied view
+  /// row — (txn, destination node, output row, is_delete) — right where the
+  /// heap changes, so the merged tree tracks the heap within the same
+  /// transaction. Unset for the separate layout.
+  using MergedHook = std::function<Status(uint64_t, int, const Row&, bool)>;
+  void set_merged_hook(MergedHook hook) { merged_hook_ = std::move(hook); }
+
  private:
   MaterializedView(ParallelSystem* sys, BoundView bound)
       : sys_(sys), bound_(std::move(bound)) {}
@@ -57,6 +71,7 @@ class MaterializedView {
 
   ParallelSystem* sys_;
   BoundView bound_;
+  MergedHook merged_hook_;
 };
 
 /// \brief Recomputes the view's output rows from the current base tables by

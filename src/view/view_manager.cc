@@ -270,8 +270,20 @@ Status ViewManager::RegisterView(const JoinViewDef& def,
   }
   PJVM_ASSIGN_OR_RETURN(BoundView bound, BoundView::Bind(def, sys_->catalog()));
   PJVM_RETURN_NOT_OK(CreateStructures(bound, method));
+  // Merged co-clustered layout: built before the view table so Create knows
+  // to skip the partition index (the tree replaces it as the key-ordered
+  // access path). A partition attribute that joins nothing yields an empty
+  // cluster — the tree would interleave view rows with no probe-side
+  // members, charging descents it can never save — so the separate layout
+  // is kept silently in that case.
+  std::unique_ptr<MergedViewStorage> store;
+  if (MergedViewStorage::Eligible(sys_->config(), bound, method, timing)) {
+    store = std::make_unique<MergedViewStorage>(sys_, bound);
+    if (store->members().empty()) store.reset();
+  }
+  const bool merged = store != nullptr;
   PJVM_ASSIGN_OR_RETURN(MaterializedView mv,
-                        MaterializedView::Create(sys_, bound));
+                        MaterializedView::Create(sys_, bound, merged));
 
   ViewRegistration reg;
   reg.bound = std::move(bound);
@@ -298,6 +310,20 @@ Status ViewManager::RegisterView(const JoinViewDef& def,
                         EvaluateViewFromScratch(sys_, reg.bound));
   for (Row& row : rows) {
     PJVM_RETURN_NOT_OK(sys_->Insert(def.name, std::move(row)));
+  }
+  if (merged) {
+    // Loaded after the backfill so RebuildFromHeaps sees the full view; the
+    // hook keeps the tree in step with every later ApplyOutputs, and the
+    // storage overlay attributes the trees' bytes to the view's TableBytes
+    // line (EXPLAIN ANALYZE storage reporting).
+    PJVM_RETURN_NOT_OK(store->RebuildFromHeaps());
+    MergedViewStorage* raw = store.get();
+    reg.view->set_merged_hook(
+        [raw](uint64_t txn, int node, const Row& row, bool is_delete) {
+          return raw->ApplyViewEdit(txn, node, row, is_delete);
+        });
+    sys_->SetStorageOverlay(def.name, [raw] { return raw->TreeBytes(); });
+    merged_.emplace(def.name, std::move(store));
   }
   views_.emplace(def.name, std::move(reg));
   return Status::OK();
@@ -406,6 +432,12 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
       PJVM_ASSIGN_OR_RETURN(size_t ar_writes, ars_.ApplyDelta(txn, delta));
       PJVM_ASSIGN_OR_RETURN(size_t gi_writes, gis_.ApplyDelta(txn, delta));
       total.structure_writes = ar_writes + gi_writes;
+      // 2.5 Mirror the delta into each merged co-clustered tree. The rows
+      // were just shipped to their key homes by the AR update, so the
+      // mirror performs no sends — only in-range tree edits.
+      for (auto& [name, store] : merged_) {
+        PJVM_RETURN_NOT_OK(store->MirrorDelta(txn, delta));
+      }
     }
     // 3. Maintain every dependent view.
     for (auto& [name, reg] : views_) {
@@ -560,9 +592,13 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
       // A commit failure (e.g. an injected crash mid-2PC) is not retryable:
       // the system needs Recover(), not another attempt.
       PJVM_RETURN_NOT_OK(sys_->Commit(txn));
+      for (auto& [name, store] : merged_) store->OnCommit(txn);
       break;
     }
     meter_scope.reset();
+    // Roll the merged trees back before the locks go: once ReleaseAll runs,
+    // a successor can descend into the ranges this attempt edited.
+    for (auto& [name, store] : merged_) store->OnAbort(txn);
     sys_->Abort(txn).Check();
     MetricsRegistry::Global().counter("pjvm_maintain_txns_aborted")->Increment();
     if (analysis != nullptr) {
@@ -673,6 +709,10 @@ Status ViewManager::UnregisterView(const std::string& name) {
         PJVM_RETURN_NOT_OK(gis_.Release(def.name, col));
         break;
     }
+  }
+  if (merged_.count(name) > 0) {
+    sys_->ClearStorageOverlay(name);
+    merged_.erase(name);
   }
   PJVM_RETURN_NOT_OK(sys_->DropTable(name));
   views_.erase(it);
@@ -831,6 +871,7 @@ Status ViewManager::FoldViewLocked(const std::string& name,
       // A commit failure (e.g. an injected crash mid-2PC) is not retryable;
       // the buffer stays intact for RecoverViews to reconcile.
       PJVM_RETURN_NOT_OK(sys_->Commit(txn));
+      for (auto& [mname, store] : merged_) store->OnCommit(txn);
       // Only a durably committed fold empties the buffer: a wait-die victim
       // retries with every buffered row intact, and a success never
       // re-applies one.
@@ -839,6 +880,7 @@ Status ViewManager::FoldViewLocked(const std::string& name,
       folds->Increment();
       return Status::OK();
     }
+    for (auto& [mname, store] : merged_) store->OnAbort(txn);
     sys_->Abort(txn).Check();
     MetricsRegistry::Global().counter("pjvm_maintain_txns_aborted")->Increment();
     if (!st.IsAborted() || attempt == max_attempts) return st;
@@ -888,6 +930,11 @@ Status ViewManager::RecoverViews() {
     PJVM_RETURN_NOT_OK(RecomputeAndDiff(name, reg));
   }
   UpdateDeferredGauge();
+  // The merged trees live outside the WAL'd heaps (they are derived state,
+  // like the GIs above); rebuild each from the recovered heaps.
+  for (auto& [name, store] : merged_) {
+    PJVM_RETURN_NOT_OK(store->RebuildFromHeaps());
+  }
   return Status::OK();
 }
 
@@ -923,6 +970,11 @@ Status ViewManager::CheckAllConsistent() {
       return Status::Internal("view '" + name +
                               "' diverged from from-scratch join:" + detail);
     }
+  }
+  // Invariant 10 (DESIGN.md): each merged tree holds exactly the rows its
+  // members' heaps and the view's heap imply — merged ≡ separate contents.
+  for (auto& [name, store] : merged_) {
+    PJVM_RETURN_NOT_OK(store->CheckConsistent());
   }
   PJVM_RETURN_NOT_OK(ars_.CheckConsistent());
   PJVM_RETURN_NOT_OK(gis_.CheckConsistent());

@@ -14,6 +14,7 @@
 #include "view/heavy_light.h"
 #include "view/maintainer.h"
 #include "view/materialized_view.h"
+#include "view/merged_storage.h"
 #include "view/view_def.h"
 
 namespace pjvm {
@@ -204,6 +205,13 @@ class ViewManager : public StructureResolver {
   ArRegistry& ars() { return ars_; }
   GiRegistry& gis() { return gis_; }
 
+  /// The view's merged co-clustered storage, or nullptr for the separate
+  /// layout (SystemConfig::merged_ar_storage off or the view ineligible).
+  MergedViewStorage* merged_storage(const std::string& name) {
+    auto it = merged_.find(name);
+    return it == merged_.end() ? nullptr : it->second.get();
+  }
+
   // StructureResolver:
   Result<ArAccess> ArFor(const std::string& table, int col,
                          const std::vector<int>& needed_cols,
@@ -212,6 +220,10 @@ class ViewManager : public StructureResolver {
   }
   Result<std::string> GiFor(const std::string& table, int col) const override {
     return gis_.Access(table, col);
+  }
+  MergedViewStorage* MergedFor(const std::string& view) const override {
+    auto it = merged_.find(view);
+    return it == merged_.end() ? nullptr : it->second.get();
   }
 
  private:
@@ -234,6 +246,8 @@ class ViewManager : public StructureResolver {
   ArRegistry ars_;
   GiRegistry gis_;
   std::map<std::string, ViewRegistration> views_;
+  /// Merged co-clustered trees, keyed by view name (eligible views only).
+  std::map<std::string, std::unique_ptr<MergedViewStorage>> merged_;
 
   // Heavy/light deferred maintenance (SystemConfig::heavy_light). hl_mu_
   // serializes routing decisions, buffer mutation, and folds: a fold joins

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "storage/btree.h"
+#include "storage/merged_tree.h"
 #include "storage/row_id.h"
 
 namespace pjvm {
@@ -220,6 +221,157 @@ INSTANTIATE_TEST_SUITE_P(
     FanoutsAndSeeds, BTreeFuzzTest,
     ::testing::Combine(::testing::Values(4, 8, 64),
                        ::testing::Values(1u, 2u, 3u)));
+
+// ---------------------------------------------------------------------------
+// Composite-key range scans: the merged co-clustered layout flattens
+// (join_key, source_tag, source_pk) into one order-preserving byte string
+// (storage/merged_tree.h) and relies on the B+-tree's ScanRange to walk one
+// join key's interleaved rows — sources first, view tuples last.
+// ---------------------------------------------------------------------------
+
+using StringTree = BPlusTree<uint64_t>;
+
+// Scans [RangeLo(key), RangeHi(key)] and returns the items in scan order.
+std::vector<uint64_t> ScanJoinKey(const StringTree& t, const Value& key) {
+  std::vector<uint64_t> out;
+  t.ScanRange(mergedkey::RangeLo(key), mergedkey::RangeHi(key),
+              [&](const Value&, uint64_t item) {
+                out.push_back(item);
+                return true;
+              });
+  return out;
+}
+
+TEST(MergedKeyBTreeTest, TaggedKeysOrderSourcesBeforeView) {
+  // Composite keys for one join key sort by tag: member 0, member 1, view.
+  Value key{42};
+  std::string a = mergedkey::EncodeComposite(key, mergedkey::kSourceTagFirst,
+                                             {Value{int64_t{7}}})
+                      .AsString();
+  std::string b =
+      mergedkey::EncodeComposite(key, mergedkey::kSourceTagFirst + 1,
+                                 {Value{int64_t{0}}})
+          .AsString();
+  std::string v =
+      mergedkey::EncodeComposite(key, mergedkey::kViewTag, {Value{int64_t{1}}})
+          .AsString();
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, v);
+  // All three share the join key's prefix and decode back to their tags.
+  size_t plen = mergedkey::KeyPrefix(key).size();
+  EXPECT_EQ(mergedkey::DecodeTag(a, plen), mergedkey::kSourceTagFirst);
+  EXPECT_EQ(mergedkey::DecodeTag(b, plen), mergedkey::kSourceTagFirst + 1);
+  EXPECT_EQ(mergedkey::DecodeTag(v, plen), mergedkey::kViewTag);
+}
+
+TEST(MergedKeyBTreeTest, EncodingPreservesJoinKeyOrder) {
+  // Lexicographic order of the encoded prefixes == value order, including
+  // negatives (INT64), sign transitions (DOUBLE), and embedded NULs (STRING).
+  std::vector<Value> ints = {Value{int64_t{-100}}, Value{int64_t{-1}},
+                             Value{int64_t{0}}, Value{int64_t{1}},
+                             Value{int64_t{1000}}};
+  for (size_t i = 1; i < ints.size(); ++i) {
+    EXPECT_LT(mergedkey::KeyPrefix(ints[i - 1]), mergedkey::KeyPrefix(ints[i]));
+  }
+  std::vector<Value> dbls = {Value{-2.5}, Value{-0.25}, Value{0.0}, Value{0.25},
+                             Value{2.5}};
+  for (size_t i = 1; i < dbls.size(); ++i) {
+    EXPECT_LT(mergedkey::KeyPrefix(dbls[i - 1]), mergedkey::KeyPrefix(dbls[i]));
+  }
+  std::vector<Value> strs = {Value{std::string("")},
+                             Value{std::string("a")},
+                             Value{std::string({'a', '\0', 'b'})},
+                             Value{std::string("ab")},
+                             Value{std::string("b")}};
+  for (size_t i = 1; i < strs.size(); ++i) {
+    EXPECT_LT(mergedkey::KeyPrefix(strs[i - 1]), mergedkey::KeyPrefix(strs[i]));
+  }
+}
+
+TEST(MergedKeyBTreeTest, CursorCrossesTagBoundariesInOrder) {
+  // Interleave three join keys x two tags x several pks, inserted shuffled;
+  // one range descent per join key must yield that key's rows grouped by
+  // tag, and nothing from neighboring keys.
+  StringTree t(4);
+  struct Entry {
+    int64_t key;
+    uint8_t tag;
+    int64_t pk;
+    uint64_t item;
+  };
+  std::vector<Entry> entries;
+  uint64_t next = 0;
+  for (int64_t key : {10, 20, 30}) {
+    for (uint8_t tag :
+         {mergedkey::kSourceTagFirst,
+          static_cast<uint8_t>(mergedkey::kSourceTagFirst + 1),
+          mergedkey::kViewTag}) {
+      for (int64_t pk = 0; pk < 4; ++pk) {
+        entries.push_back(Entry{key, tag, pk, next++});
+      }
+    }
+  }
+  Rng rng(7);
+  for (size_t i = entries.size(); i > 1; --i) {
+    std::swap(entries[i - 1], entries[rng.Next() % i]);
+  }
+  for (const Entry& e : entries) {
+    t.Insert(mergedkey::EncodeComposite(Value{e.key}, e.tag, {Value{e.pk}}),
+             e.item);
+  }
+  ASSERT_TRUE(t.CheckInvariants().ok()) << t.CheckInvariants();
+  for (int64_t key : {10, 20, 30}) {
+    std::vector<uint64_t> got = ScanJoinKey(t, Value{key});
+    ASSERT_EQ(got.size(), 12u) << "key " << key;
+    // Items were numbered in (key, tag, pk) order, so an in-order cursor
+    // yields them consecutively — crossing both tag boundaries.
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], got[i - 1] + 1) << "key " << key << " pos " << i;
+    }
+  }
+  // Early-exit stops inside the range.
+  size_t seen = 0;
+  t.ScanRange(mergedkey::RangeLo(Value{int64_t{20}}),
+              mergedkey::RangeHi(Value{int64_t{20}}),
+              [&](const Value&, uint64_t) { return ++seen < 5; });
+  EXPECT_EQ(seen, 5u);
+}
+
+TEST(MergedKeyBTreeTest, EmptyRangeYieldsNothing) {
+  StringTree t(4);
+  for (int64_t key : {10, 30}) {
+    t.Insert(mergedkey::EncodeComposite(Value{key}, mergedkey::kViewTag,
+                                        {Value{int64_t{0}}}),
+             static_cast<uint64_t>(key));
+  }
+  // A key strictly between two populated neighbors scans nothing, as does
+  // one beyond both ends — and an empty tree scans nothing at all.
+  EXPECT_TRUE(ScanJoinKey(t, Value{int64_t{20}}).empty());
+  EXPECT_TRUE(ScanJoinKey(t, Value{int64_t{5}}).empty());
+  EXPECT_TRUE(ScanJoinKey(t, Value{int64_t{40}}).empty());
+  StringTree empty;
+  EXPECT_TRUE(ScanJoinKey(empty, Value{int64_t{10}}).empty());
+}
+
+TEST(MergedTreeFragmentTest, BagSemanticsAndByteAccounting) {
+  MergedTreeFragment frag;
+  Row row = {Value{int64_t{1}}, Value{int64_t{2}}};
+  frag.InsertEntry(Value{int64_t{1}}, mergedkey::kViewTag, {}, row);
+  frag.InsertEntry(Value{int64_t{1}}, mergedkey::kViewTag, {}, row);
+  EXPECT_EQ(frag.num_entries(), 2u);
+  EXPECT_GT(frag.byte_size(), 0u);
+  // Removing one duplicate keeps the other; removing a missing row fails.
+  ASSERT_TRUE(
+      frag.RemoveEntry(Value{int64_t{1}}, mergedkey::kViewTag, {}, row).ok());
+  EXPECT_EQ(frag.num_entries(), 1u);
+  Row other = {Value{int64_t{9}}, Value{int64_t{9}}};
+  EXPECT_TRUE(frag.RemoveEntry(Value{int64_t{1}}, mergedkey::kViewTag, {}, other)
+                  .IsNotFound());
+  ASSERT_TRUE(
+      frag.RemoveEntry(Value{int64_t{1}}, mergedkey::kViewTag, {}, row).ok());
+  EXPECT_TRUE(frag.empty());
+  EXPECT_EQ(frag.byte_size(), 0u);
+}
 
 }  // namespace
 }  // namespace pjvm
