@@ -1,5 +1,6 @@
 #include "engine/node.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -395,6 +396,24 @@ void Node::AbandonDeferredSlots(uint64_t txn_id) {
   deferred_frees_.erase(txn_id);
 }
 
+Status Node::EscrowReplace(const std::string& table, LocalRowId lrid,
+                           Row row) {
+  TableFragment* frag = fragment(table);
+  if (frag == nullptr) {
+    return Status::NotFound("node " + std::to_string(id_) +
+                            " has no fragment '" + table + "'");
+  }
+  // Exclusive latch is re-entrant: the journal's caller already holds it
+  // for the probe that produced `lrid`, so the row cannot have moved.
+  NodeLatchGuard latch(*this);
+  PJVM_RETURN_NOT_OK(frag->DeleteByRid(lrid, /*keep_slot=*/true));
+  PJVM_RETURN_NOT_OK(frag->InsertAt(lrid, std::move(row)));
+  // One page read-modify-write; the group key is unchanged, so the index
+  // leaf is rewritten in place (no extra descent).
+  tracker_->ChargeWrite(id_, WriteKindOf(table));
+  return Status::OK();
+}
+
 Status Node::ApplyLogRecord(const LogRecord& record) {
   TableFragment* frag = fragment(record.table);
   if (frag == nullptr) {
@@ -406,6 +425,39 @@ Status Node::ApplyLogRecord(const LogRecord& record) {
       return frag->Insert(record.row).status();
     case LogRecordType::kDelete:
       return frag->DeleteExact(record.row).status();
+    case LogRecordType::kEscrowDelta: {
+      // Logical redo: add the deltas to the stored group row found by its
+      // prefix. The group row is guaranteed present: its birth (a physical
+      // kInsert) precedes every escrow delta on it in the log, serialized by
+      // the V/X conflict between deltas and birth/death.
+      const int width = record.aux;
+      LocalRowId lrid = 0;
+      const Row* current = nullptr;
+      frag->ForEach([&](LocalRowId rid, const Row& candidate) {
+        if (std::equal(candidate.begin(), candidate.begin() + width,
+                       record.row.begin())) {
+          lrid = rid;
+          current = &candidate;
+          return false;
+        }
+        return true;
+      });
+      if (current == nullptr) {
+        return Status::Internal("recovery: escrow delta for a missing group " +
+                                RowToString(record.row) + " in '" +
+                                record.table + "'");
+      }
+      Row next = *current;
+      for (size_t i = width; i < record.row.size(); ++i) {
+        if (next[i].is_int64()) {
+          next[i] = Value{next[i].AsInt64() + record.row[i].AsInt64()};
+        } else {
+          next[i] = Value{next[i].AsDouble() + record.row[i].AsDouble()};
+        }
+      }
+      PJVM_RETURN_NOT_OK(frag->DeleteByRid(lrid, /*keep_slot=*/true));
+      return frag->InsertAt(lrid, std::move(next));
+    }
     default:
       return Status::InvalidArgument("recovery: non-data record");
   }

@@ -170,6 +170,15 @@ class Node {
   /// rows. Call once per participant after undo completes.
   void AbandonDeferredSlots(uint64_t txn_id);
 
+  /// In-place escrow rewrite of one aggregate group row (view/escrow.h):
+  /// replaces the row at `lrid` with `row` under the caller's exclusive
+  /// latch, charging one write I/O. No WAL record, no undo, no version op —
+  /// the escrow journal owns all three (logical kEscrowDelta records at
+  /// prepare, journal rollback on abort, committed-image version ops at
+  /// publish). The caller must hold this node's exclusive latch and the
+  /// group's V (or X) lock.
+  Status EscrowReplace(const std::string& table, LocalRowId lrid, Row row);
+
   /// Applies a WAL record during recovery: no logging, no cost charging.
   Status ApplyLogRecord(const LogRecord& record);
 

@@ -561,6 +561,12 @@ Status ParallelSystem::Commit(uint64_t txn_id) {
     return Status::Aborted("injected crash before prepare");
   }
   PJVM_RETURN_NOT_OK(txns_.MarkPreparing(txn_id));
+  // Escrow journal (and any other txn hook) logs its logical records now,
+  // before the prepare appends below, so each participant's prepare force
+  // covers them (they precede the prepare in the same log).
+  const bool hook_pending =
+      txn_hook_ != nullptr && txn_hook_->HasPending(txn_id);
+  if (hook_pending) PJVM_RETURN_NOT_OK(txn_hook_->OnPrepare(txn_id));
   // Phase 1: every participant durably prepares — the prepare force covers
   // the transaction's earlier data records on that node too (they precede
   // the prepare in the same log). With group commit, concurrent committers
@@ -616,7 +622,15 @@ Status ParallelSystem::Commit(uint64_t txn_id) {
   // sees the new epoch sees only transactions recovery would also replay.
   // Published before lock release so a later writer of the same rows can
   // never publish at an earlier epoch than this transaction.
-  if (config_.mvcc_reads) PublishVersions(txn_id);
+  if (config_.mvcc_reads) {
+    PublishVersions(txn_id);  // folds the hook inside the publish section
+  } else if (hook_pending) {
+    txn_hook_->OnCommitFold(txn_id);  // version ops unused without MVCC
+  }
+  // The hook's deterministic heap rewrite runs after the fold/publish and
+  // before lock release — the transaction's V locks still pin its groups,
+  // and the node latches it takes are ordered after publish_mu is gone.
+  if (hook_pending) PJVM_RETURN_NOT_OK(txn_hook_->OnCommitFinalize(txn_id));
   txns_.DiscardUndo(txn_id);
   // The transaction can no longer abort, so the heap slots its deletes kept
   // reserved (for lrid-exact undo) are safe to recycle.
@@ -635,6 +649,10 @@ Status ParallelSystem::Abort(uint64_t txn_id) {
     return Status::InvalidArgument("cannot abort the autocommit pseudo-txn");
   }
   PJVM_RETURN_NOT_OK(txns_.MarkAborted(txn_id));
+  // Escrow rollback first, before undo and strictly before ReleaseAll: a
+  // successor acquiring the released V locks must see journal state with
+  // this transaction's deltas gone (and the heap rows restored).
+  if (txn_hook_ != nullptr) txn_hook_->OnAbort(txn_id);
   for (const UndoOp& op : txns_.TakeUndoReversed(txn_id)) {
     PJVM_RETURN_NOT_OK(nodes_[op.node]->ApplyUndo(op));
   }
@@ -701,7 +719,9 @@ Status ParallelSystem::Recover() {
 
 void ParallelSystem::PublishVersions(uint64_t txn_id) {
   std::vector<TxnVersionOp> ops = txns_.TakeVersionOps(txn_id);
-  if (ops.empty()) return;
+  const bool hook_pending =
+      txn_hook_ != nullptr && txn_hook_->HasPending(txn_id);
+  if (ops.empty() && !hook_pending) return;
   SpanGuard span("mvcc_publish", "txn");
   span.set_detail("txn " + std::to_string(txn_id) + ": " +
                   std::to_string(ops.size()) + " ops");
@@ -714,6 +734,14 @@ void ParallelSystem::PublishVersions(uint64_t txn_id) {
   }
   double published = 0;
   snapshots_.Publish([&](uint64_t epoch) {
+    if (hook_pending) {
+      // Escrow groups record no op-time version ops; the hook folds its
+      // committed images *inside* the publish critical section, so the
+      // fold order across transactions equals their epoch order.
+      for (TxnVersionOp& op : txn_hook_->OnCommitFold(txn_id)) {
+        by_frag[{op.node, op.table}].push_back(std::move(op.op));
+      }
+    }
     for (auto& [where, frag_ops] : by_frag) {
       TableFragment* frag = nodes_[where.first]->fragment(where.second);
       if (frag == nullptr) continue;  // table dropped mid-transaction

@@ -140,12 +140,52 @@ struct SystemConfig {
   /// layout (tested); heap tables stay the recovery/MVCC source of truth and
   /// the merged structure is rebuilt from them in RecoverViews.
   bool merged_ar_storage = false;
+  /// Escrow (value-lock) maintenance of aggregate join views
+  /// (view/escrow.h). When on, eligible COUNT(*)/SUM views maintained
+  /// immediately under locking route their group increments through a
+  /// per-(node, view, group) escrow journal: concurrent maintenance
+  /// transactions hold compatible V locks on the same group's index key and
+  /// increment it in place, instead of serializing on X locks — the hot-key
+  /// aggregate scaling `bench_contention escrow` measures. Group birth and
+  /// death (the non-commutative edges) escalate V→X. Off (the default) is
+  /// byte-for-byte the eager delete+insert path.
+  bool escrow_aggregates = false;
   /// Turns on the global Tracer for this system's lifetime. Also switched on
   /// by the PJVM_TRACE environment variable ("1", or an output path).
   bool trace_enabled = false;
   /// Where the system exports the Chrome trace on destruction; empty = no
   /// export. A path-valued PJVM_TRACE sets this too.
   std::string trace_path;
+};
+
+/// \brief Transaction lifecycle hook for subsystems that keep per-txn side
+/// state outside the WAL/undo machinery (the escrow journal, view/escrow.h).
+///
+/// The system invokes the hook from every commit and abort path, so an
+/// implementation is covered no matter which caller drives the transaction
+/// (the ViewManager retry loop, deferred folds, recompute-and-diff):
+///
+///  - OnPrepare: inside Commit, right after the transaction enters
+///    kPreparing and before the participants' prepare records are forced —
+///    appended WAL records are covered by those forces.
+///  - OnCommitFold: the commit point. With mvcc_reads it runs inside the
+///    snapshot publish critical section and its returned version ops are
+///    installed at the transaction's commit epoch, atomically with the
+///    heap-written ops; without MVCC it runs at the same program point.
+///  - OnCommitFinalize: after the fold (and publish), before locks are
+///    released — the last chance to rewrite heap rows under the
+///    transaction's own locks.
+///  - OnAbort: inside Abort, before undo/ReleaseAll — side state must be
+///    rolled back before a successor can acquire the released locks.
+class TxnHook {
+ public:
+  virtual ~TxnHook() = default;
+  /// True if the hook has any state for `txn_id` (gates the commit calls).
+  virtual bool HasPending(uint64_t txn_id) const = 0;
+  virtual Status OnPrepare(uint64_t txn_id) = 0;
+  virtual std::vector<TxnVersionOp> OnCommitFold(uint64_t txn_id) = 0;
+  virtual Status OnCommitFinalize(uint64_t txn_id) = 0;
+  virtual void OnAbort(uint64_t txn_id) = 0;
 };
 
 /// \brief The shared-nothing parallel RDBMS: L nodes, an interconnect, a
@@ -299,6 +339,12 @@ class ParallelSystem {
   /// Structural invariants on every node.
   Status CheckInvariants() const;
 
+  /// Registers (or clears, with nullptr) the transaction lifecycle hook.
+  /// One hook at most; the escrow journal registers itself here. The owner
+  /// must clear it before being destroyed.
+  void SetTxnHook(TxnHook* hook) { txn_hook_ = hook; }
+  TxnHook* txn_hook() const { return txn_hook_; }
+
  private:
   /// Publishes a committed transaction's buffered version ops (one delta
   /// per written fragment, all at one epoch) and piggybacks version GC.
@@ -325,6 +371,8 @@ class ParallelSystem {
   // reason as round_robin_ — registration and reads can race.
   mutable std::mutex overlay_mu_;
   std::map<std::string, std::function<size_t()>> storage_overlays_;
+  /// Transaction lifecycle hook (escrow journal); see SetTxnHook.
+  TxnHook* txn_hook_ = nullptr;
   // Declared last: destroyed (joined) first, while nodes are still alive.
   std::unique_ptr<NodeExecutor> executor_;
 };

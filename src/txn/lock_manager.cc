@@ -20,6 +20,8 @@ const char* LockModeToString(LockMode mode) {
       return "S";
     case LockMode::kExclusive:
       return "X";
+    case LockMode::kValue:
+      return "V";
   }
   return "?";
 }
@@ -109,11 +111,22 @@ Status LockManager::ConflictAborted(uint64_t txn_id, const LockId& id,
 
 void LockManager::Grant(Shard& shard, uint64_t txn_id, const LockId& id,
                         LockMode mode) {
+  static Counter* vlock_grants =
+      MetricsRegistry::Global().counter("pjvm_vlock_grants");
+  static Counter* vlock_upgrades =
+      MetricsRegistry::Global().counter("pjvm_vlock_upgrades");
   Entry& entry = shard.locks[id];
   auto [holder, inserted] = entry.holders.try_emplace(txn_id, mode);
   if (!inserted) {
-    if (mode == LockMode::kExclusive) holder->second = LockMode::kExclusive;
+    LockMode joined = ModeJoin(holder->second, mode);
+    if (holder->second == LockMode::kValue && joined == LockMode::kExclusive) {
+      // V→X escalation (group birth/death): the grant implies we are the
+      // sole holder, since the conflict loop drained the other V holders.
+      vlock_upgrades->Increment();
+    }
+    holder->second = joined;
   } else {
+    if (mode == LockMode::kValue) vlock_grants->Increment();
     ++shard.entry_holders;
     shard.peak_entry_holders =
         std::max(shard.peak_entry_holders, shard.entry_holders);
@@ -185,11 +198,12 @@ Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
   if (it != shard.locks.end()) {
     auto held = it->second.holders.find(txn_id);
     if (held != it->second.holders.end()) {
-      if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      if (held->second == LockMode::kExclusive || mode == held->second) {
         return Status::OK();
       }
-      // Upgrade request: proceeds through the same conflict loop; grantable
-      // once no *other* transaction holds a conflicting mode.
+      // Upgrade request (S→X, V→X, or a cross-mode S/V mix that joins to
+      // X): proceeds through the same conflict loop; grantable once no
+      // *other* transaction holds a conflicting mode.
     }
   }
   // Coverage fast path: a key request answered by the fragment lock an
@@ -199,8 +213,7 @@ Status LockManager::Acquire(uint64_t txn_id, const LockId& id, LockMode mode) {
     if (frag != shard.locks.end()) {
       auto held = frag->second.holders.find(txn_id);
       if (held != frag->second.holders.end() &&
-          (held->second == LockMode::kExclusive ||
-           mode == LockMode::kShared)) {
+          (held->second == LockMode::kExclusive || mode == held->second)) {
         return Status::OK();
       }
     }
@@ -353,9 +366,9 @@ Status LockManager::MaybeEscalateLocked(std::unique_lock<std::mutex>& lock,
   }
 
   // Snapshot the fragment's key locks and derive the escalated mode: the
-  // fragment lock must be at least as strong as the strongest key lock it
-  // replaces.
-  LockMode mode = LockMode::kShared;
+  // fragment lock must be at least as strong as the join of every key lock
+  // it replaces (all-S → S, all-V → V, any mix or any X → X).
+  std::optional<LockMode> folded;
   std::vector<LockId> keys;
   auto by_txn = shard.by_txn.find(txn_id);
   if (by_txn != shard.by_txn.end()) {
@@ -368,13 +381,13 @@ Status LockManager::MaybeEscalateLocked(std::unique_lock<std::mutex>& lock,
       auto entry = shard.locks.find(*it);
       if (entry != shard.locks.end()) {
         auto held = entry->second.holders.find(txn_id);
-        if (held != entry->second.holders.end() &&
-            held->second == LockMode::kExclusive) {
-          mode = LockMode::kExclusive;
+        if (held != entry->second.holders.end()) {
+          folded = folded ? ModeJoin(*folded, held->second) : held->second;
         }
       }
     }
   }
+  const LockMode mode = folded.value_or(LockMode::kShared);
 
   // The fragment acquire runs the full policy loop and may park (it keeps
   // the key locks while waiting, so the transaction never loses coverage).
@@ -521,7 +534,7 @@ bool LockManager::Holds(uint64_t txn_id, const LockId& id,
     if (it == shard.locks.end()) return false;
     auto held = it->second.holders.find(txn_id);
     if (held == it->second.holders.end()) return false;
-    return held->second == LockMode::kExclusive || mode == LockMode::kShared;
+    return held->second == LockMode::kExclusive || mode == held->second;
   };
   if (strong_enough(id)) return true;
   // An escalated transaction holds the fragment lock instead of its key

@@ -17,8 +17,10 @@
 
 namespace pjvm {
 
-/// \brief Lock modes: shared (readers) and exclusive (writers).
-enum class LockMode { kShared = 0, kExclusive };
+/// \brief Lock modes: shared (readers), exclusive (writers), and value
+/// (escrow increments on aggregate group rows — compatible with other value
+/// locks, conflicting with both readers and writers).
+enum class LockMode { kShared = 0, kExclusive, kValue };
 
 const char* LockModeToString(LockMode mode);
 
@@ -101,6 +103,24 @@ struct LockId {
 /// holds upgrades to exclusive when it is the only conflicting holder.
 /// The wait-die test is re-evaluated on every wakeup: a new older holder
 /// arriving while we slept kills the waiter.
+///
+/// **Value (escrow) locks.** `LockMode::kValue` implements the paper-family
+/// V lock for commutative aggregate increments (view/escrow.h). The
+/// compatibility matrix:
+///
+///             held S    held V    held X
+///   want S      ok        —         —
+///   want V      —         ok        —
+///   want X      —         —         —
+///
+/// Two maintenance transactions incrementing the same COUNT/SUM group row
+/// both hold V on its index key and proceed in parallel; a reader's S probe
+/// or a writer's X still conflicts, so snapshots stay consistent. A V→X
+/// upgrade (group birth/death — the non-commutative edges) goes through the
+/// normal conflict loop: it waits for (or kills, per policy) the other V
+/// holders, and its grant therefore implies the upgrader is the sole
+/// holder. V grants and V→X upgrades are counted in `pjvm_vlock_grants` /
+/// `pjvm_vlock_upgrades`.
 ///
 /// Table-granularity locks conflict with every key of that fragment, so a
 /// sort-merge scan can take one fragment lock instead of thousands of key
@@ -269,7 +289,17 @@ class LockManager {
   Status MaybeEscalateLocked(std::unique_lock<std::mutex>& lock, Shard& shard,
                              uint64_t txn_id, const LockId& id);
   static bool Compatible(LockMode held, LockMode wanted) {
-    return held == LockMode::kShared && wanted == LockMode::kShared;
+    // S/S and V/V are the only compatible pairs: readers share, escrow
+    // increments commute, and everything else conflicts (see the class
+    // comment's matrix).
+    return held == wanted && held != LockMode::kExclusive;
+  }
+  /// Least upper bound of two modes a single transaction holds on one
+  /// resource: equal modes stay, any mix joins to exclusive (S+V demands
+  /// both read- and increment-stability, which only X gives — and the mix
+  /// can only arise for a sole holder, since S and V conflict across txns).
+  static LockMode ModeJoin(LockMode a, LockMode b) {
+    return a == b ? a : LockMode::kExclusive;
   }
 
   /// The priority timestamp wait-die/wound-wait compare: the registered

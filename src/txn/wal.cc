@@ -21,6 +21,8 @@ const char* LogRecordTypeToString(LogRecordType type) {
       return "COMMIT";
     case LogRecordType::kAbort:
       return "ABORT";
+    case LogRecordType::kEscrowDelta:
+      return "ESCROW_DELTA";
   }
   return "UNKNOWN";
 }
@@ -167,7 +169,9 @@ void Wal::ReplayCommitted(
     const std::function<bool(uint64_t)>& is_committed,
     const std::function<void(const LogRecord&)>& apply) const {
   for (const LogRecord& rec : records_) {
-    if (rec.type != LogRecordType::kInsert && rec.type != LogRecordType::kDelete) {
+    if (rec.type != LogRecordType::kInsert &&
+        rec.type != LogRecordType::kDelete &&
+        rec.type != LogRecordType::kEscrowDelta) {
       continue;
     }
     if (!is_committed(rec.txn_id)) continue;

@@ -20,6 +20,12 @@ enum class LogRecordType {
   kPrepare,
   kCommit,
   kAbort,
+  /// Logical escrow increment on one aggregate group row (view/escrow.h):
+  /// `row` is the group prefix followed by per-column deltas, `aux` is the
+  /// group-prefix width. Appended once per (view, group) at prepare time —
+  /// the in-place heap edits themselves are not logged — and replayed by
+  /// adding the deltas to the stored group row found by prefix match.
+  kEscrowDelta,
 };
 
 const char* LogRecordTypeToString(LogRecordType type);
@@ -35,6 +41,9 @@ struct LogRecord {
   LogRecordType type = LogRecordType::kInsert;
   std::string table;
   Row row;
+  /// Record-type-specific extra: for kEscrowDelta, the group-prefix width
+  /// (how many leading columns of `row` identify the group). 0 otherwise.
+  int aux = 0;
 
   std::string ToString() const;
 };

@@ -73,6 +73,14 @@ std::string MaintenanceAnalysis::ToString() const {
                   static_cast<unsigned long long>(lock_entries_reclaimed));
     os << line;
   }
+  if (escrow_ops > 0 || vlock_upgrades > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  escrow: %llu in-place group increment(s) under V locks, "
+                  "%llu V->X upgrade(s)\n",
+                  static_cast<unsigned long long>(escrow_ops),
+                  static_cast<unsigned long long>(vlock_upgrades));
+    os << line;
+  }
   if (!report.notes.empty()) os << "  notes: " << report.notes << "\n";
   return os.str();
 }
@@ -129,6 +137,8 @@ std::string MaintenanceAnalysis::ToJson() const {
      << ",\"attempts\":" << attempts << ",\"backoff_ns\":" << backoff_ns
      << ",\"escalations\":" << escalations
      << ",\"lock_entries_reclaimed\":" << lock_entries_reclaimed
+     << ",\"escrow_ops\":" << escrow_ops
+     << ",\"vlock_upgrades\":" << vlock_upgrades
      << ",\"attempt_aborts\":[";
   for (size_t i = 0; i < attempt_aborts.size(); ++i) {
     if (i > 0) os << ",";

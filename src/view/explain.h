@@ -54,6 +54,12 @@ struct MaintenanceAnalysis {
   uint64_t escalations = 0;
   uint64_t lock_entries_reclaimed = 0;
 
+  /// Escrow (value-lock) aggregate maintenance by the committed attempt
+  /// (SystemConfig::escrow_aggregates): group increments applied in place
+  /// under V locks, and V→X upgrades taken at group birth/death edges.
+  uint64_t escrow_ops = 0;
+  uint64_t vlock_upgrades = 0;
+
   /// Aggregate maintainer-side counts (rows, probes, structure writes).
   MaintenanceReport report;
 

@@ -150,6 +150,32 @@ Status MaterializedView::ApplyAggregateContributions(uint64_t txn,
     Node* node = sys_->node(dest);
     TableFragment* frag = node->fragment(table_name());
     for (Row& contribution : delivered.rows) {
+      if (escrow_hook_) {
+        PJVM_ASSIGN_OR_RETURN(bool handled,
+                              escrow_hook_(txn, dest, contribution, is_delete));
+        if (handled) {
+          ++*applied;
+          continue;
+        }
+      }
+      // Pin the group across this read-modify-write: without the group's X
+      // lock taken BEFORE the probe, a concurrent transaction can fold the
+      // group between our read of the old image and our DeleteExact of it,
+      // turning the delete into a spurious NotFound (the hot-key aggregate
+      // race). The id matches what DeleteExact/Insert acquire below, so the
+      // re-acquisition there is free; grouped views use the partition
+      // column's index-key id (the same one escrow V locks name), global
+      // aggregates the fragment id.
+      if (txn != kAutoCommitTxnId && sys_->config().enable_locking) {
+        LockId group_lock =
+            bound_.output_partition_col() >= 0
+                ? LockId::IndexKey(
+                      dest, table_name(), bound_.output_partition_col(),
+                      contribution[bound_.output_partition_col()])
+                : LockId::Table(dest, table_name());
+        PJVM_RETURN_NOT_OK(
+            sys_->locks().Acquire(txn, group_lock, LockMode::kExclusive));
+      }
       // Locate the current group row, if any.
       Row old_row;
       bool found = false;

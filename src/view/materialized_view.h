@@ -58,6 +58,16 @@ class MaterializedView {
   using MergedHook = std::function<Status(uint64_t, int, const Row&, bool)>;
   void set_merged_hook(MergedHook hook) { merged_hook_ = std::move(hook); }
 
+  /// Escrow routing callback for aggregate views (view/escrow.h): invoked
+  /// per contribution row — (txn, destination node, contribution,
+  /// is_delete) — before the eager fold. Returning true means the escrow
+  /// journal applied the increment under a V lock and the eager
+  /// probe/delete/insert must be skipped; false falls through to the eager
+  /// path (which escrow has already X-locked when the contribution is a
+  /// group birth/death edge). Unset when escrow is off.
+  using EscrowHook = std::function<Result<bool>(uint64_t, int, const Row&, bool)>;
+  void set_escrow_hook(EscrowHook hook) { escrow_hook_ = std::move(hook); }
+
  private:
   MaterializedView(ParallelSystem* sys, BoundView bound)
       : sys_(sys), bound_(std::move(bound)) {}
@@ -72,6 +82,7 @@ class MaterializedView {
   ParallelSystem* sys_;
   BoundView bound_;
   MergedHook merged_hook_;
+  EscrowHook escrow_hook_;
 };
 
 /// \brief Recomputes the view's output rows from the current base tables by

@@ -325,7 +325,27 @@ Status ViewManager::RegisterView(const JoinViewDef& def,
     sys_->SetStorageOverlay(def.name, [raw] { return raw->TreeBytes(); });
     merged_.emplace(def.name, std::move(store));
   }
-  views_.emplace(def.name, std::move(reg));
+  auto [vit, inserted] = views_.emplace(def.name, std::move(reg));
+  (void)inserted;
+  // Escrow routing for eligible aggregate views: registered against the
+  // *stored* registration's BoundView (stable for the view's lifetime) and
+  // wired as the MaterializedView's per-contribution hook. The registry
+  // itself rejects ineligible shapes (non-aggregate, round-robin); deferred
+  // timing stays eager — its refresh runs whole recompute-and-diff
+  // transactions, not per-group increments.
+  if (escrow_ != nullptr && !merged &&
+      vit->second.timing == MaintenanceTiming::kImmediate &&
+      vit->second.bound.is_aggregate()) {
+    ViewRegistration& stored = vit->second;
+    escrow_->AddView(def.name, &stored.bound);
+    EscrowRegistry* esc = escrow_.get();
+    const std::string view_name = def.name;
+    stored.view->set_escrow_hook(
+        [esc, view_name](uint64_t txn, int node, const Row& row,
+                         bool is_delete) {
+          return esc->Apply(txn, node, view_name, row, is_delete);
+        });
+  }
   return Status::OK();
 }
 
@@ -588,6 +608,12 @@ Result<MaintenanceReport> ViewManager::ApplyDelta(DeltaBatch delta,
             sys_->locks().EscalationStatsOf(txn);
         analysis->escalations = esc.escalations;
         analysis->lock_entries_reclaimed = esc.entries_reclaimed;
+        if (escrow_ != nullptr) {
+          // Same timing rule: the commit epilogue clears the journal's tally.
+          const EscrowRegistry::TxnStats est = escrow_->StatsOf(txn);
+          analysis->escrow_ops = est.escrow_ops;
+          analysis->vlock_upgrades = est.vlock_upgrades;
+        }
       }
       // A commit failure (e.g. an injected crash mid-2PC) is not retryable:
       // the system needs Recover(), not another attempt.
@@ -714,6 +740,7 @@ Status ViewManager::UnregisterView(const std::string& name) {
     sys_->ClearStorageOverlay(name);
     merged_.erase(name);
   }
+  if (escrow_ != nullptr) escrow_->RemoveView(name);
   PJVM_RETURN_NOT_OK(sys_->DropTable(name));
   views_.erase(it);
   return Status::OK();
@@ -918,6 +945,12 @@ size_t ViewManager::DeferredRows(const std::string& name) const {
 }
 
 Status ViewManager::RecoverViews() {
+  // The crash wiped the heaps with the journal's in-flight state still
+  // resident (Crash() presumes every in-flight transaction aborted without
+  // running its hook — there is no heap left to roll back). Committed
+  // escrow deltas were replayed from the WALs by Recover(); drop the stale
+  // journal so the next first touch re-seeds from the recovered rows.
+  if (escrow_ != nullptr) escrow_->Reset();
   PJVM_RETURN_NOT_OK(gis_.RebuildAll());
   std::lock_guard<std::mutex> lock(hl_mu_);
   for (auto& [name, reg] : views_) {
@@ -976,6 +1009,11 @@ Status ViewManager::CheckAllConsistent() {
   for (auto& [name, store] : merged_) {
     PJVM_RETURN_NOT_OK(store->CheckConsistent());
   }
+  // Escrow invariant: at a quiescent point the journal must be empty —
+  // every group's heap row then carries exactly the committed image the
+  // X-lock (eager) path would have produced, which the oracle compare
+  // above just proved byte-for-byte.
+  if (escrow_ != nullptr) PJVM_RETURN_NOT_OK(escrow_->CheckConsistent());
   PJVM_RETURN_NOT_OK(ars_.CheckConsistent());
   PJVM_RETURN_NOT_OK(gis_.CheckConsistent());
   return sys_->CheckInvariants();

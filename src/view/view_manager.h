@@ -10,6 +10,7 @@
 
 #include "engine/system.h"
 #include "view/ar_minimizer.h"
+#include "view/escrow.h"
 #include "view/explain.h"
 #include "view/heavy_light.h"
 #include "view/maintainer.h"
@@ -113,6 +114,18 @@ class ViewManager : public StructureResolver {
           sys, sys->config().heavy_key_threshold,
           sys->config().stats_refresh_ops);
     }
+    // Escrow needs the V/X lock protocol to mean anything: without locking
+    // there is no eager X serialization to relax, and the byte-for-byte
+    // equivalence to the unlocked path would not hold anyway.
+    if (sys->config().escrow_aggregates && sys->config().enable_locking) {
+      escrow_ = std::make_unique<EscrowRegistry>(sys);
+      sys->SetTxnHook(escrow_.get());
+    }
+  }
+  ~ViewManager() {
+    // The system outlives this manager in every embedding; the hook must
+    // not dangle into the destroyed journal.
+    if (escrow_ != nullptr) sys_->SetTxnHook(nullptr);
   }
 
   ParallelSystem* system() { return sys_; }
@@ -202,6 +215,10 @@ class ViewManager : public StructureResolver {
   /// off.
   HeavyLightClassifier* classifier() { return classifier_.get(); }
 
+  /// The escrow journal; nullptr when SystemConfig::escrow_aggregates is
+  /// off (or locking is disabled).
+  EscrowRegistry* escrow() { return escrow_.get(); }
+
   ArRegistry& ars() { return ars_; }
   GiRegistry& gis() { return gis_; }
 
@@ -248,6 +265,9 @@ class ViewManager : public StructureResolver {
   std::map<std::string, ViewRegistration> views_;
   /// Merged co-clustered trees, keyed by view name (eligible views only).
   std::map<std::string, std::unique_ptr<MergedViewStorage>> merged_;
+  /// Escrow journal for aggregate views (SystemConfig::escrow_aggregates);
+  /// registered as the system's TxnHook for this manager's lifetime.
+  std::unique_ptr<EscrowRegistry> escrow_;
 
   // Heavy/light deferred maintenance (SystemConfig::heavy_light). hl_mu_
   // serializes routing decisions, buffer mutation, and folds: a fold joins
